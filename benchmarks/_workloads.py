@@ -1,0 +1,70 @@
+"""Deterministic workload builders shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import random
+
+from repro.attributes import BasisEncoding
+from repro.workloads import mixed_family, random_sigma
+
+
+def sized_problem(scale: int, sigma_size: int, seed: int = 7):
+    """A closure problem on the paper-shaped family with ``|N| = 4·scale``.
+
+    Returns ``(encoding, x_mask, fd_masks, mvd_masks)`` ready for the
+    mask-level algorithm entry point (so benchmarks time the algorithm,
+    not parsing or encoding construction).
+    """
+    root = mixed_family(scale)
+    encoding = BasisEncoding(root)
+    rng = random.Random(seed)
+    sigma = random_sigma(rng, encoding, sigma_size, lhs_density=2 / encoding.size,
+                         rhs_density=4 / encoding.size)
+    fd_masks = [
+        (encoding.encode(d.lhs), encoding.encode(d.rhs)) for d in sigma.fds()
+    ]
+    mvd_masks = [
+        (encoding.encode(d.lhs), encoding.encode(d.rhs)) for d in sigma.mvds()
+    ]
+    x_mask = encoding.down_close(1)  # the first flat attribute
+    return encoding, x_mask, fd_masks, mvd_masks
+
+
+def sized_sigma(scale: int, sigma_size: int, seed: int = 7):
+    """Same workload but as (encoding, DependencySet, x attribute)."""
+    root = mixed_family(scale)
+    encoding = BasisEncoding(root)
+    rng = random.Random(seed)
+    sigma = random_sigma(rng, encoding, sigma_size, lhs_density=2 / encoding.size,
+                         rhs_density=4 / encoding.size)
+    x = encoding.decode(encoding.down_close(1))
+    return encoding, sigma, x
+
+
+def chain_problem(scale: int):
+    """A deterministic worst-case closure problem with ``|Σ| = scale``.
+
+    On ``mixed_family(scale)`` (``|N| = 4·scale``), Σ is the FD chain
+
+        A₁ → group₁ ⊔ A₂,  A₂ → group₂ ⊔ A₃,  …
+
+    listed in REVERSE order, so each REPEAT pass absorbs only the first
+    still-applicable link — the classic worst case driving the pass count
+    to ~|Σ|.  Starting from ``X = A₁`` the closure is the whole schema.
+    """
+    from repro.attributes import parse_subattribute
+    from repro.dependencies import DependencySet
+
+    root = mixed_family(scale)
+    encoding = BasisEncoding(root)
+    texts = []
+    for i in range(1, scale + 1):
+        rhs_parts = [f"L{i}[D{i}(B{i}, C{i})]"]
+        if i < scale:
+            rhs_parts.append(f"A{i + 1}")
+        texts.append(f"R(A{i}) -> R({', '.join(rhs_parts)})")
+    texts.reverse()
+    sigma = DependencySet.parse(root, texts)
+    fd_masks = [(encoding.encode(d.lhs), encoding.encode(d.rhs)) for d in sigma.fds()]
+    x_mask = encoding.encode(parse_subattribute("R(A1)", root))
+    return encoding, x_mask, fd_masks, []

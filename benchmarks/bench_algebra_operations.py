@@ -1,0 +1,114 @@
+"""E10 — Section 6 operation complexity micro-benchmarks.
+
+The paper's complexity analysis budgets the primitive operations as:
+``⊔``/``⊓``/``≤`` linear in ``|N|``, ``∸`` and ``(·)^C`` quadratic, and
+the ``Ū`` inner computation cubic.  (The bitmask encoding makes the
+linear ones effectively word operations — even better than budgeted.)
+This module times each primitive over growing ``|N|`` and asserts the
+growth stays at or below the budgeted exponent.
+
+Run:  pytest benchmarks/bench_algebra_operations.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from _workloads import sized_problem
+
+SCALES = (4, 16, 64)  # |N| = 16, 64, 256
+
+
+def _setup(scale):
+    encoding, x_mask, _, _ = sized_problem(scale, 0)
+    half = encoding.down_close(sum(1 << i for i in range(0, encoding.size, 2)))
+    other = encoding.down_close(sum(1 << i for i in range(0, encoding.size, 3)))
+    return encoding, half, other
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_join_meet_le(benchmark, scale):
+    encoding, half, other = _setup(scale)
+
+    def run():
+        return (
+            encoding.join(half, other),
+            encoding.meet(half, other),
+            encoding.le(half, other),
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_pseudo_difference(benchmark, scale):
+    encoding, half, other = _setup(scale)
+    benchmark(encoding.pseudo_difference, half, other)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_complement(benchmark, scale):
+    encoding, half, _ = _setup(scale)
+    benchmark(encoding.complement, half)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_double_complement(benchmark, scale):
+    encoding, half, _ = _setup(scale)
+    benchmark(encoding.double_complement, half)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_possessed(benchmark, scale):
+    encoding, half, _ = _setup(scale)
+    benchmark(encoding.possessed, half)
+
+
+def _median(function, *args, repeats=200):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function(*args)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_growth_exponents(benchmark):
+    import numpy as np
+
+    budgets = {
+        # paper budget exponents (the encoding often beats them)
+        "pseudo_difference": 2,
+        "complement": 2,
+        "double_complement": 2,
+        "possessed": 2,
+    }
+
+    def sweep():
+        table = {}
+        for scale in SCALES:
+            encoding, half, other = _setup(scale)
+            table.setdefault("pseudo_difference", []).append(
+                (encoding.size, _median(encoding.pseudo_difference, half, other))
+            )
+            table.setdefault("complement", []).append(
+                (encoding.size, _median(encoding.complement, half))
+            )
+            table.setdefault("double_complement", []).append(
+                (encoding.size, _median(encoding.double_complement, half))
+            )
+            table.setdefault("possessed", []).append(
+                (encoding.size, _median(encoding.possessed, half))
+            )
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE10  primitive-operation growth (paper budget in parentheses)")
+    for name, rows in table.items():
+        xs = [n for n, _ in rows]
+        ys = [max(t, 1e-9) for _, t in rows]
+        slope = float(np.polyfit(np.log(xs), np.log(ys), 1)[0])
+        cells = "   ".join(f"|N|={n}: {t * 1e9:7.0f} ns" for n, t in rows)
+        print(f"  {name:18} ({budgets[name]}): slope {slope:5.2f}   {cells}")
+        assert slope <= budgets[name] + 0.5, (name, slope)

@@ -1,0 +1,31 @@
+"""E20 (timing face) — the MVD chase at growing repair sizes.
+
+Measures closing partially-transmitted pub-crawl feeds: per person, one
+of the four combination tuples is dropped, so the chase regenerates
+n_people exchange tuples.  Expected shape: near-linear in the number of
+groups (each group's closure is a constant-size cross product).
+
+Run:  pytest benchmarks/bench_chase.py --benchmark-only
+"""
+
+import pytest
+
+from repro.chase import chase
+from repro.workloads import pubcrawl_workload
+
+SIZES = (25, 100, 400)
+
+
+def _broken_feed(n_people, seed=31):
+    workload = pubcrawl_workload(n_people, seed=seed)
+    return workload.root, workload.with_dropped_combinations(), workload.sigma
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_chase_repair(benchmark, n_people):
+    root, broken, sigma = _broken_feed(n_people)
+    result = benchmark(chase, root, broken, sigma)
+    # Roughly one regenerated combination per person (collision-shrunk
+    # groups may be unrepairable-by-excess and regenerate fewer).
+    assert len(result.added) >= n_people * 0.8
+    assert result.rounds <= 3

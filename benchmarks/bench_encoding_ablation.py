@@ -1,0 +1,123 @@
+"""E22 — ablation of the two design choices DESIGN.md calls out.
+
+The library deliberately implements its algebra twice; this experiment
+quantifies what each choice buys:
+
+1. **Bitmask encoding vs structural recursion** for Algorithm 5.1 —
+   `compute_closure` (Birkhoff masks) against `reference_closure`
+   (Definition 3.8 recursion + Definition 4.11 possession).  Identical
+   outputs are asserted; the measured gap is why the structural version
+   is the *test oracle* and the encoded one the engine.
+2. **Structural basis-poset construction vs pairwise ≤ comparison** for
+   building a `BasisEncoding` — the O(Σ ideal sizes) recursion against
+   the quadratic all-pairs `is_subattribute` sweep it replaced.
+
+Run:  pytest benchmarks/bench_encoding_ablation.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.attributes import BasisEncoding, is_subattribute
+from repro.attributes.basis import basis, basis_poset
+from repro.core import compute_closure, reference_closure
+
+from _workloads import sized_sigma
+
+ALGORITHM_SCALES = (1, 2, 3)          # |N| = 4, 8, 12 (structural is slow)
+CONSTRUCTION_SCALES = (8, 24, 64)     # |N| = 32, 96, 256
+
+
+def _pairwise_poset(root):
+    """The quadratic construction the structural one replaced."""
+    elements = basis(root)
+    below = [0] * len(elements)
+    for i, lower in enumerate(elements):
+        for j, upper in enumerate(elements):
+            if is_subattribute(lower, upper):
+                below[j] |= 1 << i
+    return elements, tuple(below)
+
+
+@pytest.mark.parametrize("scale", ALGORITHM_SCALES)
+def test_algorithm_bitmask(benchmark, scale):
+    encoding, sigma, x = sized_sigma(scale, 3)
+    result = benchmark(compute_closure, encoding, x, sigma)
+    assert result.passes >= 1
+
+
+@pytest.mark.parametrize("scale", ALGORITHM_SCALES)
+def test_algorithm_structural_reference(benchmark, scale):
+    encoding, sigma, x = sized_sigma(scale, 3)
+
+    closure_attr, blocks = benchmark.pedantic(
+        reference_closure, args=(encoding.root, x, sigma),
+        rounds=3, iterations=1,
+    )
+    # Ablation sanity: both implementations agree.
+    fast = compute_closure(encoding, x, sigma)
+    assert closure_attr == fast.closure
+    assert blocks == frozenset(encoding.decode(m) for m in fast.blocks)
+
+
+@pytest.mark.parametrize("scale", CONSTRUCTION_SCALES)
+def test_construction_structural_poset(benchmark, scale):
+    encoding, _, _ = sized_sigma(scale, 0)  # warm caches comparable
+    root = encoding.root
+
+    def build():
+        basis_poset.__globals__["_POSET_CACHE"].clear()
+        return BasisEncoding(root)
+
+    built = benchmark(build)
+    assert built.size == scale * 4
+
+
+@pytest.mark.parametrize("scale", CONSTRUCTION_SCALES)
+def test_construction_pairwise(benchmark, scale):
+    encoding, _, _ = sized_sigma(scale, 0)
+    elements, below = benchmark.pedantic(
+        _pairwise_poset, args=(encoding.root,), rounds=3, iterations=1
+    )
+    # Ablation sanity: identical poset.
+    assert below == encoding.below
+
+
+def test_speedup_summary(benchmark):
+    def sweep():
+        rows = []
+        for scale in ALGORITHM_SCALES:
+            encoding, sigma, x = sized_sigma(scale, 3)
+            start = time.perf_counter()
+            for _ in range(10):
+                compute_closure(encoding, x, sigma)
+            fast = (time.perf_counter() - start) / 10
+            start = time.perf_counter()
+            reference_closure(encoding.root, x, sigma)
+            slow = time.perf_counter() - start
+            rows.append(("algorithm", encoding.size, fast, slow))
+        for scale in CONSTRUCTION_SCALES:
+            encoding, _, _ = sized_sigma(scale, 0)
+            basis_poset.__globals__["_POSET_CACHE"].clear()
+            start = time.perf_counter()
+            BasisEncoding(encoding.root)
+            fast = time.perf_counter() - start
+            start = time.perf_counter()
+            _pairwise_poset(encoding.root)
+            slow = time.perf_counter() - start
+            rows.append(("construction", encoding.size, fast, slow))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE22  design-choice ablations (fast vs replaced alternative)")
+    for kind, size, fast, slow in rows:
+        print(
+            f"  {kind:12} |N|={size:3d}:  kept {fast * 1e3:9.3f} ms   "
+            f"alternative {slow * 1e3:9.3f} ms   speedup {slow / fast:7.1f}x"
+        )
+    # The kept designs must win, increasingly with size.
+    algorithm_speedups = [s / f for k, _, f, s in rows if k == "algorithm"]
+    construction_speedups = [s / f for k, _, f, s in rows if k == "construction"]
+    assert algorithm_speedups[-1] > 10
+    assert construction_speedups[-1] > 3

@@ -1,0 +1,57 @@
+"""E5 — Example 5.1 / Figures 3–4: the full Algorithm 5.1 run.
+
+Times the algorithm on the paper's own worked input (|N| = 14, |Σ| = 3),
+with and without trace recording, asserting the exact final state the
+paper prints (the per-state equality lives in
+``tests/integration/test_example_5_1.py``).
+
+Run:  pytest benchmarks/bench_example51_trace.py --benchmark-only
+"""
+
+from repro.core import TraceRecorder, compute_closure
+
+
+def test_example51_closure(benchmark, example51_case):
+    fixture, encoding = example51_case
+    x = fixture.x()
+
+    result = benchmark(compute_closure, encoding, x, fixture.sigma)
+    assert result.passes == 3
+    assert result.closure == next(iter(fixture.resolve((fixture.closure_text,))))
+    assert set(result.dependency_basis()) == fixture.resolve(
+        fixture.dependency_basis_texts
+    )
+
+
+def test_example51_closure_with_trace(benchmark, example51_case):
+    fixture, encoding = example51_case
+    x = fixture.x()
+
+    def traced():
+        recorder = TraceRecorder()
+        compute_closure(encoding, x, fixture.sigma, trace=recorder)
+        return recorder
+
+    recorder = benchmark(traced)
+    assert len(recorder.states_after_each_change()) == 3  # the paper's steps
+
+
+def test_example51_membership_queries(benchmark, example51_case):
+    from repro.attributes import parse_subattribute
+    from repro.core import implies
+    from repro.dependencies import FD, MVD
+
+    fixture, encoding = example51_case
+    x = fixture.x()
+    inside = parse_subattribute("L1(L2[L3[L4(A)]])", fixture.root)
+    block = parse_subattribute("L1(L5[L6(D)])", fixture.root)
+
+    def decide():
+        return (
+            implies(fixture.sigma, FD(x, inside), encoding=encoding),
+            implies(fixture.sigma, MVD(x, block), encoding=encoding),
+            implies(fixture.sigma, FD(x, block), encoding=encoding),
+        )
+
+    fd_in, mvd_in, fd_out = benchmark(decide)
+    assert fd_in and mvd_in and not fd_out

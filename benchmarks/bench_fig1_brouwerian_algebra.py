@@ -1,0 +1,58 @@
+"""E1 — Figure 1: the Brouwerian algebra of ``J[K(A, L[M(B, C)])]``.
+
+Regenerates the figure's lattice (all 11 elements, their Hasse diagram)
+and times the full construction plus an exhaustive verification of the
+Brouwerian adjunction on it.  The assertions pin the element set to the
+paper's; the timing shows figure-scale lattices are interactive-speed.
+
+Run:  pytest benchmarks/bench_fig1_brouwerian_algebra.py --benchmark-only
+"""
+
+from repro.attributes import (
+    is_subattribute,
+    join,
+    pseudo_difference,
+    subattributes,
+    unparse_abbreviated,
+)
+from repro.viz import ascii_levels, hasse_graph
+from repro.workloads import FIGURE_1_ELEMENTS, figure_1_root
+
+
+def build_lattice():
+    root = figure_1_root()
+    elements = list(subattributes(root))
+    labels = {unparse_abbreviated(element, root) for element in elements}
+    return root, elements, labels
+
+
+def test_fig1_enumerate_lattice(benchmark):
+    root, elements, labels = benchmark(build_lattice)
+    assert labels == set(FIGURE_1_ELEMENTS)
+    assert len(elements) == 11
+
+
+def test_fig1_verify_brouwerian_adjunction(benchmark):
+    root, elements, _ = build_lattice()
+
+    def verify():
+        checks = 0
+        for a in elements:
+            for b in elements:
+                difference = pseudo_difference(root, a, b)
+                for c in elements:
+                    assert is_subattribute(difference, c) == is_subattribute(
+                        a, join(root, b, c)
+                    )
+                    checks += 1
+        return checks
+
+    checks = benchmark(verify)
+    assert checks == 11 ** 3
+
+
+def test_fig1_hasse_diagram(benchmark):
+    graph = benchmark(hasse_graph, figure_1_root())
+    assert graph.number_of_nodes() == 11
+    # The rendering has the paper's six levels (λ at the bottom).
+    assert len(ascii_levels(graph).splitlines()) == 6

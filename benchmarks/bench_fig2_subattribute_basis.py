@@ -1,0 +1,78 @@
+"""E2 — Figure 2 / Example 4.12: basis and possession machinery.
+
+Regenerates the subattribute basis of ``K[L(M[N(A, B)], C)]`` with its
+maximal/non-maximal split, verifies the possession claims of Example
+4.12, and times the basis poset construction the algorithm's Ū step
+relies on.
+
+Run:  pytest benchmarks/bench_fig2_subattribute_basis.py --benchmark-only
+"""
+
+from repro.attributes import (
+    BasisEncoding,
+    basis,
+    is_possessed_by,
+    maximal_basis,
+    unparse_abbreviated,
+)
+from repro.viz import basis_graph
+from repro.workloads import example_4_12
+
+
+def test_fig2_basis_construction(benchmark):
+    root, _, _, _ = example_4_12()
+
+    def build():
+        return basis(root), maximal_basis(root)
+
+    all_basis, maximal = benchmark(build)
+    shown = {unparse_abbreviated(b, root) for b in all_basis}
+    assert shown == {
+        "K[λ]",
+        "K[L(M[λ])]",
+        "K[L(M[N(A)])]",
+        "K[L(M[N(B)])]",
+        "K[L(C)]",
+    }
+    assert len(maximal) == 3
+
+
+def test_fig2_possession_queries(benchmark):
+    root, x, possessed, not_possessed = example_4_12()
+
+    def query():
+        return (
+            is_possessed_by(root, possessed, x),
+            is_possessed_by(root, not_possessed, x),
+        )
+
+    yes, no = benchmark(query)
+    assert yes and not no
+
+
+def test_fig2_encoding_with_possession_masks(benchmark):
+    root, x, _, _ = example_4_12()
+
+    def build():
+        encoding = BasisEncoding(root)
+        return encoding, encoding.possessed(encoding.encode(x))
+
+    encoding, possessed_mask = benchmark(build)
+    shown = {
+        unparse_abbreviated(encoding.basis[i], root)
+        for i in range(encoding.size)
+        if possessed_mask >> i & 1
+    }
+    # X possesses the inner list-length and both leaf attributes, but not
+    # the outer length K[λ] (shared with the complement K[L(C)]).
+    assert shown == {"K[L(M[λ])]", "K[L(M[N(A)])]", "K[L(M[N(B)])]"}
+
+
+def test_fig2_basis_hasse_graph(benchmark):
+    root, _, _, _ = example_4_12()
+    graph = benchmark(basis_graph, root)
+    assert graph.number_of_nodes() == 5
+    maximal_count = sum(
+        1 for _, data in graph.nodes(data=True) if data["maximal"]
+    )
+    assert maximal_count == 3

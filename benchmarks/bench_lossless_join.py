@@ -1,0 +1,62 @@
+"""E11 — Theorem 4.4: the MVD checkers and the generalised join.
+
+Times the two MVD satisfaction checkers — the definitional cross-product
+criterion and the (corrected) lossless-join oracle — plus the raw
+generalised join, on pub-crawl-shaped instances of growing size.  The
+reproduction criterion is agreement of the verdicts (asserted) and the
+definitional checker winning on cost (it avoids materialising the join).
+
+Run:  pytest benchmarks/bench_lossless_join.py --benchmark-only
+"""
+
+import pytest
+
+from repro.dependencies import (
+    lossless_binary_decomposition,
+    satisfies_mvd,
+    satisfies_mvd_via_join,
+)
+from repro.workloads import pubcrawl_workload
+
+SIZES = (4, 16, 64)
+
+
+def _instance(n_people, seed=3):
+    """A pub-crawl instance satisfying the MVD: per person, all
+    combinations of two beer orders and two pub orders."""
+    workload = pubcrawl_workload(n_people, seed=seed)
+    return workload.root, workload.instance, workload.sigma.mvds()[0]
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_definitional_checker(benchmark, n_people):
+    root, instance, mvd = _instance(n_people)
+    assert benchmark(satisfies_mvd, root, instance, mvd)
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_lossless_join_checker(benchmark, n_people):
+    root, instance, mvd = _instance(n_people)
+    assert benchmark(satisfies_mvd_via_join, root, instance, mvd)
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_raw_generalised_join(benchmark, n_people):
+    root, instance, mvd = _instance(n_people)
+    assert benchmark(lossless_binary_decomposition, root, instance, mvd)
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_checkers_agree_on_violations(benchmark, n_people):
+    root, instance, mvd = _instance(n_people)
+    # Break the cross product: drop one combination tuple.
+    broken = frozenset(list(instance)[1:])
+
+    def verdicts():
+        return (
+            satisfies_mvd(root, broken, mvd),
+            satisfies_mvd_via_join(root, broken, mvd),
+        )
+
+    definitional, via_join = benchmark(verdicts)
+    assert definitional == via_join

@@ -1,0 +1,88 @@
+"""E15 — normalisation as an application of the membership algorithm (§7).
+
+Times the schema-design toolchain built on Algorithm 5.1 — 4NF checking,
+candidate-key search, minimal covers and lossless decomposition — on the
+library's example schemas and on the scaled paper-shaped family.
+
+Run:  pytest benchmarks/bench_normalization.py --benchmark-only
+"""
+
+import pytest
+
+from repro import Schema
+from repro.core import minimal_cover
+from repro.normalization import candidate_keys, decompose_4nf, is_in_4nf
+
+from _workloads import sized_sigma
+
+
+@pytest.fixture(scope="module")
+def genome():
+    schema = Schema(
+        "Gene(Acc, Exons[Exon(Start, End)], Expr[Meas(Tissue, Level)], "
+        "Curation(Src, Conf))"
+    )
+    sigma = schema.dependencies(
+        "Gene(Acc) -> Gene(Exons[Exon(Start, End)])",
+        "Gene(Acc) ->> Gene(Expr[Meas(Level)])",
+        "Gene(Curation(Src)) -> Gene(Curation(Conf))",
+    )
+    return schema, sigma
+
+
+def test_4nf_check_stated(benchmark, genome):
+    schema, sigma = genome
+    assert not benchmark(
+        is_in_4nf, sigma, encoding=schema.encoding, exhaustive=False
+    )
+
+
+def test_4nf_check_exhaustive(benchmark, genome):
+    schema, sigma = genome
+    assert not benchmark(
+        is_in_4nf, sigma, encoding=schema.encoding, exhaustive=True
+    )
+
+
+def test_candidate_key_search(benchmark, genome):
+    schema, sigma = genome
+    keys = benchmark(candidate_keys, sigma, encoding=schema.encoding)
+    assert keys
+
+
+def test_decomposition(benchmark, genome):
+    schema, sigma = genome
+    decomposition = benchmark(decompose_4nf, sigma, encoding=schema.encoding)
+    assert len(decomposition.components) == 4
+
+
+def test_minimal_cover_on_redundant_set(benchmark, genome):
+    schema, _ = genome
+    redundant = schema.dependencies(
+        "Gene(Acc) -> Gene(Exons[Exon(Start, End)])",
+        "Gene(Acc) -> Gene(Exons[Exon(Start)])",     # implied
+        "Gene(Acc) -> Gene(Exons[λ])",               # implied
+        "Gene(Acc) ->> Gene(Expr[Meas(Level)])",
+        "Gene(Acc) ->> Gene(Expr[Meas(Tissue)], Exons[Exon(Start, End)], "
+        "Curation(Src, Conf))",                      # the complement: implied
+    )
+    cover = benchmark(minimal_cover, redundant, encoding=schema.encoding)
+    assert len(cover) < len(redundant)
+
+
+@pytest.mark.parametrize("scale", (2, 4, 8))
+def test_decomposition_scaling(benchmark, scale):
+    encoding, sigma, _ = sized_sigma(scale, 4)
+    decomposition = benchmark(decompose_4nf, sigma, encoding=encoding)
+    assert decomposition.components
+
+
+def test_synthesis(benchmark, genome):
+    from repro.normalization import synthesize
+
+    schema, sigma = genome
+    result = benchmark(synthesize, sigma, encoding=schema.encoding)
+    assert result.components
+    from repro.normalization import is_superkey
+
+    assert is_superkey(sigma, result.key_component)

@@ -1,0 +1,108 @@
+"""E16 — rule-redundancy ablation (the §7 "minimal rule sets" question).
+
+The paper's conclusion: "The inference rules from Theorem 4.6 are expected
+to be redundant.  A detailed study of minimal sets of inference rules …
+was outside the scope of this paper."  This experiment performs the
+empirical half of that study: over a corpus of randomized small inputs,
+each rule is removed in turn and the closure recomputed; a rule whose
+removal never shrinks any closure is a redundancy candidate, a rule whose
+removal loses consequences is load-bearing.
+
+Reproduction criterion (asserted): the three *derived-looking* MVD rules
+(join, meet, pseudo-difference) are redundant on the whole corpus, while
+complementation, the FD core, implication and — on list schemas — the
+mixed meet rule are load-bearing.
+
+Run:  pytest benchmarks/bench_rule_ablation.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.attributes import BasisEncoding, parse_attribute
+from repro.dependencies import DependencySet
+from repro.inference import rule_ablation
+from repro.workloads import random_sigma
+
+CORPUS_ROOTS = (
+    "R(A, B, C)",                 # the relational case
+    "R(A, L[B])",                 # one list: lengths appear
+    "R(A, L[D(B, C)])",           # a record split inside a list
+)
+SEEDS = (3, 17, 51)
+
+
+def _corpus():
+    cases = []
+    for root_text in CORPUS_ROOTS:
+        root = parse_attribute(root_text)
+        encoding = BasisEncoding(root)
+        for seed in SEEDS:
+            sigma = random_sigma(
+                random.Random(seed), encoding, 2,
+                lhs_density=0.3, rhs_density=0.4,
+            )
+            cases.append((root_text, sigma))
+        # plus one canonical list MVD that exercises the mixed meet rule
+        if "[" in root_text:
+            cases.append(
+                (root_text, DependencySet.parse(root, [_canonical_mvd(root_text)]))
+            )
+    return cases
+
+
+def _canonical_mvd(root_text):
+    return {
+        "R(A, L[B])": "R(A) ->> R(L[λ])",
+        "R(A, L[D(B, C)])": "R(A) ->> R(L[D(B)])",
+    }[root_text]
+
+
+def test_ablation_study(benchmark):
+    def study():
+        lost_by_rule: dict[str, int] = {}
+        incomplete = 0
+        for _, sigma in _corpus():
+            for report in rule_ablation(sigma, max_dependencies=100_000):
+                if not report.exhausted:
+                    incomplete += 1
+                    continue
+                lost_by_rule[report.rule] = lost_by_rule.get(report.rule, 0) + len(
+                    report.lost
+                )
+        return lost_by_rule, incomplete
+
+    lost_by_rule, incomplete = benchmark.pedantic(study, rounds=1, iterations=1)
+    print("\nE16  rule ablation over the corpus (total lost dependencies)")
+    for rule, lost in sorted(lost_by_rule.items(), key=lambda kv: -kv[1]):
+        verdict = "load-bearing" if lost else "redundancy candidate"
+        print(f"  {rule:32} lost {lost:5d}   {verdict}")
+    if incomplete:
+        print(f"  ({incomplete} ablation runs hit the budget and were skipped)")
+
+    # The derived MVD rules are never load-bearing:
+    for name in (
+        "multi-valued join",
+        "multi-valued meet",
+        "multi-valued pseudo-difference",
+    ):
+        assert lost_by_rule.get(name, 0) == 0, name
+    # Complementation and the FD core are essential somewhere:
+    for name in ("MVD complementation", "FD reflexivity axiom"):
+        assert lost_by_rule.get(name, 0) > 0, name
+    # The paper's new rule is essential on list schemas:
+    assert lost_by_rule.get("mixed meet", 0) > 0
+
+
+@pytest.mark.parametrize("root_text", CORPUS_ROOTS)
+def test_single_ablation_cost(benchmark, root_text):
+    root = parse_attribute(root_text)
+    encoding = BasisEncoding(root)
+    sigma = random_sigma(random.Random(3), encoding, 2,
+                         lhs_density=0.3, rhs_density=0.4)
+    reports = benchmark.pedantic(
+        rule_ablation, args=(sigma,), kwargs={"max_dependencies": 100_000},
+        rounds=1, iterations=1,
+    )
+    assert len(reports) == 13

@@ -1,0 +1,94 @@
+"""E21 — satisfaction checking at data scale (Definition 4.1 in practice).
+
+The membership algorithm reasons about *schemas*; a library user also
+checks *data*. This experiment measures the Definition 4.1 checkers on
+growing Σ-satisfying instances of the Pubcrawl shape:
+
+* FD checking is one hash pass — linear in the instance;
+* MVD checking hashes each X-group's projection pairs — linear as well
+  (the cross-product *count* check, not materialisation);
+* the corrected Theorem 4.4 oracle materialises the generalised join —
+  still near-linear here but with a visibly larger constant.
+
+The shape assertion: doubling the instance should roughly double each
+checker's cost (fitted log-log slope ≈ 1, allowed up to 1.6 for hashing
+noise).
+
+Run:  pytest benchmarks/bench_satisfaction_scaling.py --benchmark-only
+"""
+
+import time
+
+import pytest
+
+from repro.dependencies import (
+    parse_dependency,
+    satisfies_fd,
+    satisfies_mvd,
+    satisfies_mvd_via_join,
+)
+from repro.workloads import pubcrawl_workload
+
+SIZES = (100, 400, 1600)
+
+
+def _workload(n_people, seed=23):
+    """A Σ-satisfying pub-crawl instance with ~4 tuples per person."""
+    workload = pubcrawl_workload(n_people, seed=seed)
+    mvd = workload.sigma.mvds()[0]
+    fd = parse_dependency(
+        "Pubcrawl(Person) -> Pubcrawl(Visit[λ])", workload.root
+    )
+    return workload.root, workload.instance, fd, mvd
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_fd_checking(benchmark, n_people):
+    root, instance, fd, _ = _workload(n_people)
+    benchmark.extra_info["tuples"] = len(instance)
+    assert benchmark(satisfies_fd, root, instance, fd)
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_mvd_checking(benchmark, n_people):
+    root, instance, _, mvd = _workload(n_people)
+    benchmark.extra_info["tuples"] = len(instance)
+    assert benchmark(satisfies_mvd, root, instance, mvd)
+
+
+@pytest.mark.parametrize("n_people", SIZES)
+def test_corrected_lossless_join_oracle(benchmark, n_people):
+    root, instance, _, mvd = _workload(n_people)
+    assert benchmark(satisfies_mvd_via_join, root, instance, mvd)
+
+
+def test_linearity_shape(benchmark):
+    import numpy as np
+
+    def sweep():
+        rows = []
+        for n_people in SIZES:
+            root, instance, fd, mvd = _workload(n_people)
+            start = time.perf_counter()
+            satisfies_fd(root, instance, fd)
+            fd_time = time.perf_counter() - start
+            start = time.perf_counter()
+            satisfies_mvd(root, instance, mvd)
+            mvd_time = time.perf_counter() - start
+            rows.append((len(instance), fd_time, mvd_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nE21  satisfaction checking vs instance size")
+    for tuples, fd_time, mvd_time in rows:
+        print(
+            f"  {tuples:6d} tuples:  FD {fd_time * 1e3:7.2f} ms   "
+            f"MVD {mvd_time * 1e3:7.2f} ms"
+        )
+    sizes = [row[0] for row in rows]
+    for label, index in (("FD", 1), ("MVD", 2)):
+        slope = float(np.polyfit(
+            np.log(sizes), np.log([max(row[index], 1e-9) for row in rows]), 1
+        )[0])
+        print(f"  {label} fitted log-log slope = {slope:.2f} (expected ≈ 1)")
+        assert slope <= 1.6, (label, slope)

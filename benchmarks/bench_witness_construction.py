@@ -1,0 +1,63 @@
+"""E6 (timing face) — the Section 4.2 witness construction.
+
+Times building the two-tuple block-combination witness — the semantic
+completeness oracle — including its built-in Σ-verification, across the
+example schemas.  The instance has ``2^k`` tuples for ``k`` free blocks,
+so cost is dominated by the verification pass.
+
+Run:  pytest benchmarks/bench_witness_construction.py --benchmark-only
+"""
+
+import pytest
+
+from repro import Schema
+from repro.witness import build_witness
+
+
+CASES = {
+    "pubcrawl": (
+        "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+        ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"],
+        "Pubcrawl(Person)",
+    ),
+    "genome": (
+        "Gene(Acc, Exons[Exon(Start, End)], Expr[Meas(Tissue, Level)], "
+        "Curation(Src, Conf))",
+        [
+            "Gene(Acc) -> Gene(Exons[Exon(Start, End)])",
+            "Gene(Acc) ->> Gene(Expr[Meas(Level)])",
+        ],
+        "Gene(Acc)",
+    ),
+    "independent_blocks": (
+        "R(A, L1[B], L2[C], L3[D], E)",
+        ["R(A) ->> R(L1[B])", "R(A) ->> R(L2[C])", "R(A) ->> R(L3[D])"],
+        "R(A)",
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_witness_with_verification(benchmark, name):
+    root_text, sigma_texts, x_text = CASES[name]
+    schema = Schema(root_text)
+    sigma = schema.dependencies(*sigma_texts)
+    x = schema.attribute(x_text)
+
+    witness = benchmark(
+        build_witness, sigma, x, encoding=schema.encoding, verify=True
+    )
+    assert len(witness.instance) == 1 << len(witness.free_blocks)
+
+
+@pytest.mark.parametrize("name", list(CASES))
+def test_witness_without_verification(benchmark, name):
+    root_text, sigma_texts, x_text = CASES[name]
+    schema = Schema(root_text)
+    sigma = schema.dependencies(*sigma_texts)
+    x = schema.attribute(x_text)
+
+    witness = benchmark(
+        build_witness, sigma, x, encoding=schema.encoding, verify=False
+    )
+    assert witness.instance

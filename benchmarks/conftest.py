@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one experiment of EXPERIMENTS.md
+(IDs E1-E15).  Workloads are seeded and deterministic so the reported
+numbers are reproducible run to run; builders live in ``_workloads.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attributes import BasisEncoding
+
+
+@pytest.fixture(scope="session")
+def pubcrawl_case():
+    from repro.workloads import pubcrawl
+
+    return pubcrawl()
+
+
+@pytest.fixture(scope="session")
+def example51_case():
+    from repro.workloads import example_5_1
+
+    fixture = example_5_1()
+    return fixture, BasisEncoding(fixture.root)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Example 5.1 of the paper, replayed step by step (Figures 3 and 4).
+
+Runs Algorithm 5.1 on the exact input of the paper's Example 5.1 and
+prints every intermediate state in the paper's own layout, followed by a
+few membership queries against the final dependency basis.
+
+Run:  python examples/algorithm_trace.py
+"""
+
+from repro import Schema
+from repro.workloads import example_5_1
+
+fixture = example_5_1()
+schema = Schema(fixture.root)
+
+print("N =", schema.show(schema.root))
+print("Σ:")
+print(fixture.sigma.display())
+print("X =", fixture.x_text)
+print()
+
+# ---------------------------------------------------------------------------
+# The full trace (Figure 3 = the initialisation block; Figure 4 = final)
+# ---------------------------------------------------------------------------
+trace = schema.trace(fixture.sigma, fixture.x())
+print(trace.render())
+print()
+
+# ---------------------------------------------------------------------------
+# Membership queries against the computed dependency basis
+# ---------------------------------------------------------------------------
+result = schema.analyse(fixture.sigma, fixture.x())
+print("membership queries for X =", fixture.x_text)
+queries = [
+    ("FD ", "L1(L7(F, L8[L9(L10[H])])) -> L1(L2[L3[L4(A)]])"),
+    ("FD ", "L1(L7(F, L8[L9(L10[H])])) -> L1(L2[L3[L4(B)]])"),
+    ("MVD", "L1(L7(F, L8[L9(L10[H])])) ->> L1(L5[L6(D)])"),
+    ("MVD", "L1(L7(F, L8[L9(L10[H])])) ->> L1(L2[L3[L4(B)]], L5[L6(D)])"),
+    ("MVD", "L1(L7(F, L8[L9(L10[H])])) ->> L1(L2[L3[L4(C)]])"),
+]
+sigma = fixture.sigma
+for kind, text in queries:
+    verdict = "implied" if schema.implies(sigma, text) else "not implied"
+    print(f"  [{kind}] {verdict:12}  {text}")
+print()
+print(f"(the algorithm stabilised after {result.passes} passes; the paper")
+print(" reports the same states: one effective step in pass 1, two in")
+print(" pass 2, and a quiet pass 3)")

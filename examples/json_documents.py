@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Semi-structured documents: JSON in, dependency reasoning out.
+
+The paper motivates list types with XML and semi-structured data (§1.3).
+This example plays the full tooling loop on a playlist service whose
+documents arrive as JSON: decode them against a nested schema, check
+integrity constraints, mine what else must hold, and persist the whole
+reasoning session as a problem file that the test suite (or a colleague)
+can replay.
+
+Run:  python examples/json_documents.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import Schema
+from repro.io import Problem, dump_problem, instance_from_json, load_problem
+
+# ---------------------------------------------------------------------------
+# 1. The document schema: a playlist is an ORDERED list of track entries
+# ---------------------------------------------------------------------------
+schema = Schema("Playlist(User, Name, Tracks[Track(Song, Artist)])")
+print("schema:", schema)
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Documents, as they arrive over the wire
+# ---------------------------------------------------------------------------
+documents = json.loads("""
+[
+  {"User": "ana", "Name": "focus",
+   "Tracks": [{"Song": "Weightless", "Artist": "Marconi Union"},
+              {"Song": "Avril 14th", "Artist": "Aphex Twin"}]},
+  {"User": "ana", "Name": "gym",
+   "Tracks": [{"Song": "Escape Velocity", "Artist": "The Chemical Brothers"}]},
+  {"User": "bo", "Name": "focus",
+   "Tracks": [{"Song": "Weightless", "Artist": "Marconi Union"},
+              {"Song": "Avril 14th", "Artist": "Aphex Twin"}]}
+]
+""")
+r = instance_from_json(schema.root, documents)
+print(f"decoded {len(r)} playlist documents")
+print()
+
+# ---------------------------------------------------------------------------
+# 3. Integrity constraints and what the data says
+# ---------------------------------------------------------------------------
+sigma = schema.dependencies(
+    # A (user, name) pair identifies the playlist content.
+    "Playlist(User, Name) -> Playlist(Tracks[Track(Song, Artist)])",
+    # A song title pins down its artist, inside every list position.
+    "Playlist(Tracks[Track(Song)]) -> Playlist(Tracks[Track(Artist)])",
+)
+print("Σ:")
+print(sigma.display())
+print("documents satisfy Σ?", schema.satisfies_all(r, sigma))
+print()
+
+queries = [
+    # Key-ish consequences:
+    "Playlist(User, Name) -> Playlist(Tracks[λ])",       # length fixed
+    "Playlist(User, Name) -> Playlist(Tracks[Track(Artist)])",
+    # The song sequence alone does NOT identify the playlist owner:
+    "Playlist(Tracks[Track(Song)]) -> Playlist(User)",
+]
+for text in queries:
+    verdict = "implied" if schema.implies(sigma, text) else "not implied"
+    print(f"  {verdict:12}  {text}")
+print()
+
+print("candidate keys:")
+for key in schema.candidate_keys(sigma):
+    print("   ", schema.show(key))
+print()
+
+# ---------------------------------------------------------------------------
+# 4. Persist and replay the session
+# ---------------------------------------------------------------------------
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "playlists.json"
+    dump_problem(path, Problem(schema, sigma, r))
+    print(f"problem file written ({path.stat().st_size} bytes); reloading…")
+
+    replayed = load_problem(path)
+    assert replayed.schema.root == schema.root
+    assert replayed.instance == r
+    print(
+        "replayed verdict identical:",
+        replayed.schema.satisfies_all(replayed.instance, replayed.sigma)
+        == schema.satisfies_all(r, sigma),
+    )
+print()
+print("The same checks are available from the shell:")
+print('  python -m repro implies --schema "Playlist(...)" -d "..." "QUERY"')

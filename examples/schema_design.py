@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Automated schema design: equivalence, redundancy, normalisation.
+
+The paper motivates the membership algorithm as "a significant step
+towards automated database schema design" (§1.3): deciding equivalence of
+dependency sets and eliminating redundant dependencies.  This example
+plays a small design session for an XML-ish course-catalogue store —
+ordered data everywhere (lecture sequences, reading lists) — and drives
+every design decision through the algorithm.
+
+Run:  python examples/schema_design.py
+"""
+
+from repro import Schema
+from repro.core import is_redundant
+
+# ---------------------------------------------------------------------------
+# 1. The document schema: a course with ordered lectures and readings
+# ---------------------------------------------------------------------------
+schema = Schema(
+    "Course(Code, Title, Lectures[Lecture(Topic, Room)], Readings[Ref])"
+)
+print("schema:", schema)
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Two analysts wrote down "the same" constraints differently
+# ---------------------------------------------------------------------------
+analyst_a = schema.dependencies(
+    "Course(Code) -> Course(Title)",
+    "Course(Code) -> Course(Lectures[Lecture(Topic, Room)])",
+    "Course(Code) ->> Course(Readings[Ref])",
+)
+analyst_b = schema.dependencies(
+    "Course(Code) -> Course(Title, Lectures[Lecture(Topic)])",
+    "Course(Code) -> Course(Lectures[Lecture(Room)])",
+    # B stated the complement side of the same independence:
+    "Course(Code) ->> Course(Title, Lectures[Lecture(Topic, Room)])",
+)
+print("analyst A:")
+print(analyst_a.display())
+print("analyst B:")
+print(analyst_b.display())
+print()
+print("equivalent?", schema.equivalent(analyst_a, analyst_b))
+print()
+
+# ---------------------------------------------------------------------------
+# 3. Redundancy elimination on the merged set
+# ---------------------------------------------------------------------------
+merged = analyst_a.union(analyst_b)
+print(f"merged set: {len(merged)} dependencies")
+for dependency in merged:
+    flag = "redundant" if is_redundant(merged, dependency) else "needed   "
+    print(f"  {flag}  {dependency.display(schema.root)}")
+cover = schema.minimal_cover(merged)
+print(f"minimal cover: {len(cover)} dependencies")
+print(cover.display())
+print()
+
+# ---------------------------------------------------------------------------
+# 4. Subtle consequences the algorithm finds for free
+# ---------------------------------------------------------------------------
+consequences = [
+    # The code fixes the number of lectures (through the FD)...
+    "Course(Code) -> Course(Lectures[λ])",
+    # ...and the number of readings (mixed meet on the MVD)!
+    "Course(Code) -> Course(Readings[λ])",
+    # But never the reading references themselves:
+    "Course(Code) -> Course(Readings[Ref])",
+]
+for text in consequences:
+    verdict = "implied" if schema.implies(cover, text) else "not implied"
+    print(f"  {verdict:12}  {text}")
+print()
+
+# ---------------------------------------------------------------------------
+# 5. Normalise
+# ---------------------------------------------------------------------------
+print("candidate keys:")
+for key in schema.candidate_keys(cover):
+    print("   ", schema.show(key))
+print("in 4NF?", schema.is_in_4nf(cover))
+decomposition = schema.decompose(cover)
+print(decomposition.describe())
+print()
+
+# ---------------------------------------------------------------------------
+# 6. Verify the decomposition on data
+# ---------------------------------------------------------------------------
+from repro.values import generalised_join, project_instance  # noqa: E402
+from repro.attributes import join as attr_join  # noqa: E402
+
+r = schema.instance(
+    [
+        ("DB101", "Databases", (("Models", "R1"), ("SQL", "R2")), ("Codd70",)),
+        ("DB101", "Databases", (("Models", "R1"), ("SQL", "R2")), ("Fagin77",)),
+        ("TH200", "Theory", (("Logic", "R3"),), ("Armstrong74",)),
+    ]
+)
+print("instance satisfies the cover?", schema.satisfies_all(r, cover))
+components = list(decomposition.components)
+current_attr, current = components[0], project_instance(schema.root, components[0], r)
+for component in components[1:]:
+    projection = project_instance(schema.root, component, r)
+    current = generalised_join(schema.root, current_attr, component, current, projection)
+    current_attr = attr_join(schema.root, current_attr, component)
+print("re-joined equals the original?", current == r)

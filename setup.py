@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` requires `bdist_wheel` under PEP 517; when that is
+unavailable, `python setup.py develop` installs an equivalent editable
+link using only setuptools.
+"""
+from setuptools import setup
+
+setup()

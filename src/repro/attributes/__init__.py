@@ -1,0 +1,75 @@
+"""Nested-attribute algebra: types, subattributes, Brouwerian operations.
+
+This package implements Section 3 of the paper: the nested-attribute data
+model (base/record/list types), the subattribute partial order, the
+Brouwerian algebra of ``Sub(N)``, the subattribute basis used by the
+membership algorithm, and the supporting parser/printer for the paper's
+notation.
+"""
+
+from .nested import NULL, Flat, ListAttr, NestedAttribute, Null, Record, flat, list_of, record
+from .subattribute import (
+    bottom,
+    count_subattributes,
+    covers,
+    is_bottom,
+    is_subattribute,
+    proper_subattributes,
+    subattributes,
+)
+from .lattice import (
+    complement,
+    double_complement,
+    join,
+    join_all,
+    meet,
+    meet_all,
+    pseudo_difference,
+)
+from .basis import (
+    basis,
+    basis_of_element,
+    basis_size,
+    is_possessed_by,
+    is_possessed_by_definition,
+    maximal_basis,
+    non_maximal_basis,
+)
+from .encoding import BasisEncoding, iter_bits
+from .order import (
+    atoms,
+    coatoms,
+    interval,
+    lower_covers,
+    maximal_chain,
+    rank,
+    upper_covers,
+)
+from .parser import parse_attribute, parse_subattribute, resolve_subattribute
+from .printer import unparse, unparse_abbreviated
+from .universe import DEFAULT_UNIVERSE, Domain, EnumeratedDomain, IntegerDomain, Universe
+
+__all__ = [
+    # nested
+    "NestedAttribute", "Null", "NULL", "Flat", "Record", "ListAttr",
+    "flat", "record", "list_of",
+    # subattribute
+    "is_subattribute", "bottom", "is_bottom", "subattributes",
+    "proper_subattributes", "count_subattributes", "covers",
+    # lattice
+    "join", "meet", "pseudo_difference", "complement", "double_complement",
+    "join_all", "meet_all",
+    # basis
+    "basis", "basis_size", "basis_of_element", "maximal_basis",
+    "non_maximal_basis", "is_possessed_by", "is_possessed_by_definition",
+    # encoding
+    "BasisEncoding", "iter_bits",
+    # order utilities
+    "rank", "upper_covers", "lower_covers", "atoms", "coatoms",
+    "interval", "maximal_chain",
+    # parser / printer
+    "parse_attribute", "parse_subattribute", "resolve_subattribute",
+    "unparse", "unparse_abbreviated",
+    # universe
+    "Universe", "Domain", "IntegerDomain", "EnumeratedDomain", "DEFAULT_UNIVERSE",
+]

@@ -1,0 +1,244 @@
+"""Subattribute basis ``SubB(N)``, maximality and possession (Section 4.2).
+
+Definition 4.7: the *subattribute basis* ``SubB(N)`` is the smallest subset
+of ``Sub(N)`` such that every ``X ∈ Sub(N)`` is the join of some subset of
+``SubB(N)``.  Order-theoretically these are exactly the *join-irreducible*
+elements of the (finite, distributive) lattice ``Sub(N)``; by Birkhoff's
+representation theorem ``Sub(N)`` is isomorphic to the lattice of
+down-closed subsets of ``SubB(N)`` — which is what the fast encoding in
+:mod:`repro.attributes.encoding` exploits and what the paper's Section 6
+complexity analysis assumes ("we consider nested attributes as sets of
+attributes, i.e. instead of looking at N we rather use SubB(N)").
+
+Structure of the basis (matching the ``Sub``-structure theorem):
+
+* ``SubB(λ) = ∅``,
+* ``SubB(A) = {A}`` for a flat attribute ``A``,
+* ``SubB(L(N₁,…,Nₖ))`` embeds each ``SubB(Nᵢ)`` with all other
+  components at their bottom,
+* ``SubB(L[P]) = {L[λ_P]} ∪ {L[J] | J ∈ SubB(P)}`` — the *new minimum*
+  of the lifted lattice (carrying the list's length information) plus the
+  lifted basis of the element type.
+
+A basis attribute ``Y`` is *maximal* iff it is below no other basis
+attribute; equivalently ``Y = Y^CC`` (non-maximal iff ``Y = Y ⊓ Y^C``).
+The paper writes ``MaxB(N)`` / ``non-MaxB(N)`` for the split, and defines
+``|N| = |SubB(N)|`` as the size measure of the complexity analysis.
+
+Definition 4.11: for ``X`` a join of maximal basis attributes, a basis
+attribute ``Y ∈ SubB(X)`` is *possessed* by ``X`` iff every basis attribute
+``Z ∈ SubB(N)`` with ``Y ≤ Z`` satisfies ``Z ≤ X``.  Section 6 notes the
+working characterisation ``Y ∈ SubB(X) ∧ Y ∉ SubB(X^C)`` which the
+algorithm uses; both are implemented and tested for agreement.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator
+
+from .lattice import complement
+from .nested import Flat, ListAttr, NestedAttribute, Null, Record
+from .subattribute import bottom, is_subattribute
+
+__all__ = [
+    "basis",
+    "basis_poset",
+    "basis_size",
+    "basis_of_element",
+    "maximal_basis",
+    "non_maximal_basis",
+    "is_possessed_by",
+    "is_possessed_by_definition",
+]
+
+
+@lru_cache(maxsize=None)
+def basis(attribute: NestedAttribute) -> tuple[NestedAttribute, ...]:
+    """``SubB(N)`` as a deterministic tuple of join-irreducibles.
+
+    The order is "structural": record components left to right; within a
+    list, the new minimum ``L[λ_P]`` first, then the lifted element basis.
+
+    Example (paper Example 4.8)
+    ---------------------------
+    >>> from repro.attributes import parse_attribute as p, unparse_abbreviated
+    >>> root = p("A(B, C[D(E, F[G])])")
+    >>> [unparse_abbreviated(b, root) for b in basis(root)]
+    ... # doctest: +NORMALIZE_WHITESPACE
+    ['A(B)', 'A(C[λ])', 'A(C[D(E)])', 'A(C[D(F[λ])])', 'A(C[D(F[G])])']
+    """
+    return tuple(_basis(attribute))
+
+
+def _basis(attribute: NestedAttribute) -> Iterator[NestedAttribute]:
+    if isinstance(attribute, Null):
+        return
+    if isinstance(attribute, Flat):
+        yield attribute
+        return
+    if isinstance(attribute, ListAttr):
+        yield ListAttr(attribute.label, bottom(attribute.element))
+        for element_irreducible in _basis(attribute.element):
+            yield ListAttr(attribute.label, element_irreducible)
+        return
+    if isinstance(attribute, Record):
+        bottoms = [bottom(component) for component in attribute.components]
+        for index, component in enumerate(attribute.components):
+            for component_irreducible in _basis(component):
+                embedded = list(bottoms)
+                embedded[index] = component_irreducible
+                yield Record(attribute.label, tuple(embedded))
+        return
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+@lru_cache(maxsize=None)
+def basis_size(attribute: NestedAttribute) -> int:
+    """``|N| = |SubB(N)|`` — the paper's size measure (Section 6).
+
+    Computed by the counting recurrence, without materialising the basis:
+    ``|λ| = 0``, ``|A| = 1``, ``|L[P]| = 1 + |P|``,
+    ``|L(N₁,…,Nₖ)| = Σ|Nᵢ|``.
+    """
+    if isinstance(attribute, Null):
+        return 0
+    if isinstance(attribute, Flat):
+        return 1
+    if isinstance(attribute, ListAttr):
+        return 1 + basis_size(attribute.element)
+    if isinstance(attribute, Record):
+        return sum(basis_size(component) for component in attribute.components)
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def basis_of_element(root: NestedAttribute, element: NestedAttribute) -> tuple[NestedAttribute, ...]:
+    """``SubB(X) = {J ∈ SubB(root) | J ≤ X}`` for ``X ∈ Sub(root)``.
+
+    Every element is the join of its basis: ``X = ⊔ SubB(X)`` (with the
+    empty join being ``λ_root``, which is why ``λ ∉ SubB(N)``).
+    """
+    return tuple(j for j in basis(root) if is_subattribute(j, element))
+
+
+@lru_cache(maxsize=None)
+def maximal_basis(root: NestedAttribute) -> tuple[NestedAttribute, ...]:
+    """``MaxB(root)``: basis attributes below no other basis attribute."""
+    all_basis = basis(root)
+    return tuple(
+        candidate
+        for candidate in all_basis
+        if not any(
+            candidate != other and is_subattribute(candidate, other) for other in all_basis
+        )
+    )
+
+
+@lru_cache(maxsize=None)
+def non_maximal_basis(root: NestedAttribute) -> tuple[NestedAttribute, ...]:
+    """``non-MaxB(root)``: the basis attributes that are not maximal."""
+    maximal = set(maximal_basis(root))
+    return tuple(candidate for candidate in basis(root) if candidate not in maximal)
+
+
+def is_possessed_by(
+    root: NestedAttribute, basis_attribute: NestedAttribute, element: NestedAttribute
+) -> bool:
+    """Possession test via the Section 6 characterisation.
+
+    ``basis_attribute`` is possessed by ``element`` iff it is in
+    ``SubB(element)`` but *not* in ``SubB(element^C)`` — i.e. the element
+    "owns" it outright rather than sharing it with the complement.
+    """
+    if not is_subattribute(basis_attribute, element):
+        return False
+    return not is_subattribute(basis_attribute, complement(root, element))
+
+
+def is_possessed_by_definition(
+    root: NestedAttribute, basis_attribute: NestedAttribute, element: NestedAttribute
+) -> bool:
+    """Possession test straight from Definition 4.11 (quantified form).
+
+    ``Y`` possessed by ``X`` iff every ``Z ∈ SubB(root)`` with ``Y ≤ Z``
+    satisfies ``Z ≤ X``.  Kept as the executable specification against
+    which :func:`is_possessed_by` is property-tested.
+    """
+    if not is_subattribute(basis_attribute, element):
+        return False
+    return all(
+        is_subattribute(other, element)
+        for other in basis(root)
+        if is_subattribute(basis_attribute, other)
+    )
+
+
+_POSET_CACHE: dict[NestedAttribute, tuple] = {}
+
+
+def basis_poset(attribute: NestedAttribute) -> tuple[tuple[NestedAttribute, ...],
+                                                     tuple[int, ...]]:
+    """``SubB(N)`` together with its order, built structurally.
+
+    Returns ``(basis, below)`` where ``below[i]`` is the *bitmask* of the
+    indices ``j`` with ``basis[j] ≤ basis[i]`` (including ``i``).  The
+    order never needs pairwise ``≤`` tests: within a record, basis
+    attributes of different components are incomparable (masks shift by
+    the component offset); within a list, the new minimum ``L[λ_P]`` sits
+    below every lifted element (``mask → (mask << 1) | 1``).  This is what
+    lets :class:`~repro.attributes.encoding.BasisEncoding` handle
+    three-digit basis sizes in milliseconds.
+
+    Iterative (explicit post-order stack), so nesting depth is bounded by
+    memory, not the interpreter's recursion limit.
+    """
+    if attribute in _POSET_CACHE:
+        return _POSET_CACHE[attribute]
+
+    # Two-phase post-order: a node is built only after its (possibly
+    # SHARED — equal subterms may occur under several parents) children
+    # are cached.  A naive reversed pre-order breaks exactly on sharing.
+    stack: list[tuple[NestedAttribute, bool]] = [(attribute, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node in _POSET_CACHE:
+            continue
+        if expanded:
+            _POSET_CACHE[node] = _build_poset_node(node)
+            continue
+        stack.append((node, True))
+        for child in node.children():
+            if child not in _POSET_CACHE:
+                stack.append((child, False))
+    return _POSET_CACHE[attribute]
+
+
+def _build_poset_node(attribute: NestedAttribute) -> tuple:
+    """One constructor step of :func:`basis_poset` (children cached)."""
+    if isinstance(attribute, Null):
+        return ((), ())
+    if isinstance(attribute, Flat):
+        return ((attribute,), (1,))
+    if isinstance(attribute, ListAttr):
+        inner_basis, inner_below = _POSET_CACHE[attribute.element]
+        lifted = tuple(
+            ListAttr(attribute.label, element) for element in inner_basis
+        )
+        elements = (ListAttr(attribute.label, bottom(attribute.element)),) + lifted
+        below = (1,) + tuple((mask << 1) | 1 for mask in inner_below)
+        return (elements, below)
+    if isinstance(attribute, Record):
+        bottoms = [bottom(component) for component in attribute.components]
+        elements: list[NestedAttribute] = []
+        below: list[int] = []
+        offset = 0
+        for index, component in enumerate(attribute.components):
+            inner_basis, inner_below = _POSET_CACHE[component]
+            for irreducible, its_below in zip(inner_basis, inner_below):
+                embedded = list(bottoms)
+                embedded[index] = irreducible
+                elements.append(Record(attribute.label, tuple(embedded)))
+                below.append(its_below << offset)
+            offset += len(inner_basis)
+        return (tuple(elements), tuple(below))
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover

@@ -1,0 +1,294 @@
+"""Bitmask (Birkhoff) encoding of ``Sub(N)`` — the polynomial workhorse.
+
+Section 6 of the paper analyses Algorithm 5.1 under the convention that a
+nested attribute is handled "as a set of attributes, i.e. instead of
+looking at N we rather use SubB(N)".  This module makes that precise:
+
+Since ``Sub(N)`` is a finite *distributive* lattice (every Brouwerian
+algebra is distributive, Section 3.3), Birkhoff's representation theorem
+identifies each element ``X ∈ Sub(N)`` with the down-closed set
+``SubB(X) = {J ∈ SubB(N) | J ≤ X}`` of join-irreducible basis attributes
+below it.  Encoding that set as an ``int`` bitmask over a fixed indexing of
+``SubB(N)`` gives:
+
+========================  =============================================
+operation                 bitmask realisation
+========================  =============================================
+``X ≤ Y``                 subset test ``x & ~y == 0``
+``X ⊔ Y``                 ``x | y``  (paper: ``SubB(X⊔Y)=SubB(X)∪SubB(Y)``)
+``X ⊓ Y``                 ``x & y``  (paper: ``SubB(X⊓Y)=SubB(X)∩SubB(Y)``)
+``X ∸ Y``                 down-closure of ``x & ~y``  (paper's §6 snippet)
+``X^C``                   ``N ∸ X``
+``X^CC``                  down-closure of the basis attributes
+                          *possessed* by ``X``
+``λ_N``                   ``0``
+========================  =============================================
+
+Possession (Definition 4.11 via the §6 characterisation): basis attribute
+``i`` is possessed by ``X`` iff every basis attribute above ``i`` lies in
+``SubB(X)``, i.e. ``above[i] & ~x == 0``.
+
+The encoding is cross-checked against the structural implementation in
+:mod:`repro.attributes.lattice` by property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .basis import basis_poset
+from .nested import NestedAttribute
+from .subattribute import bottom, is_subattribute, subattributes
+from ..exceptions import NotAnElementError
+
+__all__ = ["BasisEncoding", "iter_bits"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BasisEncoding:
+    """The bitmask-encoded subattribute lattice of a fixed root ``N``.
+
+    Parameters
+    ----------
+    root:
+        The nested attribute whose ``Sub(root)`` is being encoded.
+
+    Attributes
+    ----------
+    root:
+        The root attribute ``N``.
+    basis:
+        ``SubB(N)`` as an indexed tuple; bit ``i`` of a mask stands for
+        ``basis[i]``.
+    size:
+        ``|N| = |SubB(N)|``, the paper's complexity size measure.
+    full:
+        The mask of ``N`` itself (all bits set).
+    below / above:
+        Per-index masks of the basis attributes ``≤`` / ``≥`` the indexed
+        one (both include the index itself).
+    maximal:
+        Mask of the maximal basis attributes ``MaxB(N)``.
+    """
+
+    __slots__ = (
+        "root",
+        "basis",
+        "size",
+        "full",
+        "below",
+        "above",
+        "maximal",
+        "_index",
+        "_encode_cache",
+        "_decode_cache",
+        "_possessed_cache",
+    )
+
+    def __init__(self, root: NestedAttribute) -> None:
+        self.root = root
+        basis_elements, below_lists = basis_poset(root)
+        self.basis: tuple[NestedAttribute, ...] = basis_elements
+        self.size = len(self.basis)
+        self.full = (1 << self.size) - 1
+        self._index = {attribute: i for i, attribute in enumerate(self.basis)}
+
+        # The order comes structurally from basis_poset — no pairwise
+        # ≤ tests, so construction stays cheap at three-digit |N|.
+        self.below = tuple(below_lists)
+        above = [0] * self.size
+        for j, mask in enumerate(self.below):
+            bit = 1 << j
+            for i in iter_bits(mask):
+                above[i] |= bit
+        self.above = tuple(above)
+
+        maximal = 0
+        for i in range(self.size):
+            if self.above[i] == 1 << i:
+                maximal |= 1 << i
+        self.maximal = maximal
+
+        self._encode_cache: dict[NestedAttribute, int] = {root: self.full}
+        self._decode_cache: dict[int, NestedAttribute] = {
+            self.full: root,
+            0: bottom(root),
+        }
+        self._possessed_cache: dict[int, int] = {}
+
+    # -- conversions -----------------------------------------------------
+
+    def encode(self, element: NestedAttribute) -> int:
+        """Mask of ``SubB(element)`` for ``element ∈ Sub(root)``.
+
+        Raises
+        ------
+        NotAnElementError
+            If ``element`` is not a subattribute of ``root``.
+        """
+        cached = self._encode_cache.get(element)
+        if cached is not None:
+            return cached
+        if not is_subattribute(element, self.root):
+            raise NotAnElementError(f"{element} is not a subattribute of {self.root}")
+        mask = 0
+        for i, candidate in enumerate(self.basis):
+            if is_subattribute(candidate, element):
+                mask |= 1 << i
+        self._encode_cache[element] = mask
+        return mask
+
+    def decode(self, mask: int) -> NestedAttribute:
+        """The element of ``Sub(root)`` whose basis set is ``mask``.
+
+        ``mask`` must be down-closed (every down-closed mask denotes an
+        element, by Birkhoff's theorem); non-down-closed masks are
+        rejected to catch encoding bugs early.
+        """
+        cached = self._decode_cache.get(mask)
+        if cached is not None:
+            return cached
+        if not self.is_downclosed(mask):
+            raise NotAnElementError(f"mask {mask:#x} is not down-closed in Sub({self.root})")
+        from .lattice import join_all  # local import to avoid cycle at import time
+
+        generators = [self.basis[i] for i in iter_bits(self.generators(mask))]
+        element = join_all(self.root, generators)
+        self._decode_cache[mask] = element
+        self._encode_cache[element] = mask
+        return element
+
+    def index_of(self, basis_attribute: NestedAttribute) -> int:
+        """The bit index of a basis attribute."""
+        try:
+            return self._index[basis_attribute]
+        except KeyError:
+            raise NotAnElementError(
+                f"{basis_attribute} is not a basis attribute of {self.root}"
+            ) from None
+
+    def principal(self, index: int) -> int:
+        """The mask of the basis attribute ``basis[index]`` *as an element*
+        (its principal ideal ``below[index]``)."""
+        return self.below[index]
+
+    # -- mask structure ----------------------------------------------------
+
+    def down_close(self, generator_mask: int) -> int:
+        """Down-closure: union of ``below[i]`` over the set bits."""
+        result = 0
+        remaining = generator_mask & ~result
+        while remaining:
+            low = remaining & -remaining
+            result |= self.below[low.bit_length() - 1]
+            remaining = generator_mask & ~result
+        return result
+
+    def is_downclosed(self, mask: int) -> bool:
+        """Whether ``mask`` denotes an element (is a down-set)."""
+        if mask & ~self.full:
+            return False
+        for i in iter_bits(mask):
+            if self.below[i] & ~mask:
+                return False
+        return True
+
+    def generators(self, mask: int) -> int:
+        """The maximal bits of ``mask`` (minimal generator set)."""
+        result = 0
+        for i in iter_bits(mask):
+            if self.above[i] & mask == 1 << i:
+                result |= 1 << i
+        return result
+
+    # -- Brouwerian operations on masks -----------------------------------
+
+    @staticmethod
+    def join(left: int, right: int) -> int:
+        """``X ⊔ Y`` — union of basis sets."""
+        return left | right
+
+    @staticmethod
+    def meet(left: int, right: int) -> int:
+        """``X ⊓ Y`` — intersection of basis sets."""
+        return left & right
+
+    @staticmethod
+    def le(left: int, right: int) -> bool:
+        """``X ≤ Y`` — subset of basis sets."""
+        return left & ~right == 0
+
+    def pseudo_difference(self, left: int, right: int) -> int:
+        """``X ∸ Y`` — the paper's §6 quadratic-time set recipe.
+
+        Remove ``SubB(Y)`` from ``SubB(X)``, then down-close the survivors
+        (every ``A`` kept pulls all of ``SubB(A)`` back in).
+        """
+        return self.down_close(left & ~right)
+
+    def complement(self, mask: int) -> int:
+        """``X^C = N ∸ X``."""
+        return self.down_close(self.full & ~mask)
+
+    def double_complement(self, mask: int) -> int:
+        """``X^CC`` — down-closure of the basis attributes possessed by X.
+
+        A basis attribute is possessed by ``X`` iff everything above it is
+        in ``SubB(X)``; the double complement keeps exactly the possessed
+        part, which equals the join of the maximal basis attributes of X.
+        """
+        return self.down_close(self.possessed(mask))
+
+    def possessed(self, mask: int) -> int:
+        """Mask of the basis attributes *possessed* by the element ``mask``.
+
+        Definition 4.11 / §6: ``i`` possessed iff ``i ∈ SubB(X)`` and
+        ``i ∉ SubB(X^C)``, equivalently iff ``above[i] ⊆ SubB(X)``.
+        Memoised: Algorithm 5.1 queries the same blocks on every pass.
+        """
+        cached = self._possessed_cache.get(mask)
+        if cached is not None:
+            return cached
+        result = 0
+        for i in iter_bits(mask):
+            if self.above[i] & ~mask == 0:
+                result |= 1 << i
+        self._possessed_cache[mask] = result
+        return result
+
+    def maximal_of(self, mask: int) -> int:
+        """``MaxB(X)``: the maximal-in-N basis attributes below ``X``."""
+        return mask & self.maximal
+
+    # -- enumeration (test support; exponential for wide records) ---------
+
+    def all_elements(self) -> Iterator[int]:
+        """Enumerate the masks of every element of ``Sub(root)``.
+
+        Exponential in the number of record components — intended for the
+        small roots used in tests and examples.
+        """
+        for element in subattributes(self.root):
+            yield self.encode(element)
+
+    def decode_all(self, masks: Iterable[int]) -> tuple[NestedAttribute, ...]:
+        """Decode a collection of masks, preserving iteration order."""
+        return tuple(self.decode(mask) for mask in masks)
+
+    # -- display -----------------------------------------------------------
+
+    def describe(self, mask: int) -> str:
+        """Human-readable form of an element mask (paper notation)."""
+        from .printer import unparse_abbreviated
+
+        return unparse_abbreviated(self.decode(mask), self.root)
+
+    def __repr__(self) -> str:
+        return f"BasisEncoding(root={self.root}, size={self.size})"

@@ -1,0 +1,221 @@
+"""Structural Brouwerian-algebra operations on ``Sub(N)`` (Section 3.3).
+
+Theorem 3.9 of the paper: ``(Sub(N), ≤, ⊔_N, ⊓_N, ∸_N, N)`` is a
+*Brouwerian algebra* (co-Heyting algebra) for every nested attribute ``N``
+— the generalisation of the Boolean powerset algebra of a relation schema.
+This module implements the operations by direct recursion on the structure
+of ``N``, exactly following Definition 3.8:
+
+* ``Y ⊔ Z = Z`` iff ``Y ≤ Z``; for records componentwise; for lists
+  ``L[A] ⊔ L[B] = L[A ⊔ B]``;
+* ``Y ⊓ Z`` dually;
+* the pseudo-difference ``Z ∸ Y`` is the least ``X`` with ``Z ≤ Y ⊔ X``
+  (adjunction); ``Z ∸ λ_N = Z`` and ``Z ∸ Y = λ_N`` iff ``Z ≤ Y``; for
+  records componentwise, for lists ``L[B] ∸ L[A] = L[B ∸ A]`` when
+  ``L[B] ≰ L[A]``;
+* the Brouwerian complement is ``Y^C = N ∸ Y``.
+
+The algebra is distributive but in general *not* Boolean: for ``N = L[A]``
+and ``Y = L[λ]`` one has ``Y^C = N`` and ``Y ⊓ Y^C = Y ≠ λ`` and
+``Y^CC = λ ≠ Y`` (the paper's running counterexample).
+
+This structural implementation is the readable reference semantics; the
+membership algorithm uses the equivalent (property-tested) polynomial
+bitmask encoding from :mod:`repro.attributes.encoding`.
+
+All binary operations require both operands to lie in ``Sub(N)`` for a
+common root ``N``; functions take the root explicitly because the correct
+result of ``∸`` and bottoms depend on it (e.g. ``λ_N`` is a record of
+bottoms when ``N`` is record-valued).
+"""
+
+from __future__ import annotations
+
+from .nested import ListAttr, NestedAttribute, Record
+from .subattribute import bottom, is_subattribute
+from ..exceptions import NotAnElementError
+
+__all__ = [
+    "join",
+    "meet",
+    "pseudo_difference",
+    "complement",
+    "double_complement",
+    "join_all",
+    "meet_all",
+]
+
+
+def _require_element(root: NestedAttribute, candidate: NestedAttribute) -> None:
+    if not is_subattribute(candidate, root):
+        raise NotAnElementError(f"{candidate} is not a subattribute of {root}")
+
+
+def join(root: NestedAttribute, left: NestedAttribute, right: NestedAttribute) -> NestedAttribute:
+    """The join ``left ⊔ right`` in ``Sub(root)`` (Definition 3.8).
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute as p
+    >>> root = p("Drink(Beer, Pub)")
+    >>> str(join(root, p("Drink(Beer, λ)"), p("Drink(λ, Pub)")))
+    'Drink(Beer, Pub)'
+    """
+    _require_element(root, left)
+    _require_element(root, right)
+    return _join(root, left, right)
+
+
+def _join(root: NestedAttribute, left: NestedAttribute, right: NestedAttribute) -> NestedAttribute:
+    if is_subattribute(left, right):
+        return right
+    if is_subattribute(right, left):
+        return left
+    if isinstance(root, Record):
+        # Both operands are records with the same label/arity here: neither
+        # is comparable to the other, and λ is not below a record.
+        assert isinstance(left, Record) and isinstance(right, Record)
+        return Record(
+            root.label,
+            tuple(
+                _join(component_root, l, r)
+                for component_root, l, r in zip(root.components, left.components, right.components)
+            ),
+        )
+    if isinstance(root, ListAttr):
+        # Incomparable elements of Sub(L[P]) are both lifted: L[A], L[B].
+        assert isinstance(left, ListAttr) and isinstance(right, ListAttr)
+        return ListAttr(root.label, _join(root.element, left.element, right.element))
+    raise AssertionError(  # pragma: no cover - flat/null always comparable
+        f"incomparable elements {left} and {right} under flat/null root {root}"
+    )
+
+
+def meet(root: NestedAttribute, left: NestedAttribute, right: NestedAttribute) -> NestedAttribute:
+    """The meet ``left ⊓ right`` in ``Sub(root)`` (Definition 3.8).
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute as p, unparse_abbreviated
+    >>> root = p("V[D(B, P)]")
+    >>> unparse_abbreviated(meet(root, p("V[D(B, λ)]"), p("V[D(λ, P)]")), root)
+    'V[λ]'
+    """
+    _require_element(root, left)
+    _require_element(root, right)
+    return _meet(root, left, right)
+
+
+def _meet(root: NestedAttribute, left: NestedAttribute, right: NestedAttribute) -> NestedAttribute:
+    if is_subattribute(left, right):
+        return left
+    if is_subattribute(right, left):
+        return right
+    if isinstance(root, Record):
+        assert isinstance(left, Record) and isinstance(right, Record)
+        return Record(
+            root.label,
+            tuple(
+                _meet(component_root, l, r)
+                for component_root, l, r in zip(root.components, left.components, right.components)
+            ),
+        )
+    if isinstance(root, ListAttr):
+        assert isinstance(left, ListAttr) and isinstance(right, ListAttr)
+        return ListAttr(root.label, _meet(root.element, left.element, right.element))
+    raise AssertionError(  # pragma: no cover
+        f"incomparable elements {left} and {right} under flat/null root {root}"
+    )
+
+
+def pseudo_difference(
+    root: NestedAttribute, left: NestedAttribute, right: NestedAttribute
+) -> NestedAttribute:
+    """The pseudo-difference ``left ∸ right`` in ``Sub(root)``.
+
+    Characterised by the adjunction (Section 3.3): for all ``X ∈ Sub(root)``
+
+        ``left ∸ right ≤ X``  if and only if  ``left ≤ right ⊔ X``.
+
+    In the relational special case this is ordinary set difference.
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute as p
+    >>> root = p("L[A]")
+    >>> str(pseudo_difference(root, p("L[A]"), p("L[λ]")))
+    'L[A]'
+
+    (the paper's non-Boolean example: removing only the list *structure*
+    ``L[λ]`` from ``L[A]`` cannot discard the element data, so nothing is
+    removed).
+    """
+    _require_element(root, left)
+    _require_element(root, right)
+    return _pseudo_difference(root, left, right)
+
+
+def _pseudo_difference(
+    root: NestedAttribute, left: NestedAttribute, right: NestedAttribute
+) -> NestedAttribute:
+    if is_subattribute(left, right):
+        return bottom(root)
+    if right == bottom(root):
+        return left
+    if isinstance(root, Record):
+        assert isinstance(left, Record) and isinstance(right, Record)
+        return Record(
+            root.label,
+            tuple(
+                _pseudo_difference(component_root, l, r)
+                for component_root, l, r in zip(root.components, left.components, right.components)
+            ),
+        )
+    if isinstance(root, ListAttr):
+        # right may be λ (handled above as bottom); here both are lifted and
+        # left ≰ right, so Definition 3.8 gives L[B] ∸ L[A] = L[B ∸ A].
+        assert isinstance(left, ListAttr) and isinstance(right, ListAttr)
+        return ListAttr(
+            root.label, _pseudo_difference(root.element, left.element, right.element)
+        )
+    raise AssertionError(  # pragma: no cover
+        f"unreachable pseudo-difference case: {left} - {right} under {root}"
+    )
+
+
+def complement(root: NestedAttribute, element: NestedAttribute) -> NestedAttribute:
+    """The Brouwerian complement ``element^C = root ∸ element``.
+
+    Satisfies ``Y^C ≤ X  iff  X ⊔ Y = root`` for all ``X ∈ Sub(root)``.
+    Unlike the Boolean case, ``Y ⊓ Y^C`` may exceed the bottom and
+    ``Y^CC`` may be strictly below ``Y``.
+    """
+    _require_element(root, element)
+    return _pseudo_difference(root, root, element)
+
+
+def double_complement(root: NestedAttribute, element: NestedAttribute) -> NestedAttribute:
+    """``element^CC`` — the join of the *maximal* basis attributes below.
+
+    Section 4.2 of the paper uses the identity
+    ``X = X^CC ⊔ (X ⊓ X^C)``: the double complement keeps exactly the part
+    of ``X`` generated by maximal basis attributes, discarding the
+    non-maximal remainder (e.g. bare list-length components ``L[λ]``).
+    """
+    return complement(root, complement(root, element))
+
+
+def join_all(root: NestedAttribute, elements) -> NestedAttribute:
+    """Fold :func:`join` over an iterable; empty join is ``λ_root``."""
+    result = bottom(root)
+    for element in elements:
+        result = join(root, result, element)
+    return result
+
+
+def meet_all(root: NestedAttribute, elements) -> NestedAttribute:
+    """Fold :func:`meet` over an iterable; empty meet is ``root``."""
+    result = root
+    for element in elements:
+        result = meet(root, result, element)
+    return result

@@ -1,0 +1,112 @@
+"""Order-theoretic utilities on the encoded lattice ``Sub(N)``.
+
+Navigation helpers the figures and design tools are built on, computed
+directly on the Birkhoff encoding where they are one-bit operations:
+in the down-set representation ``Y`` covers ``X`` exactly when
+``Y = X ∪ {j}`` for a single basis attribute ``j`` whose strict
+down-set already lies in ``X``.  Consequently the lattice is *graded*
+with rank function ``rank(X) = |SubB(X)|`` (the popcount of the mask) —
+every maximal chain from ``λ`` to ``N`` has length ``|N|``, which is the
+vertical coordinate of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .encoding import BasisEncoding, iter_bits
+
+__all__ = [
+    "rank",
+    "upper_covers",
+    "lower_covers",
+    "atoms",
+    "coatoms",
+    "interval",
+    "maximal_chain",
+]
+
+
+def rank(encoding: BasisEncoding, mask: int) -> int:
+    """The rank (height) of an element: ``|SubB(X)|``."""
+    return bin(mask & encoding.full).count("1")
+
+
+def upper_covers(encoding: BasisEncoding, mask: int) -> list[int]:
+    """The elements covering ``mask`` (each adds exactly one basis bit)."""
+    results = []
+    for j in range(encoding.size):
+        bit = 1 << j
+        if mask & bit:
+            continue
+        if (encoding.below[j] & ~bit) & ~mask == 0:
+            results.append(mask | bit)
+    return results
+
+
+def lower_covers(encoding: BasisEncoding, mask: int) -> list[int]:
+    """The elements covered by ``mask`` (each removes one maximal bit)."""
+    results = []
+    for j in iter_bits(mask):
+        bit = 1 << j
+        if encoding.above[j] & mask == bit:  # j is maximal within the mask
+            results.append(mask & ~bit)
+    return results
+
+
+def atoms(encoding: BasisEncoding) -> list[int]:
+    """The atoms of ``Sub(N)``: elements covering the bottom ``λ_N``.
+
+    These are the principal ideals of the *minimal* basis attributes —
+    for a pub-crawl-like schema, the flat fields and the bare list
+    lengths.
+    """
+    return upper_covers(encoding, 0)
+
+
+def coatoms(encoding: BasisEncoding) -> list[int]:
+    """The coatoms: elements covered by the top ``N``."""
+    return lower_covers(encoding, encoding.full)
+
+
+def interval(encoding: BasisEncoding, lower: int, upper: int) -> Iterator[int]:
+    """Enumerate the interval ``[lower, upper]`` (breadth-first by rank).
+
+    Raises nothing when ``lower ≰ upper`` — the interval is then empty.
+    Exponential in ``rank(upper) - rank(lower)``; intended for the small
+    neighbourhoods design tools inspect.
+    """
+    if lower & ~upper:
+        return
+    seen = {lower}
+    frontier = [lower]
+    while frontier:
+        next_frontier = []
+        for element in frontier:
+            yield element
+            for cover in upper_covers(encoding, element):
+                if cover & ~upper == 0 and cover not in seen:
+                    seen.add(cover)
+                    next_frontier.append(cover)
+        frontier = next_frontier
+
+
+def maximal_chain(encoding: BasisEncoding, lower: int, upper: int) -> list[int]:
+    """One maximal chain from ``lower`` to ``upper`` (both inclusive).
+
+    Exists iff ``lower ≤ upper``; its length is always
+    ``rank(upper) - rank(lower)`` because the lattice is graded.
+    """
+    if lower & ~upper:
+        raise ValueError("lower is not below upper")
+    chain = [lower]
+    current = lower
+    while current != upper:
+        for cover in upper_covers(encoding, current):
+            if cover & ~upper == 0:
+                current = cover
+                chain.append(current)
+                break
+        else:  # pragma: no cover - graded lattice always has a step
+            raise AssertionError("no cover step found inside the interval")
+    return chain

@@ -1,0 +1,242 @@
+"""Parsing of nested-attribute expressions in the paper's notation.
+
+Grammar (whitespace-insensitive)::
+
+    attr   ::=  'λ' | 'lambda'
+             |  NAME                       -- flat attribute
+             |  NAME '(' attr (',' attr)* ')'   -- record-valued
+             |  NAME '[' attr ']'               -- list-valued
+    NAME   ::=  [A-Za-z_][A-Za-z0-9_-]*
+
+Two entry points:
+
+* :func:`parse_attribute` — parse an *exact* term; every ``λ`` must be
+  written out.
+* :func:`parse_subattribute` — parse the paper's *abbreviated* notation
+  relative to a known root attribute: omitted record components are filled
+  with their bottoms, and components are matched positionally (when the
+  arity is complete) or by head symbol otherwise.  Ambiguous
+  abbreviations — the paper's ``L(A)`` inside ``L(A, A)`` example — raise
+  :class:`~repro.exceptions.AmbiguousAbbreviationError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, NamedTuple
+
+from .nested import NULL, Flat, ListAttr, NestedAttribute, Null, Record
+from .printer import unparse
+from .subattribute import bottom
+from ..exceptions import AmbiguousAbbreviationError, AttributeSyntaxError
+
+__all__ = ["parse_attribute", "parse_subattribute"]
+
+
+class _Token(NamedTuple):
+    kind: str  # "name", "lambda", "(", ")", "[", "]", ","
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lam>λ|lambda\b)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_-]*)
+  | (?P<punct>[()\[\],])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise AttributeSyntaxError(
+                f"unexpected character {text[position]!r} at offset {position} in {text!r}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "lam":
+            yield _Token("lambda", match.group(), match.start())
+        elif match.lastgroup == "name":
+            yield _Token("name", match.group(), match.start())
+        else:
+            yield _Token(match.group(), match.group(), match.start())
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._cursor = 0
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._cursor] if self._cursor < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise AttributeSyntaxError(f"unexpected end of input in {self._text!r}")
+        self._cursor += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise AttributeSyntaxError(
+                f"expected {kind!r} but found {token.text!r} at offset "
+                f"{token.position} in {self._text!r}"
+            )
+        return token
+
+    def parse(self) -> NestedAttribute:
+        attribute = self._attr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise AttributeSyntaxError(
+                f"trailing input {trailing.text!r} at offset {trailing.position} "
+                f"in {self._text!r}"
+            )
+        return attribute
+
+    def _attr(self) -> NestedAttribute:
+        token = self._next()
+        if token.kind == "lambda":
+            return NULL
+        if token.kind != "name":
+            raise AttributeSyntaxError(
+                f"expected an attribute but found {token.text!r} at offset "
+                f"{token.position} in {self._text!r}"
+            )
+        following = self._peek()
+        if following is not None and following.kind == "(":
+            self._next()
+            components = [self._attr()]
+            while self._peek() is not None and self._peek().kind == ",":
+                self._next()
+                components.append(self._attr())
+            self._expect(")")
+            return Record(token.text, tuple(components))
+        if following is not None and following.kind == "[":
+            self._next()
+            element = self._attr()
+            self._expect("]")
+            return ListAttr(token.text, element)
+        return Flat(token.text)
+
+
+def parse_attribute(text: str) -> NestedAttribute:
+    """Parse an exact nested-attribute term.
+
+    Example
+    -------
+    >>> str(parse_attribute("Pubcrawl(Person, Visit[Drink(Beer, Pub)])"))
+    'Pubcrawl(Person, Visit[Drink(Beer, Pub)])'
+    >>> parse_attribute("λ").is_null
+    True
+    """
+    return _Parser(text).parse()
+
+
+def parse_subattribute(text: str, root: NestedAttribute) -> NestedAttribute:
+    """Parse the paper's abbreviated subattribute notation against a root.
+
+    The result is a structural element of ``Sub(root)`` with all omitted
+    positions filled by the appropriate bottoms.
+
+    Example
+    -------
+    >>> root = parse_attribute("L1(A, B, L2[L3(C, D)])")
+    >>> str(parse_subattribute("L1(A, L2[λ])", root))
+    'L1(A, λ, L2[L3(λ, λ)])'
+
+    Raises
+    ------
+    AttributeSyntaxError
+        On malformed input, or when the term cannot be embedded in
+        ``Sub(root)``.
+    AmbiguousAbbreviationError
+        When an omitted-λ form matches the root ambiguously.
+    """
+    loose = _Parser(text).parse()
+    return resolve_subattribute(loose, root)
+
+
+def resolve_subattribute(loose: NestedAttribute, root: NestedAttribute) -> NestedAttribute:
+    """Embed an (possibly abbreviated) attribute term into ``Sub(root)``."""
+    if isinstance(loose, Null):
+        return bottom(root)
+    if isinstance(root, Flat):
+        if isinstance(loose, Flat) and loose.name == root.name:
+            return root
+        raise AttributeSyntaxError(f"{unparse(loose)} does not match flat attribute {root.name}")
+    if isinstance(root, ListAttr):
+        if isinstance(loose, ListAttr) and loose.label == root.label:
+            return ListAttr(root.label, resolve_subattribute(loose.element, root.element))
+        raise AttributeSyntaxError(
+            f"{unparse(loose)} does not match list attribute {unparse(root)}"
+        )
+    if isinstance(root, Record):
+        if not isinstance(loose, Record) or loose.label != root.label:
+            raise AttributeSyntaxError(
+                f"{unparse(loose)} does not match record attribute {unparse(root)}"
+            )
+        if len(loose.components) == root.arity:
+            positional = _try_positional(loose, root)
+            if positional is not None:
+                return positional
+        return _resolve_by_heads(loose, root)
+    raise AttributeSyntaxError(f"{unparse(loose)} does not match {unparse(root)}")
+
+
+def _try_positional(loose: Record, root: Record) -> Record | None:
+    """Attempt full-arity positional resolution; ``None`` if any slot fails."""
+    resolved = []
+    for component, component_root in zip(loose.components, root.components):
+        try:
+            resolved.append(resolve_subattribute(component, component_root))
+        except AttributeSyntaxError:
+            return None
+    return Record(root.label, tuple(resolved))
+
+
+def _resolve_by_heads(loose: Record, root: Record) -> Record:
+    """Match abbreviated components to root components by head symbol."""
+    resolved: list[NestedAttribute | None] = [None] * root.arity
+    for component in loose.components:
+        head = component.head()
+        if head is None:
+            raise AmbiguousAbbreviationError(
+                f"bare λ cannot identify a component of {unparse(root)}; "
+                "use the full positional form"
+            )
+        matches = [
+            index
+            for index, component_root in enumerate(root.components)
+            if component_root.head() == head
+        ]
+        free_matches = [index for index in matches if resolved[index] is None]
+        if not matches:
+            raise AttributeSyntaxError(
+                f"no component of {unparse(root)} has head {head!r}"
+            )
+        if len(free_matches) != 1:
+            raise AmbiguousAbbreviationError(
+                f"component head {head!r} matches {len(matches)} components of "
+                f"{unparse(root)}; the abbreviation is ambiguous — "
+                "use the full positional form"
+            )
+        index = free_matches[0]
+        resolved[index] = resolve_subattribute(component, root.components[index])
+    filled = tuple(
+        value if value is not None else bottom(component_root)
+        for value, component_root in zip(resolved, root.components)
+    )
+    return Record(root.label, filled)

@@ -1,0 +1,155 @@
+"""Universes of flat attributes and their domains (Definition 3.1).
+
+A *universe* is a finite set of flat attribute names together with a
+domain ``dom(A)`` for each.  The rest of the library does not force a
+universe on the caller — any :class:`~repro.attributes.nested.Flat` is a
+valid attribute — but the semantic layers (value validation, random
+instance generation, witness construction) consult a universe to know
+which constants may populate a flat attribute.
+
+Domains are deliberately simple: they only need membership testing,
+an iterator of *fresh, pairwise-distinct* constants (for witness
+construction, Section 4.2 needs "two values that differ"), and random
+sampling.  :class:`IntegerDomain` (unbounded, always available) is the
+default for every unregistered attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .nested import Flat, NestedAttribute
+
+__all__ = ["Domain", "IntegerDomain", "EnumeratedDomain", "Universe"]
+
+
+class Domain:
+    """Abstract domain of a flat attribute."""
+
+    def __contains__(self, value: Hashable) -> bool:
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> Hashable:
+        """Draw one value uniformly-ish at random."""
+        raise NotImplementedError
+
+    def fresh(self) -> Iterator[Hashable]:
+        """Yield pairwise-distinct values, as many as requested.
+
+        Raises
+        ------
+        ValueError
+            If the domain is exhausted (fewer distinct values than asked
+            for); the library's constructions need at most a handful.
+        """
+        raise NotImplementedError
+
+
+class IntegerDomain(Domain):
+    """The unbounded integer domain — default for unregistered attributes.
+
+    ``sample`` draws from ``range(width)`` so that random instances have
+    realistic value collisions (important for exercising FD/MVD
+    satisfaction); ``fresh`` counts upward from ``0`` without bound.
+    """
+
+    def __init__(self, width: int = 4) -> None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+
+    def __contains__(self, value: Hashable) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.width)
+
+    def fresh(self) -> Iterator[int]:
+        counter = 0
+        while True:
+            yield counter
+            counter += 1
+
+    def __repr__(self) -> str:
+        return f"IntegerDomain(width={self.width})"
+
+
+class EnumeratedDomain(Domain):
+    """A finite domain given by an explicit iterable of constants.
+
+    Example
+    -------
+    >>> beers = EnumeratedDomain(["Lübzer", "Kindl", "Guiness"])
+    >>> "Kindl" in beers
+    True
+    """
+
+    def __init__(self, values: Iterable[Hashable]) -> None:
+        self.values = tuple(dict.fromkeys(values))  # dedupe, keep order
+        if not self.values:
+            raise ValueError("an enumerated domain needs at least one value")
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self.values
+
+    def sample(self, rng: random.Random) -> Hashable:
+        return rng.choice(self.values)
+
+    def fresh(self) -> Iterator[Hashable]:
+        yield from self.values
+        raise ValueError(
+            f"enumerated domain exhausted after {len(self.values)} distinct values"
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"EnumeratedDomain({list(self.values)!r})"
+
+
+class Universe:
+    """A registry mapping flat attribute names to domains.
+
+    Unregistered names fall back to a shared :class:`IntegerDomain`, so a
+    universe never *rejects* an attribute — it only refines what values
+    are considered valid or get generated for it.
+
+    Example
+    -------
+    >>> universe = Universe({"Beer": EnumeratedDomain(["Lübzer", "Kindl"])})
+    >>> "Lübzer" in universe.domain_of("Beer")
+    True
+    >>> 7 in universe.domain_of("Pub")  # unregistered -> integers
+    True
+    """
+
+    def __init__(self, domains: Mapping[str, Domain] | None = None, *,
+                 default: Domain | None = None) -> None:
+        self._domains: dict[str, Domain] = dict(domains or {})
+        self._default = default if default is not None else IntegerDomain()
+
+    def register(self, name: str, domain: Domain) -> None:
+        """Assign ``domain`` to the flat attribute ``name``."""
+        self._domains[name] = domain
+
+    def domain_of(self, attribute: str | Flat) -> Domain:
+        """The domain of a flat attribute (default for unregistered)."""
+        name = attribute.name if isinstance(attribute, Flat) else attribute
+        return self._domains.get(name, self._default)
+
+    def names(self) -> tuple[str, ...]:
+        """The explicitly registered flat attribute names."""
+        return tuple(self._domains)
+
+    def covers(self, attribute: NestedAttribute) -> bool:
+        """Whether every flat attribute in ``attribute`` is registered."""
+        return all(name in self._domains for name in attribute.flat_names())
+
+    def __repr__(self) -> str:
+        return f"Universe({self._domains!r})"
+
+
+#: A module-level default universe: every flat attribute gets integers.
+DEFAULT_UNIVERSE = Universe()

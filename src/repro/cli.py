@@ -1,0 +1,281 @@
+"""Command-line interface: dependency reasoning from the shell.
+
+Examples
+--------
+Decide implication (exit code 0 = implied, 1 = not implied)::
+
+    python -m repro implies \\
+        --schema "Pubcrawl(Person, Visit[Drink(Beer, Pub)])" \\
+        -d "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])" \\
+        "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+
+Compute a closure or dependency basis, replay the algorithm trace::
+
+    python -m repro closure --schema ... -d ... "Pubcrawl(Person)"
+    python -m repro basis   --schema ... -d ... "Pubcrawl(Person)"
+    python -m repro trace   --schema ... -d ... "Pubcrawl(Person)"
+
+Schema design::
+
+    python -m repro keys      --schema ... -d ...
+    python -m repro check4nf  --schema ... -d ...
+    python -m repro decompose --schema ... -d ...
+    python -m repro cover     --schema ... -d ...
+
+Dependencies can also be loaded from a file (one per line, ``#``
+comments) with ``--sigma-file``.  ``python -m repro figures`` prints the
+paper's Figures 1–4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .exceptions import ReproError
+from .schema import Schema
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(parser: argparse.ArgumentParser, *, with_sigma: bool = True) -> None:
+    parser.add_argument(
+        "--schema", required=True,
+        help="the nested attribute N, e.g. 'R(A, L[B])'",
+    )
+    if with_sigma:
+        parser.add_argument(
+            "-d", "--dependency", action="append", default=[],
+            metavar="DEP", help="a dependency of Σ, e.g. 'R(A) -> R(B)' "
+            "or 'R(A) ->> R(L[λ])'; repeatable",
+        )
+        parser.add_argument(
+            "--sigma-file", metavar="PATH",
+            help="file with one dependency per line ('#' comments allowed)",
+        )
+
+
+def _load_sigma(schema: Schema, args: argparse.Namespace):
+    texts = list(args.dependency)
+    if args.sigma_file:
+        with open(args.sigma_file, encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if stripped and not stripped.startswith("#"):
+                    texts.append(stripped)
+    return schema.dependencies(*texts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FDs and MVDs in the presence of lists "
+        "(Hartmann & Link, ENTCS 91, 2004)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    implies = commands.add_parser(
+        "implies", help="decide Σ ⊨ σ (exit 0 = implied, 1 = not)"
+    )
+    _add_common(implies)
+    implies.add_argument("query", help="the dependency σ to decide")
+
+    closure = commands.add_parser("closure", help="the attribute-set closure X⁺")
+    _add_common(closure)
+    closure.add_argument("x", help="the subattribute X")
+
+    basis = commands.add_parser("basis", help="the dependency basis DepB(X)")
+    _add_common(basis)
+    basis.add_argument("x", help="the subattribute X")
+
+    trace = commands.add_parser(
+        "trace", help="replay Algorithm 5.1 state by state (Figures 3-4 style)"
+    )
+    _add_common(trace)
+    trace.add_argument("x", help="the subattribute X")
+
+    keys = commands.add_parser("keys", help="candidate keys")
+    _add_common(keys)
+
+    check4nf = commands.add_parser(
+        "check4nf", help="generalised fourth-normal-form test (exit 0 = in 4NF)"
+    )
+    _add_common(check4nf)
+
+    decompose = commands.add_parser(
+        "decompose", help="lossless 4NF-style decomposition"
+    )
+    _add_common(decompose)
+
+    cover = commands.add_parser(
+        "cover", help="an equivalent redundancy-free subset of Σ"
+    )
+    _add_common(cover)
+
+    check = commands.add_parser(
+        "check", help="validate a problem file's instance against its Σ "
+        "(exit 0 = satisfied)"
+    )
+    check.add_argument("problem", help="a problem JSON file (see repro.io)")
+
+    chase_cmd = commands.add_parser(
+        "chase", help="complete a problem file's instance to satisfy its "
+        "MVDs; prints the chased instance as JSON"
+    )
+    chase_cmd.add_argument("problem", help="a problem JSON file (see repro.io)")
+
+    audit = commands.add_parser(
+        "audit", help="redundancy audit of a problem file's instance "
+        "(exit 0 = redundancy-free)"
+    )
+    audit.add_argument("problem", help="a problem JSON file (see repro.io)")
+
+    figures = commands.add_parser(
+        "figures", help="print the paper's Figures 1-4"
+    )
+    figures.add_argument(
+        "--dot", action="store_true",
+        help="emit Graphviz DOT for Figures 1-2 instead of ASCII",
+    )
+    commands.add_parser("shell", help="interactive reasoning shell")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "figures":
+        if getattr(args, "dot", False):
+            from .viz.figures import figure_1, figure_2
+
+            print(figure_1(fmt="dot"))
+            print(figure_2(fmt="dot"))
+        else:
+            from .viz.figures import render_all
+
+            print(render_all())
+        return 0
+
+    if args.command == "shell":
+        from .shell import run_shell
+
+        return run_shell()
+
+    try:
+        if args.command in ("check", "chase", "audit"):
+            return _run_problem_command(args)
+
+        schema = Schema(args.schema)
+        sigma = _load_sigma(schema, args)
+
+        if args.command == "implies":
+            implied = schema.implies(sigma, args.query)
+            print("implied" if implied else "not implied")
+            return 0 if implied else 1
+
+        if args.command == "closure":
+            print(schema.show(schema.closure(sigma, args.x)))
+            return 0
+
+        if args.command == "basis":
+            for member in schema.dependency_basis(sigma, args.x):
+                print(schema.show(member))
+            return 0
+
+        if args.command == "trace":
+            print(schema.trace(sigma, args.x).render())
+            return 0
+
+        if args.command == "keys":
+            for key in schema.candidate_keys(sigma):
+                print(schema.show(key))
+            return 0
+
+        if args.command == "check4nf":
+            in_4nf = schema.is_in_4nf(sigma)
+            print("in 4NF" if in_4nf else "NOT in 4NF")
+            if not in_4nf:
+                from .normalization import violations
+
+                for violation in violations(sigma, encoding=schema.encoding):
+                    print("  violated by:", violation.as_mvd().display(schema.root))
+            return 0 if in_4nf else 1
+
+        if args.command == "decompose":
+            print(schema.decompose(sigma).describe())
+            return 0
+
+        if args.command == "cover":
+            print(schema.minimal_cover(sigma).display())
+            return 0
+
+        raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_problem_command(args: argparse.Namespace) -> int:
+    """The problem-file commands: ``check`` and ``chase``."""
+    import json
+
+    from .dependencies.satisfaction import violating_fd_pair, violating_mvd_pair
+    from .io import instance_to_json, load_problem
+
+    problem = load_problem(args.problem)
+    if problem.instance is None:
+        print("error: the problem file has no instance", file=sys.stderr)
+        return 2
+    schema = problem.schema
+
+    if args.command == "check":
+        clean = True
+        for dependency in problem.sigma:
+            if dependency.is_fd:
+                pair = violating_fd_pair(schema.root, problem.instance, dependency)
+            else:
+                pair = violating_mvd_pair(schema.root, problem.instance, dependency)
+            if pair is not None:
+                clean = False
+                print(f"VIOLATED  {dependency.display(schema.root)}")
+            else:
+                print(f"ok        {dependency.display(schema.root)}")
+        return 0 if clean else 1
+
+    if args.command == "audit":
+        from .normalization import redundancy_report
+
+        report = redundancy_report(
+            problem.sigma, problem.instance, encoding=schema.encoding
+        )
+        if not report:
+            print("no redundant occurrences")
+            return 0
+        for basis_attribute, count in sorted(
+            report.items(), key=lambda kv: -kv[1]
+        ):
+            print(f"{count:6d}  π_{schema.show(basis_attribute)}")
+        return 1
+
+    from .chase import ChaseFailure, chase
+
+    try:
+        result = chase(schema.root, problem.instance, problem.sigma)
+    except ChaseFailure as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print(json.dumps(instance_to_json(schema.root, result.instance),
+                     indent=2, ensure_ascii=False))
+    print(f"# added {len(result.added)} exchange tuple(s) in "
+          f"{result.rounds} round(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

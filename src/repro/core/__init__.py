@@ -1,0 +1,23 @@
+"""The paper's primary contribution: Algorithm 5.1 and the membership API."""
+
+from .closure import ClosureResult, closure_of_masks, compute_closure
+from .membership import (
+    analyse,
+    closure,
+    dependency_basis,
+    equivalent,
+    implies,
+    implies_all,
+    is_redundant,
+    minimal_cover,
+)
+from .reference import reference_closure, reference_dependency_basis
+from .trace import TraceRecorder, TraceStep
+
+__all__ = [
+    "ClosureResult", "compute_closure", "closure_of_masks",
+    "closure", "dependency_basis", "analyse", "implies", "implies_all",
+    "equivalent", "is_redundant", "minimal_cover",
+    "reference_closure", "reference_dependency_basis",
+    "TraceRecorder", "TraceStep",
+]

@@ -1,0 +1,165 @@
+"""The membership (finite implication) decision API.
+
+Proposition 4.10 reduces membership to the outputs of Algorithm 5.1:
+
+* ``Σ ⊨ X → Y``  iff  ``Y ≤ X⁺``,
+* ``Σ ⊨ X ↠ Y``  iff  ``Y`` is the join of some subset of ``DepB(X)``.
+
+On top of :func:`implies` the module offers the applications the paper
+motivates in Section 1.3: deciding the **equivalence** of two dependency
+sets and detecting/eliminating **redundant** dependencies — "a
+significant step towards automated database schema design".
+
+All functions accept an optional pre-built
+:class:`~repro.attributes.encoding.BasisEncoding`; building one is
+``O(|N|²)`` and worth reusing across calls (the :class:`repro.Schema`
+facade does this automatically).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..attributes.encoding import BasisEncoding
+from ..attributes.nested import NestedAttribute
+from ..dependencies.dependency import Dependency, FunctionalDependency, MultivaluedDependency
+from ..dependencies.sigma import DependencySet
+from .closure import ClosureResult, compute_closure
+
+__all__ = [
+    "closure",
+    "dependency_basis",
+    "implies",
+    "implies_all",
+    "equivalent",
+    "is_redundant",
+    "minimal_cover",
+]
+
+
+def _encoding_for(root: NestedAttribute,
+                  encoding: BasisEncoding | None) -> BasisEncoding:
+    if encoding is not None:
+        if encoding.root != root:
+            raise ValueError("the supplied encoding is for a different root attribute")
+        return encoding
+    return BasisEncoding(root)
+
+
+def closure(sigma: DependencySet, x: NestedAttribute,
+            *, encoding: BasisEncoding | None = None) -> NestedAttribute:
+    """The attribute-set closure ``X⁺ = ⊔{Y | X → Y ∈ Σ⁺}``.
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute, parse_subattribute
+    >>> from repro.dependencies import DependencySet
+    >>> N = parse_attribute("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+    >>> sigma = DependencySet.parse(
+    ...     N, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"])
+    >>> X = parse_subattribute("Pubcrawl(Person)", N)
+    >>> from repro.attributes import unparse_abbreviated
+    >>> unparse_abbreviated(closure(sigma, X), N)  # mixed meet at work
+    'Pubcrawl(Person, Visit[λ])'
+    """
+    enc = _encoding_for(sigma.root, encoding)
+    return compute_closure(enc, x, sigma).closure
+
+
+def dependency_basis(sigma: DependencySet, x: NestedAttribute,
+                     *, encoding: BasisEncoding | None = None) -> tuple[NestedAttribute, ...]:
+    """The dependency basis ``DepB(X)`` with respect to ``Σ``."""
+    enc = _encoding_for(sigma.root, encoding)
+    return compute_closure(enc, x, sigma).dependency_basis()
+
+
+def analyse(sigma: DependencySet, x: NestedAttribute,
+            *, encoding: BasisEncoding | None = None) -> ClosureResult:
+    """Run Algorithm 5.1 once and keep the full result for many queries."""
+    enc = _encoding_for(sigma.root, encoding)
+    return compute_closure(enc, x, sigma)
+
+
+def implies(sigma: DependencySet, dependency: Dependency,
+            *, encoding: BasisEncoding | None = None) -> bool:
+    """Decide ``Σ ⊨ σ`` (the membership problem, Theorem 6.4).
+
+    Runs in ``O(|N|⁴ · |Σ|)`` time in the paper's size measure
+    ``|N| = |SubB(N)|``.
+    """
+    dependency.validate(sigma.root)
+    enc = _encoding_for(sigma.root, encoding)
+    result = compute_closure(enc, dependency.lhs, sigma)
+    rhs_mask = enc.encode(dependency.rhs)
+    if isinstance(dependency, FunctionalDependency):
+        return result.implies_fd_rhs(rhs_mask)
+    if isinstance(dependency, MultivaluedDependency):
+        return result.implies_mvd_rhs(rhs_mask)
+    raise TypeError(f"not a dependency: {dependency!r}")  # pragma: no cover
+
+
+def implies_all(sigma: DependencySet, dependencies: Iterable[Dependency],
+                *, encoding: BasisEncoding | None = None) -> bool:
+    """Whether ``Σ`` implies every given dependency.
+
+    Dependencies sharing a left-hand side reuse a single Algorithm 5.1
+    run.
+    """
+    enc = _encoding_for(sigma.root, encoding)
+    results: dict[NestedAttribute, ClosureResult] = {}
+    for dependency in dependencies:
+        dependency.validate(sigma.root)
+        result = results.get(dependency.lhs)
+        if result is None:
+            result = compute_closure(enc, dependency.lhs, sigma)
+            results[dependency.lhs] = result
+        rhs_mask = enc.encode(dependency.rhs)
+        if isinstance(dependency, FunctionalDependency):
+            if not result.implies_fd_rhs(rhs_mask):
+                return False
+        else:
+            if not result.implies_mvd_rhs(rhs_mask):
+                return False
+    return True
+
+
+def equivalent(first: DependencySet, second: DependencySet,
+               *, encoding: BasisEncoding | None = None) -> bool:
+    """Whether two dependency sets over the same root imply each other.
+
+    This is the "equivalence of two sets of dependencies" application the
+    paper names in Section 1.3.
+    """
+    if first.root != second.root:
+        return False
+    enc = _encoding_for(first.root, encoding)
+    return implies_all(first, second, encoding=enc) and implies_all(
+        second, first, encoding=enc
+    )
+
+
+def is_redundant(sigma: DependencySet, dependency: Dependency,
+                 *, encoding: BasisEncoding | None = None) -> bool:
+    """Whether ``σ ∈ Σ`` already follows from the *other* dependencies."""
+    if dependency not in sigma:
+        raise ValueError("the dependency is not a member of the set")
+    remainder = sigma.without(dependency)
+    return implies(remainder, dependency, encoding=encoding)
+
+
+def minimal_cover(sigma: DependencySet,
+                  *, encoding: BasisEncoding | None = None) -> DependencySet:
+    """An equivalent, redundancy-free subset of ``Σ``.
+
+    Dependencies are dropped greedily in reverse insertion order (later,
+    more "derived-looking" dependencies go first); the result depends on
+    that order but is always equivalent to ``Σ`` and contains no
+    dependency implied by its companions.
+    """
+    enc = _encoding_for(sigma.root, encoding)
+    kept = list(sigma)
+    for dependency in reversed(list(sigma)):
+        candidate = DependencySet(sigma.root, (d for d in kept if d != dependency))
+        if implies(candidate, dependency, encoding=enc):
+            kept = list(candidate)
+    return DependencySet(sigma.root, kept)

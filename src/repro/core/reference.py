@@ -1,0 +1,114 @@
+"""Structural reference implementation of Algorithm 5.1.
+
+This re-implements the paper's pseudocode *without* the bitmask encoding,
+operating directly on :class:`~repro.attributes.nested.NestedAttribute`
+values with the recursive Brouwerian operations of
+:mod:`repro.attributes.lattice` and the quantified possession test of
+Definition 4.11.  It is deliberately slow and deliberately written from
+the definitions rather than from the encoding — the differential property
+suite runs it against :func:`repro.core.closure.compute_closure` on random
+inputs, so a bug would have to be introduced *twice, in two different
+formalisms*, to go unnoticed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..attributes.basis import basis_of_element, is_possessed_by_definition, maximal_basis
+from ..attributes.lattice import (
+    complement,
+    double_complement,
+    join,
+    join_all,
+    meet,
+    pseudo_difference,
+)
+from ..attributes.nested import NestedAttribute
+from ..attributes.subattribute import bottom, is_subattribute
+from ..dependencies.dependency import Dependency, FunctionalDependency
+from ..dependencies.sigma import DependencySet
+
+__all__ = ["reference_closure", "reference_dependency_basis"]
+
+
+def reference_closure(
+    root: NestedAttribute,
+    x: NestedAttribute,
+    sigma: DependencySet | Iterable[Dependency],
+) -> tuple[NestedAttribute, frozenset[NestedAttribute]]:
+    """Algorithm 5.1 on structural attributes: ``(X⁺, final DB_new)``."""
+    lam = bottom(root)
+    maximal = set(maximal_basis(root))
+
+    def max_basis_of(element: NestedAttribute) -> list[NestedAttribute]:
+        return [j for j in maximal if is_subattribute(j, element)]
+
+    dependencies = list(sigma)
+    fd_list = [d for d in dependencies if isinstance(d, FunctionalDependency)]
+    mvd_list = [d for d in dependencies if not isinstance(d, FunctionalDependency)]
+
+    x_new = x
+    db: set[NestedAttribute] = set(max_basis_of(double_complement(root, x)))
+    x_comp = complement(root, x)
+    if x_comp != lam:
+        db.add(x_comp)
+
+    def u_bar(u: NestedAttribute) -> NestedAttribute:
+        contributing = []
+        for w in db:
+            for u_prime in basis_of_element(root, u):
+                if is_subattribute(u_prime, x_new):
+                    continue
+                if is_possessed_by_definition(root, u_prime, w):
+                    contributing.append(w)
+                    break
+        return join_all(root, contributing)
+
+    while True:
+        x_old = x_new
+        db_old = frozenset(db)
+
+        for dependency in fd_list:
+            v_tilde = pseudo_difference(root, dependency.rhs, u_bar(dependency.lhs))
+            if v_tilde != lam:
+                x_new = join(root, x_new, v_tilde)
+                new_db: set[NestedAttribute] = set()
+                for w in db:
+                    survivor = double_complement(root, pseudo_difference(root, w, v_tilde))
+                    if survivor != lam:
+                        new_db.add(survivor)
+                new_db.update(max_basis_of(double_complement(root, v_tilde)))
+                db = new_db
+
+        for dependency in mvd_list:
+            v_tilde = pseudo_difference(root, dependency.rhs, u_bar(dependency.lhs))
+            if v_tilde != lam:
+                x_new = join(root, x_new, meet(root, v_tilde, complement(root, v_tilde)))
+                for w in list(db):
+                    inside = double_complement(root, meet(root, v_tilde, w))
+                    if inside != lam and inside != w:
+                        db.discard(w)
+                        db.add(inside)
+                        outside = double_complement(
+                            root, pseudo_difference(root, w, v_tilde)
+                        )
+                        if outside != lam:
+                            db.add(outside)
+
+        if x_new == x_old and frozenset(db) == db_old:
+            break
+
+    return x_new, frozenset(db)
+
+
+def reference_dependency_basis(
+    root: NestedAttribute,
+    x: NestedAttribute,
+    sigma: DependencySet | Iterable[Dependency],
+) -> frozenset[NestedAttribute]:
+    """``DepB_alg(X) = SubB(X⁺) ∪ DB_new`` from the reference run."""
+    x_plus, db = reference_closure(root, x, sigma)
+    members = set(db)
+    members.update(basis_of_element(root, x_plus))
+    return frozenset(members)

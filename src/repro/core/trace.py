@@ -1,0 +1,143 @@
+"""Step-by-step tracing of Algorithm 5.1 (reproduces Figures 3 and 4).
+
+The paper walks Example 5.1 through the algorithm, printing after each
+dependency application the new ``X_new`` and ``DB_new``; Figure 3 shows
+the initial state and Figure 4 the final one.  A :class:`TraceRecorder`
+passed to :func:`repro.core.closure.compute_closure` captures exactly
+those states, and :meth:`TraceRecorder.render` prints them in the paper's
+layout so the reproduction can be compared side by side with the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..dependencies.dependency import Dependency
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..attributes.encoding import BasisEncoding
+
+__all__ = ["TraceRecorder", "TraceStep"]
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """State after applying one dependency of Σ.
+
+    Attributes
+    ----------
+    pass_number:
+        1-based REPEAT-UNTIL iteration.
+    dependency:
+        The Σ-dependency applied (``None`` when the caller did not pass
+        labels, e.g. in mask-level benchmarks).
+    is_fd:
+        Whether the FD loop (``True``) or the MVD loop produced this step.
+    v_tilde:
+        The reduced right-hand side ``Ṽ = V ∸ Ū`` (mask); ``0`` means the
+        dependency was already absorbed and nothing happened.
+    changed:
+        Whether the state actually moved.
+    x_new / db_new:
+        The state after the step.
+    """
+
+    pass_number: int
+    dependency: Dependency | None
+    is_fd: bool
+    v_tilde: int
+    changed: bool
+    x_new: int
+    db_new: frozenset[int]
+
+
+@dataclass
+class TraceRecorder:
+    """Collects the full state history of one Algorithm 5.1 run."""
+
+    encoding: "BasisEncoding | None" = None
+    initial_x: int = 0
+    initial_db: frozenset[int] = frozenset()
+    steps: list[TraceStep] = field(default_factory=list)
+    final_x: int = 0
+    final_db: frozenset[int] = frozenset()
+
+    # -- hooks called by the algorithm -------------------------------------
+
+    def initial(self, encoding: "BasisEncoding", x_mask: int,
+                db: frozenset[int]) -> None:
+        self.encoding = encoding
+        self.initial_x = x_mask
+        self.initial_db = db
+
+    def step(self, pass_number: int, dependency: Dependency | None, is_fd: bool,
+             v_tilde: int, changed: bool, x_new: int, db_new: frozenset[int]) -> None:
+        self.steps.append(
+            TraceStep(pass_number, dependency, is_fd, v_tilde, changed, x_new, db_new)
+        )
+
+    def final(self, x_mask: int, db: frozenset[int]) -> None:
+        self.final_x = x_mask
+        self.final_db = db
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def passes(self) -> int:
+        """Number of REPEAT-UNTIL iterations recorded."""
+        return max((step.pass_number for step in self.steps), default=0)
+
+    def states_after_each_change(self) -> list[TraceStep]:
+        """Only the steps where the state moved — the paper lists these."""
+        return [step for step in self.steps if step.changed]
+
+    def state_after(self, pass_number: int, dependency: Dependency) -> TraceStep:
+        """The recorded state right after a given dependency application."""
+        for step in self.steps:
+            if step.pass_number == pass_number and step.dependency == dependency:
+                return step
+        raise KeyError(
+            f"no trace step for pass {pass_number} and dependency {dependency}"
+        )
+
+    # -- rendering -------------------------------------------------------------
+
+    def _describe_db(self, db: frozenset[int]) -> str:
+        assert self.encoding is not None
+        return "{" + "; ".join(
+            self.encoding.describe(mask) for mask in sorted(db)
+        ) + "}"
+
+    def render(self) -> str:
+        """The full trace in the paper's Example 5.1 layout."""
+        if self.encoding is None:
+            return "(empty trace)"
+        encoding = self.encoding
+        lines = [
+            "Initialisation:",
+            f"  X_new  = {encoding.describe(self.initial_x)}",
+            f"  DB_new = {self._describe_db(self.initial_db)}",
+        ]
+        current_pass = 0
+        for step in self.steps:
+            if step.pass_number != current_pass:
+                current_pass = step.pass_number
+                lines.append(f"Pass {current_pass} through the REPEAT UNTIL loop:")
+            arrow = "→" if step.is_fd else "↠"
+            label = (
+                step.dependency.display(encoding.root)
+                if step.dependency is not None
+                else f"({arrow} dependency)"
+            )
+            if not step.changed:
+                lines.append(f"  {label}: no changes")
+                continue
+            lines.append(f"  {label}:")
+            lines.append(f"    Ṽ      = {encoding.describe(step.v_tilde)}")
+            lines.append(f"    X_new  = {encoding.describe(step.x_new)}")
+            lines.append(f"    DB_new = {self._describe_db(step.db_new)}")
+        lines.append("Final state:")
+        lines.append(f"  X+     = {encoding.describe(self.final_x)}")
+        lines.append(f"  DB     = {self._describe_db(self.final_db)}")
+        return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""FDs, MVDs, dependency sets, and satisfaction checking (paper §4)."""
+
+from .dependency import (
+    FD,
+    MVD,
+    Dependency,
+    FunctionalDependency,
+    MultivaluedDependency,
+    parse_dependency,
+)
+from .sigma import DependencySet
+from .satisfaction import (
+    lossless_binary_decomposition,
+    satisfies,
+    satisfies_all,
+    satisfies_fd,
+    satisfies_mvd,
+    satisfies_mvd_via_join,
+    violating_fd_pair,
+    violating_mvd_pair,
+)
+
+__all__ = [
+    "FunctionalDependency", "MultivaluedDependency", "Dependency", "FD", "MVD",
+    "parse_dependency", "DependencySet",
+    "satisfies", "satisfies_all", "satisfies_fd", "satisfies_mvd",
+    "satisfies_mvd_via_join", "lossless_binary_decomposition",
+    "violating_fd_pair", "violating_mvd_pair",
+]

@@ -1,0 +1,184 @@
+"""Satisfaction of FDs and MVDs by instances (Definition 4.1, Theorem 4.4).
+
+Three checkers are provided:
+
+* :func:`satisfies_fd` — group tuples by their ``X``-projection and demand
+  a constant ``Y``-projection per group.
+* :func:`satisfies_mvd` — the definitional check.  Inside each ``X``-group
+  a tuple is determined by the pair of its projections onto ``X ⊔ Y`` and
+  ``X ⊔ Y^C`` (they join to ``N``), so Definition 4.1 is equivalent to
+  each group's pair-set being a full cross product — the nested analogue
+  of the classical relational criterion.
+* :func:`satisfies_mvd_via_join` — the *corrected* Theorem 4.4 oracle;
+  the property suite asserts it always agrees with the definitional
+  checker.
+
+**Erratum found during this reproduction.**  Theorem 4.4 of the paper
+states ``r ⊨ X ↠ Y`` iff ``r = π_{X⊔Y}(r) ⋈ π_{X⊔Y^C}(r)``.  The "if"
+direction fails in the presence of lists: on ``N = L[A]`` the instance
+``r = {[], [3]}`` equals the generalised join of its projections onto
+``X ⊔ Y = L[λ]`` and ``X ⊔ Y^C = L[A]`` (for ``X = λ``, ``Y = L[λ]``),
+yet ``λ ↠ L[λ]`` is violated — the exchange tuple would need length 0
+*and* content ``[3]``, which no value of ``dom(L[A])`` has.  The root
+cause is that ``(X⊔Y) ⊓ (X⊔Y^C) = X ⊔ (Y ⊓ Y^C)`` can exceed ``X``, so
+tuples agreeing on ``X`` need not be amalgamable.  The corrected
+statement, implemented by :func:`satisfies_mvd_via_join`, adds exactly
+the paper's own mixed-meet FD as a conjunct::
+
+    r ⊨ X ↠ Y   iff   r = π_{X⊔Y}(r) ⋈ π_{X⊔Y^C}(r)  and  r ⊨ X → Y⊓Y^C
+
+(in the RDM ``Y ∩ Y^C = ∅`` makes the conjunct vacuous, recovering
+Fagin's classical theorem).  The raw join equality remains available as
+:func:`lossless_binary_decomposition`; it is *necessary* for the MVD but
+not sufficient.
+
+Diagnostic helpers return concrete witnesses of violation, which the test
+suite and the examples use to *show* why a dependency fails (e.g. the
+paper's Example 4.2 pub-crawl FDs).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..attributes.lattice import complement, join, meet
+from ..attributes.nested import NestedAttribute
+from ..values.join import generalised_join
+from ..values.projection import project, project_instance
+from ..values.value import Value
+from .dependency import Dependency, FunctionalDependency, MultivaluedDependency
+from .sigma import DependencySet
+
+__all__ = [
+    "satisfies",
+    "satisfies_fd",
+    "satisfies_mvd",
+    "satisfies_mvd_via_join",
+    "lossless_binary_decomposition",
+    "satisfies_all",
+    "violating_fd_pair",
+    "violating_mvd_pair",
+]
+
+
+def satisfies(root: NestedAttribute, instance: Iterable[Value],
+              dependency: Dependency) -> bool:
+    """Whether ``instance ⊨ dependency`` over ``root`` (Definition 4.1)."""
+    if isinstance(dependency, FunctionalDependency):
+        return satisfies_fd(root, instance, dependency)
+    if isinstance(dependency, MultivaluedDependency):
+        return satisfies_mvd(root, instance, dependency)
+    raise TypeError(f"not a dependency: {dependency!r}")
+
+
+def satisfies_all(root: NestedAttribute, instance: Iterable[Value],
+                  sigma: DependencySet | Iterable[Dependency]) -> bool:
+    """Whether the instance satisfies every dependency of ``sigma``."""
+    tuples = list(instance)
+    return all(satisfies(root, tuples, dependency) for dependency in sigma)
+
+
+def satisfies_fd(root: NestedAttribute, instance: Iterable[Value],
+                 fd: FunctionalDependency) -> bool:
+    """FD satisfaction: equal ``X``-projections force equal ``Y``-projections."""
+    fd.validate(root)
+    return violating_fd_pair(root, instance, fd) is None
+
+
+def violating_fd_pair(root: NestedAttribute, instance: Iterable[Value],
+                      fd: FunctionalDependency) -> tuple[Value, Value] | None:
+    """A pair ``(t₁, t₂)`` violating the FD, or ``None`` if satisfied."""
+    fd.validate(root)
+    seen: dict[Value, tuple[Value, Value]] = {}
+    for value in instance:
+        key = project(root, fd.lhs, value)
+        image = project(root, fd.rhs, value)
+        if key in seen:
+            previous_image, previous_value = seen[key]
+            if previous_image != image:
+                return (previous_value, value)
+        else:
+            seen[key] = (image, value)
+    return None
+
+
+def satisfies_mvd(root: NestedAttribute, instance: Iterable[Value],
+                  mvd: MultivaluedDependency) -> bool:
+    """MVD satisfaction via the per-group cross-product criterion.
+
+    For each ``X``-group ``G`` let ``P = {(π_{X⊔Y}(t), π_{X⊔Y^C}(t)) | t ∈ G}``;
+    the MVD holds iff ``P`` equals the cross product of its two
+    coordinate projections, for every group.
+    """
+    mvd.validate(root)
+    return violating_mvd_pair(root, instance, mvd) is None
+
+
+def violating_mvd_pair(root: NestedAttribute, instance: Iterable[Value],
+                       mvd: MultivaluedDependency) -> tuple[Value, Value] | None:
+    """A pair ``(t₁, t₂)`` for which the exchanged tuple is missing.
+
+    Returns ``None`` when the MVD is satisfied.  The returned pair agrees
+    on ``lhs`` but no tuple of the instance combines ``t₁``'s values on
+    ``lhs ⊔ rhs`` with ``t₂``'s values on ``lhs ⊔ rhs^C``.
+    """
+    mvd.validate(root)
+    left_side = join(root, mvd.lhs, mvd.rhs)
+    right_side = join(root, mvd.lhs, complement(root, mvd.rhs))
+
+    groups: dict[Value, list[tuple[Value, Value, Value]]] = {}
+    for value in instance:
+        key = project(root, mvd.lhs, value)
+        left_image = project(root, left_side, value)
+        right_image = project(root, right_side, value)
+        groups.setdefault(key, []).append((left_image, right_image, value))
+
+    for members in groups.values():
+        pairs = {(left_image, right_image) for left_image, right_image, _ in members}
+        lefts = {left_image for left_image, _, _ in members}
+        rights = {right_image for _, right_image, _ in members}
+        if len(pairs) == len(lefts) * len(rights):
+            continue
+        # Cross product is incomplete: exhibit a missing combination.
+        for left_image, _, left_value in members:
+            for _, right_image, right_value in members:
+                if (left_image, right_image) not in pairs:
+                    return (left_value, right_value)
+    return None
+
+
+def lossless_binary_decomposition(root: NestedAttribute, instance: Iterable[Value],
+                                  mvd: MultivaluedDependency) -> bool:
+    """The raw Theorem 4.4 right-hand side:
+    ``r = π_{X⊔Y}(r) ⋈ π_{X⊔Y^C}(r)``.
+
+    *Necessary* for ``r ⊨ X ↠ Y`` but — contrary to the theorem as
+    printed — not sufficient over lists (see the module erratum note).
+    """
+    mvd.validate(root)
+    tuples = frozenset(instance)
+    left_side = join(root, mvd.lhs, mvd.rhs)
+    right_side = join(root, mvd.lhs, complement(root, mvd.rhs))
+    left_projection = project_instance(root, left_side, tuples)
+    right_projection = project_instance(root, right_side, tuples)
+    joined = generalised_join(root, left_side, right_side, left_projection, right_projection)
+    return joined == tuples
+
+
+def satisfies_mvd_via_join(root: NestedAttribute, instance: Iterable[Value],
+                           mvd: MultivaluedDependency) -> bool:
+    """The corrected Theorem 4.4 oracle (see the module erratum note).
+
+    ``r ⊨ X ↠ Y`` iff the binary decomposition is lossless *and* the
+    mixed-meet FD ``X → Y ⊓ Y^C`` holds — the FD guarantees that any two
+    tuples agreeing on ``X`` agree on the whole meet
+    ``(X⊔Y) ⊓ (X⊔Y^C)``, so their amalgam exists and losslessness forces
+    it into ``r``.
+    """
+    mvd.validate(root)
+    tuples = frozenset(instance)
+    overlap = meet(root, mvd.rhs, complement(root, mvd.rhs))
+    mixed_meet_fd = FunctionalDependency(mvd.lhs, overlap)
+    if not satisfies_fd(root, tuples, mixed_meet_fd):
+        return False
+    return lossless_binary_decomposition(root, tuples, mvd)

@@ -1,0 +1,118 @@
+"""Dependency sets ``Σ`` over a fixed nested attribute.
+
+A :class:`DependencySet` bundles the ambient attribute ``N`` with a finite
+set of FDs and MVDs on it — the ``Σ`` of the implication problem.  It is
+an immutable ordered collection (iteration order = insertion order, which
+keeps algorithm traces reproducible) with convenience constructors from
+text and small set-algebra helpers used by the equivalence/minimal-cover
+utilities in :mod:`repro.core.membership`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..attributes.nested import NestedAttribute
+from ..attributes.printer import unparse
+from .dependency import Dependency, FunctionalDependency, MultivaluedDependency, parse_dependency
+
+__all__ = ["DependencySet"]
+
+
+class DependencySet:
+    """A finite set ``Σ`` of FDs and MVDs on a nested attribute ``N``.
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute
+    >>> N = parse_attribute("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+    >>> sigma = DependencySet.parse(N, [
+    ...     "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])",
+    ... ])
+    >>> len(sigma)
+    1
+    """
+
+    __slots__ = ("root", "_dependencies")
+
+    def __init__(self, root: NestedAttribute, dependencies: Iterable[Dependency] = ()) -> None:
+        self.root = root
+        ordered: list[Dependency] = []
+        seen: set[Dependency] = set()
+        for dependency in dependencies:
+            dependency.validate(root)
+            if dependency not in seen:
+                seen.add(dependency)
+                ordered.append(dependency)
+        self._dependencies: tuple[Dependency, ...] = tuple(ordered)
+
+    @classmethod
+    def parse(cls, root: NestedAttribute, texts: Sequence[str]) -> "DependencySet":
+        """Build a set from textual dependencies (see
+        :func:`repro.dependencies.dependency.parse_dependency`)."""
+        return cls(root, (parse_dependency(text, root) for text in texts))
+
+    # -- collection protocol ----------------------------------------------
+
+    def __iter__(self) -> Iterator[Dependency]:
+        return iter(self._dependencies)
+
+    def __len__(self) -> int:
+        return len(self._dependencies)
+
+    def __contains__(self, dependency: Dependency) -> bool:
+        return dependency in set(self._dependencies)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencySet):
+            return NotImplemented
+        return self.root == other.root and set(self._dependencies) == set(other._dependencies)
+
+    def __hash__(self) -> int:
+        return hash((self.root, frozenset(self._dependencies)))
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def dependencies(self) -> tuple[Dependency, ...]:
+        """The dependencies in insertion order."""
+        return self._dependencies
+
+    def fds(self) -> tuple[FunctionalDependency, ...]:
+        """The functional dependencies only."""
+        return tuple(d for d in self._dependencies if isinstance(d, FunctionalDependency))
+
+    def mvds(self) -> tuple[MultivaluedDependency, ...]:
+        """The multi-valued dependencies only."""
+        return tuple(d for d in self._dependencies if isinstance(d, MultivaluedDependency))
+
+    # -- set algebra ----------------------------------------------------------
+
+    def with_dependency(self, dependency: Dependency) -> "DependencySet":
+        """A copy extended by one dependency (no-op if already present)."""
+        return DependencySet(self.root, (*self._dependencies, dependency))
+
+    def without(self, dependency: Dependency) -> "DependencySet":
+        """A copy with one dependency removed."""
+        return DependencySet(
+            self.root, (d for d in self._dependencies if d != dependency)
+        )
+
+    def union(self, other: "DependencySet") -> "DependencySet":
+        """The union of two dependency sets over the same root."""
+        if other.root != self.root:
+            raise ValueError("cannot union dependency sets over different roots")
+        return DependencySet(self.root, (*self._dependencies, *other._dependencies))
+
+    # -- display -----------------------------------------------------------
+
+    def display(self) -> str:
+        """Multi-line paper-style rendering."""
+        lines = [dependency.display(self.root) for dependency in self._dependencies]
+        return "\n".join(lines) if lines else "(empty)"
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencySet(root={unparse(self.root)}, "
+            f"n_fds={len(self.fds())}, n_mvds={len(self.mvds())})"
+        )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AttributeSyntaxError",
+    "NotASubattributeError",
+    "NotAnElementError",
+    "InvalidValueError",
+    "IncompatibleValuesError",
+    "DependencySyntaxError",
+    "AmbiguousAbbreviationError",
+    "WitnessConstructionError",
+    "DerivationLimitExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class AttributeSyntaxError(ReproError, ValueError):
+    """A textual nested-attribute expression could not be parsed."""
+
+
+class AmbiguousAbbreviationError(AttributeSyntaxError):
+    """An abbreviated subattribute expression matches a record ambiguously.
+
+    The paper (Section 3.3) warns that ``L(A)`` inside ``L(A, A)`` may refer
+    to either ``L(A, λ)`` or ``L(λ, A)``; such expressions are rejected.
+    """
+
+
+class NotASubattributeError(ReproError, ValueError):
+    """An operation required ``M ≤ N`` but the relation does not hold."""
+
+
+class NotAnElementError(ReproError, ValueError):
+    """An attribute passed to a lattice operation is not in ``Sub(N)``."""
+
+
+class InvalidValueError(ReproError, ValueError):
+    """A Python object is not a member of ``dom(N)`` for the given ``N``."""
+
+
+class IncompatibleValuesError(ReproError, ValueError):
+    """Two partial values disagree on the meet and cannot be amalgamated."""
+
+
+class DependencySyntaxError(ReproError, ValueError):
+    """A textual FD/MVD expression could not be parsed."""
+
+
+class WitnessConstructionError(ReproError, RuntimeError):
+    """The two-tuple witness construction hit an inconsistent state.
+
+    This indicates a violation of the invariant from Section 4.2 of the
+    paper (``SubB(W ⊓ W')`` must be functionally determined by ``X`` for
+    distinct blocks ``W``, ``W'`` of the dependency basis) and should never
+    happen for bases produced by Algorithm 5.1.
+    """
+
+
+class DerivationLimitExceeded(ReproError, RuntimeError):
+    """The naive derivation engine exceeded its configured step budget."""

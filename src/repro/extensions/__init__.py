@@ -1,0 +1,25 @@
+"""Future-work extensions sketched in the paper's conclusion (§7).
+
+Currently: the set/multiset type substrate with executable
+demonstrations of where the list-type theory stops applying.  These
+modules deliberately do NOT extend the membership algorithm — the
+demonstrations show why that would be unsound without new theory.
+"""
+
+from .settypes import (
+    Multiset,
+    MultisetAttr,
+    SetAttr,
+    UnsupportedByCoreError,
+    contains_set_types,
+    set_is_subattribute,
+    set_project,
+    set_satisfies_fd,
+    set_validate_value,
+)
+
+__all__ = [
+    "SetAttr", "MultisetAttr", "Multiset", "UnsupportedByCoreError",
+    "contains_set_types", "set_is_subattribute", "set_project",
+    "set_satisfies_fd", "set_validate_value",
+]

@@ -1,0 +1,329 @@
+"""Finite set and multiset types — the §7 future-work demonstration.
+
+The paper's conclusion sketches what changes beyond lists: "the extension
+rule is no longer valid in the presence of sets" (studied for FDs in the
+companion [27]) and "MVDs show an interesting behaviour in the presence of
+finite set types, in the sense that Theorem 4.4 is no longer valid.  That
+is, MVDs deviate from binary join dependencies."
+
+This module supplies the *semantic* substrate to make those statements
+executable: set-valued and multiset-valued attribute constructors, their
+domains, subattribute rules and projection functions — mirroring
+Definitions 3.2–3.6 with the obvious set/multiset readings:
+
+* ``dom(L{N})`` = finite sets over ``dom(N)``; projection maps elementwise
+  and **deduplicates** (cardinality may shrink — the crucial difference
+  from lists, which preserve position and length);
+* ``dom(L⟨N⟩)`` = finite multisets; projection preserves multiplicity
+  totals but merges equal projections.
+
+Satisfaction of FDs/MVDs over roots containing these constructors reuses
+Definition 4.1 verbatim via :func:`set_project`.
+
+Deliberately **out of scope** (as in the paper): the subattribute
+*algebra* for set types, their axiomatisation, and the membership
+algorithm — the whole point of the demonstration tests
+(``tests/unit/extensions/``) is that the list-type laws *fail* here, so
+feeding these attributes to the core algorithm would be unsound.  The
+core machinery rejects them with
+:class:`~repro.exceptions.ReproError`-derived errors rather than
+computing silently wrong answers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+from ..attributes.nested import Flat, ListAttr, NestedAttribute, Null, Record
+from ..attributes.subattribute import is_subattribute as _core_is_subattribute
+from ..exceptions import InvalidValueError, NotASubattributeError, ReproError
+from ..values.value import OK, Value
+
+__all__ = [
+    "SetAttr",
+    "MultisetAttr",
+    "Multiset",
+    "UnsupportedByCoreError",
+    "set_is_subattribute",
+    "set_validate_value",
+    "set_project",
+    "set_satisfies_fd",
+    "contains_set_types",
+]
+
+
+class UnsupportedByCoreError(ReproError, TypeError):
+    """Raised when set-typed attributes reach list-only machinery."""
+
+
+class SetAttr(NestedAttribute):
+    """A set-valued attribute ``L{N}``: finite sets over ``dom(N)``."""
+
+    __slots__ = ("label", "element")
+
+    def __init__(self, label: str, element: NestedAttribute) -> None:
+        if not label or not isinstance(label, str):
+            raise ValueError(f"set label must be a non-empty string, got {label!r}")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "_hash", hash(("set", label, element)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def depth(self) -> int:
+        return 1 + self.element.depth()
+
+    def node_count(self) -> int:
+        return 1 + self.element.node_count()
+
+    def head(self) -> str:
+        return self.label
+
+    def children(self) -> tuple[NestedAttribute, ...]:
+        return (self.element,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SetAttr)
+            and self.label == other.label
+            and self.element == other.element
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:  # the paper writes set constructors with {}
+        return f"{self.label}{{{self.element}}}"
+
+
+class MultisetAttr(NestedAttribute):
+    """A multiset-valued attribute ``L⟨N⟩``: finite multisets over ``dom(N)``."""
+
+    __slots__ = ("label", "element")
+
+    def __init__(self, label: str, element: NestedAttribute) -> None:
+        if not label or not isinstance(label, str):
+            raise ValueError(
+                f"multiset label must be a non-empty string, got {label!r}"
+            )
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "element", element)
+        object.__setattr__(self, "_hash", hash(("multiset", label, element)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def depth(self) -> int:
+        return 1 + self.element.depth()
+
+    def node_count(self) -> int:
+        return 1 + self.element.node_count()
+
+    def head(self) -> str:
+        return self.label
+
+    def children(self) -> tuple[NestedAttribute, ...]:
+        return (self.element,)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MultisetAttr)
+            and self.label == other.label
+            and self.element == other.element
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return f"{self.label}<{self.element}>"
+
+
+class Multiset:
+    """An immutable, hashable finite multiset of hashable values."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        counter = Counter(items)
+        frozen = frozenset(counter.items())
+        object.__setattr__(self, "_items", frozen)
+        object.__setattr__(self, "_hash", hash(("repro.multiset", frozen)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Multiset is immutable")
+
+    def elements(self):
+        """Iterate elements with multiplicity."""
+        for value, count in sorted(self._items, key=repr):
+            for _ in range(count):
+                yield value
+
+    def counts(self) -> frozenset:
+        """The underlying ``(value, multiplicity)`` pairs."""
+        return self._items
+
+    def __len__(self) -> int:
+        return sum(count for _, count in self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Multiset) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(value) for value in self.elements())
+        return f"Multiset([{inner}])"
+
+
+def contains_set_types(attribute: NestedAttribute) -> bool:
+    """Whether any constructor in the term is set- or multiset-valued."""
+    return any(
+        isinstance(node, (SetAttr, MultisetAttr)) for node in attribute.walk()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Subattribute relation (Definition 3.4 extended with the set bullets)
+# ---------------------------------------------------------------------------
+
+def set_is_subattribute(candidate: NestedAttribute, parent: NestedAttribute) -> bool:
+    """``≤`` extended to set/multiset constructors.
+
+    ``λ ≤ L{N}`` and ``λ ≤ L⟨N⟩`` (like lists), and the constructors are
+    monotone in their element type.
+    """
+    if candidate == parent:
+        return True
+    if isinstance(candidate, Null):
+        return isinstance(parent, (Flat, ListAttr, SetAttr, MultisetAttr))
+    if isinstance(candidate, SetAttr) and isinstance(parent, SetAttr):
+        return candidate.label == parent.label and set_is_subattribute(
+            candidate.element, parent.element
+        )
+    if isinstance(candidate, MultisetAttr) and isinstance(parent, MultisetAttr):
+        return candidate.label == parent.label and set_is_subattribute(
+            candidate.element, parent.element
+        )
+    if isinstance(candidate, Record) and isinstance(parent, Record):
+        if candidate.label != parent.label or candidate.arity != parent.arity:
+            return False
+        return all(
+            set_is_subattribute(c, p)
+            for c, p in zip(candidate.components, parent.components)
+        )
+    if isinstance(candidate, ListAttr) and isinstance(parent, ListAttr):
+        return candidate.label == parent.label and set_is_subattribute(
+            candidate.element, parent.element
+        )
+    if contains_set_types(candidate) or contains_set_types(parent):
+        return False
+    return _core_is_subattribute(candidate, parent)
+
+
+# ---------------------------------------------------------------------------
+# Values and projections (Definitions 3.3 / 3.6 extended)
+# ---------------------------------------------------------------------------
+
+def set_validate_value(attribute: NestedAttribute, value: Value) -> None:
+    """Assert ``value ∈ dom(attribute)`` for set-extended attributes."""
+    if isinstance(attribute, SetAttr):
+        if not isinstance(value, frozenset):
+            raise InvalidValueError(
+                f"dom({attribute}) holds frozensets, got {value!r}"
+            )
+        for element in value:
+            set_validate_value(attribute.element, element)
+        return
+    if isinstance(attribute, MultisetAttr):
+        if not isinstance(value, Multiset):
+            raise InvalidValueError(
+                f"dom({attribute}) holds Multiset values, got {value!r}"
+            )
+        for element, _ in value.counts():
+            set_validate_value(attribute.element, element)
+        return
+    if isinstance(attribute, Record):
+        if not isinstance(value, tuple) or len(value) != attribute.arity:
+            raise InvalidValueError(
+                f"dom({attribute}) holds {attribute.arity}-tuples, got {value!r}"
+            )
+        for component_attribute, component_value in zip(attribute.components, value):
+            set_validate_value(component_attribute, component_value)
+        return
+    if isinstance(attribute, ListAttr):
+        if not isinstance(value, tuple):
+            raise InvalidValueError(
+                f"dom({attribute}) holds finite lists (tuples), got {value!r}"
+            )
+        for element in value:
+            set_validate_value(attribute.element, element)
+        return
+    from ..values.value import validate_value
+
+    validate_value(attribute, value)
+
+
+def set_project(parent: NestedAttribute, target: NestedAttribute,
+                value: Value) -> Value:
+    """``π^parent_target`` extended to set and multiset constructors.
+
+    The set projection *deduplicates* — two elements with equal
+    projections collapse into one — which is exactly what breaks the
+    extension rule and the binary-join characterisation (see the
+    demonstration tests).
+    """
+    if not set_is_subattribute(target, parent):
+        raise NotASubattributeError(f"{target} is not a subattribute of {parent}")
+    return _set_project(parent, target, value)
+
+
+def _set_project(parent: NestedAttribute, target: NestedAttribute,
+                 value: Value) -> Value:
+    if target == parent:
+        return value
+    if isinstance(target, Null):
+        return OK
+    if isinstance(parent, SetAttr):
+        assert isinstance(target, SetAttr)
+        return frozenset(
+            _set_project(parent.element, target.element, element)
+            for element in value
+        )
+    if isinstance(parent, MultisetAttr):
+        assert isinstance(target, MultisetAttr)
+        return Multiset(
+            _set_project(parent.element, target.element, element)
+            for element in value.elements()
+        )
+    if isinstance(parent, Record):
+        assert isinstance(target, Record)
+        return tuple(
+            _set_project(component_parent, component_target, component_value)
+            for component_parent, component_target, component_value in zip(
+                parent.components, target.components, value
+            )
+        )
+    if isinstance(parent, ListAttr):
+        assert isinstance(target, ListAttr)
+        return tuple(
+            _set_project(parent.element, target.element, element)
+            for element in value
+        )
+    raise AssertionError(f"unreachable projection case {target} ≤ {parent}")
+
+
+def set_satisfies_fd(root: NestedAttribute, instance: Iterable[Value],
+                     lhs: NestedAttribute, rhs: NestedAttribute) -> bool:
+    """FD satisfaction (Definition 4.1) over set-extended roots."""
+    seen: dict[Value, Value] = {}
+    for value in instance:
+        key = set_project(root, lhs, value)
+        image = set_project(root, rhs, value)
+        if key in seen and seen[key] != image:
+            return False
+        seen.setdefault(key, image)
+    return True

@@ -1,0 +1,36 @@
+"""The axiomatisation of Theorem 4.6 and the naive derivation engine."""
+
+from .rules import (
+    ALL_RULES,
+    FD_RULES,
+    MIXED_RULES,
+    MVD_RULES,
+    AxiomRule,
+    BinaryRule,
+    Rule,
+    UnaryRule,
+    rule_by_name,
+)
+from .derivation import (
+    DerivationResult,
+    DerivationStep,
+    derive_closure,
+    derives,
+    explain,
+)
+from .restricted import (
+    AblationReport,
+    Derivability,
+    derives_without_complementation,
+    restricted_closure,
+    rule_ablation,
+    rules_without,
+)
+
+__all__ = [
+    "Rule", "AxiomRule", "UnaryRule", "BinaryRule",
+    "FD_RULES", "MVD_RULES", "MIXED_RULES", "ALL_RULES", "rule_by_name",
+    "DerivationResult", "DerivationStep", "derive_closure", "derives", "explain",
+    "Derivability", "rules_without", "restricted_closure",
+    "derives_without_complementation", "AblationReport", "rule_ablation",
+]

@@ -1,0 +1,269 @@
+"""Forward-chaining derivation: the naive enumeration baseline (§5).
+
+The paper opens Section 5 by noting that, given Theorem 4.6, the
+membership problem is decidable by enumerating all derivable dependencies
+— "however, the enumeration algorithm is time consuming and therefore
+impractical".  This module implements exactly that impractical baseline,
+for three purposes:
+
+1. **Differential testing** — on small attributes the full fixpoint of the
+   rule system must coincide with what Algorithm 5.1 claims (both
+   soundness and completeness of the implementation are exercised).
+2. **Benchmark baseline** — experiment E8 measures the blow-up of naive
+   enumeration against the polynomial algorithm.
+3. **Proof trees** — every derived dependency records the rule and
+   premises that produced it, so :func:`explain` can print a human-
+   readable derivation, e.g. for teaching the mixed meet rule.
+
+The closure is semi-naive (each round combines fresh dependencies with
+everything known), with hard budgets to keep the exponential blow-up from
+hanging test runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..attributes.lattice import complement
+from ..attributes.nested import NestedAttribute
+from ..attributes.subattribute import count_subattributes, subattributes
+from ..dependencies.dependency import Dependency
+from ..dependencies.sigma import DependencySet
+from ..exceptions import DerivationLimitExceeded
+from .rules import ALL_RULES, Rule
+
+__all__ = ["DerivationStep", "DerivationResult", "derive_closure", "derives", "explain"]
+
+#: Enumerating Sub(N) as candidate elements is only safe for small roots.
+_EXHAUSTIVE_SUB_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """How one dependency entered the closure."""
+
+    dependency: Dependency
+    rule: str
+    premises: tuple[Dependency, ...]
+
+
+class DerivationResult:
+    """The outcome of a (possibly truncated) rule-closure computation.
+
+    Attributes
+    ----------
+    dependencies:
+        Every dependency in the computed closure, including ``Σ`` itself.
+    steps:
+        Provenance: for each dependency, the first derivation found.
+    exhausted:
+        ``True`` when a genuine fixpoint was reached; ``False`` when a
+        budget stopped the computation early (the closure is then only a
+        *lower* bound on ``Σ⁺``).
+    rounds:
+        Number of semi-naive rounds executed.
+    """
+
+    def __init__(self, root: NestedAttribute, steps: dict[Dependency, DerivationStep],
+                 exhausted: bool, rounds: int) -> None:
+        self.root = root
+        self.steps = steps
+        self.exhausted = exhausted
+        self.rounds = rounds
+
+    @property
+    def dependencies(self) -> frozenset:
+        return frozenset(self.steps)
+
+    def __contains__(self, dependency: Dependency) -> bool:
+        return dependency in self.steps
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def proof(self, dependency: Dependency) -> list[DerivationStep]:
+        """The derivation tree of ``dependency``, linearised premises-first."""
+        if dependency not in self.steps:
+            raise KeyError(f"{dependency} was not derived")
+        ordered: list[DerivationStep] = []
+        seen: set[Dependency] = set()
+
+        def visit(current: Dependency) -> None:
+            if current in seen:
+                return
+            seen.add(current)
+            step = self.steps[current]
+            for premise in step.premises:
+                visit(premise)
+            ordered.append(step)
+
+        visit(dependency)
+        return ordered
+
+
+def _candidate_elements(root: NestedAttribute,
+                        sigma: DependencySet,
+                        extra: Iterable[Dependency] = ()) -> list[NestedAttribute]:
+    """Side-condition candidates for the quantified rule schemata.
+
+    For small roots the full ``Sub(root)`` is used, making the fixpoint a
+    faithful ``Σ⁺`` (the gold standard the differential tests rely on).
+    For larger roots the candidates are the elements occurring in ``Σ``,
+    the target, the root and its bottom — a sound but potentially
+    incomplete heuristic, flagged by callers via ``exhaustive_elements``.
+    """
+    if count_subattributes(root) <= _EXHAUSTIVE_SUB_LIMIT:
+        return list(subattributes(root))
+    from ..attributes.subattribute import bottom
+
+    elements: dict[NestedAttribute, None] = {root: None, bottom(root): None}
+    for dependency in list(sigma) + list(extra):
+        elements.setdefault(dependency.lhs, None)
+        elements.setdefault(dependency.rhs, None)
+        elements.setdefault(complement(root, dependency.rhs), None)
+    return list(elements)
+
+
+def derive_closure(
+    sigma: DependencySet,
+    *,
+    rules: Sequence[Rule] = ALL_RULES,
+    elements: Iterable[NestedAttribute] | None = None,
+    target: Dependency | None = None,
+    max_dependencies: int = 200_000,
+    max_rounds: int = 64,
+    strict: bool = False,
+) -> DerivationResult:
+    """Compute (a truncation of) the syntactic closure ``Σ⁺``.
+
+    Parameters
+    ----------
+    sigma:
+        The premises ``Σ`` with their root attribute.
+    rules:
+        The rule system; defaults to the full Theorem 4.6 set.
+    elements:
+        Candidate subattributes for quantified schemata; defaults to all
+        of ``Sub(root)`` when small (see :func:`_candidate_elements`).
+    target:
+        Optional early-exit: stop as soon as this dependency is derived.
+    max_dependencies / max_rounds:
+        Budgets bounding the exponential enumeration.
+    strict:
+        When ``True``, exceeding a budget raises
+        :class:`DerivationLimitExceeded` instead of returning a truncated
+        result.
+    """
+    root = sigma.root
+    element_pool = list(elements) if elements is not None else _candidate_elements(
+        root, sigma, (target,) if target is not None else ()
+    )
+
+    steps: dict[Dependency, DerivationStep] = {}
+
+    class _TargetFound(Exception):
+        """Internal: unwind the nested loops the moment the target lands."""
+
+    class _BudgetExceeded(Exception):
+        """Internal: unwind when the dependency budget is hit mid-round."""
+
+    def admit(dependency: Dependency, rule_name: str,
+              premises: tuple[Dependency, ...]) -> bool:
+        if dependency in steps:
+            return False
+        steps[dependency] = DerivationStep(dependency, rule_name, premises)
+        if target is not None and dependency == target:
+            raise _TargetFound
+        if len(steps) > max_dependencies:
+            raise _BudgetExceeded
+        return True
+
+    rounds = 0
+    exhausted = True
+    try:
+        for dependency in sigma:
+            admit(dependency, "premise", ())
+
+        # Axiom schemata fire once; they depend only on the element pool.
+        for rule in rules:
+            if rule.arity == 0:
+                for conclusion in rule.conclusions(root, (), element_pool):
+                    admit(conclusion, rule.name, ())
+
+        unary_rules = [rule for rule in rules if rule.arity == 1]
+        binary_rules = [rule for rule in rules if rule.arity == 2]
+
+        fresh = list(steps)
+        while fresh:
+            rounds += 1
+            if rounds > max_rounds:
+                raise _BudgetExceeded
+            produced: list[Dependency] = []
+
+            def emit(conclusion: Dependency, rule_name: str,
+                     premises: tuple[Dependency, ...]) -> None:
+                if admit(conclusion, rule_name, premises):
+                    produced.append(conclusion)
+
+            known = list(steps)
+            for rule in unary_rules:
+                for premise in fresh:
+                    for conclusion in rule.conclusions(root, (premise,), element_pool):
+                        emit(conclusion, rule.name, (premise,))
+            for rule in binary_rules:
+                for first in fresh:
+                    for second in known:
+                        for conclusion in rule.conclusions(
+                            root, (first, second), element_pool
+                        ):
+                            emit(conclusion, rule.name, (first, second))
+                        if second not in fresh:
+                            for conclusion in rule.conclusions(
+                                root, (second, first), element_pool
+                            ):
+                                emit(conclusion, rule.name, (second, first))
+            fresh = produced
+    except _TargetFound:
+        return DerivationResult(root, steps, True, rounds)
+    except _BudgetExceeded:
+        if strict:
+            raise DerivationLimitExceeded(
+                f"derivation exceeded budget (rounds={rounds}, "
+                f"dependencies={len(steps)})"
+            ) from None
+        exhausted = False
+
+    return DerivationResult(root, steps, exhausted, rounds)
+
+
+def derives(sigma: DependencySet, target: Dependency, **kwargs) -> bool:
+    """Whether the rule system derives ``target`` from ``sigma``.
+
+    This is the naive-enumeration decision procedure; on truncation
+    (budget hit without finding the target) the answer ``False`` is only
+    as good as the budget.  Use :func:`repro.core.membership.implies` for
+    the polynomial decision.
+    """
+    result = derive_closure(sigma, target=target, **kwargs)
+    return target in result
+
+
+def explain(result: DerivationResult, dependency: Dependency) -> str:
+    """Render the derivation of ``dependency`` as a numbered proof.
+
+    Example output::
+
+        1. Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])   [premise]
+        2. Pubcrawl(Person) -> Pubcrawl(Visit[λ])             [mixed meet; 1]
+    """
+    ordered = result.proof(dependency)
+    numbering = {step.dependency: index + 1 for index, step in enumerate(ordered)}
+    lines = []
+    for step in ordered:
+        reference = ", ".join(str(numbering[premise]) for premise in step.premises)
+        origin = step.rule if not reference else f"{step.rule}; {reference}"
+        lines.append(
+            f"{numbering[step.dependency]}. {step.dependency.display(result.root)}   [{origin}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Restricted derivability: reasoning with sub-systems of the rules (§7).
+
+The paper's conclusion raises two follow-up questions about the rule
+system of Theorem 4.6:
+
+* *Complementation-free derivations* — "derivations not using the
+  Brouwerian-complement rule are of particular interest … we are
+  confident that this decision procedure can be extended" (referencing
+  Biskup's relational result [14]).  :func:`derives_without_complementation`
+  decides the question exactly on small attributes by computing the rule
+  fixpoint with the complementation rule removed.
+* *Minimal rule sets* — "the inference rules from Theorem 4.6 are
+  expected to be redundant".  :func:`rule_ablation` removes one rule at a
+  time and reports whether the closure of a given ``Σ`` shrinks — the
+  empirical face of the redundancy question, used by the ablation
+  benchmark (E16).
+
+Both helpers run the *naive* engine, so they are exponential and meant
+for small schemas (they inherit the engine's budgets and report
+truncation honestly instead of guessing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..dependencies.dependency import Dependency
+from ..dependencies.sigma import DependencySet
+from .derivation import DerivationResult, derive_closure
+from .rules import ALL_RULES, MVD_RULES, Rule, rule_by_name
+
+__all__ = [
+    "Derivability",
+    "rules_without",
+    "restricted_closure",
+    "derives_without_complementation",
+    "AblationReport",
+    "rule_ablation",
+]
+
+
+class Derivability(Enum):
+    """Outcome of a (possibly budget-limited) restricted derivation."""
+
+    DERIVABLE = "derivable"
+    NOT_DERIVABLE = "not derivable"
+    UNKNOWN = "unknown (budget exhausted before a fixpoint)"
+
+    def __bool__(self) -> bool:
+        return self is Derivability.DERIVABLE
+
+
+def rules_without(*names: str) -> tuple[Rule, ...]:
+    """The Theorem 4.6 system minus the named rules.
+
+    Raises ``KeyError`` for unknown rule names (catching typos early).
+    """
+    excluded = {rule_by_name(name) for name in names}
+    return tuple(rule for rule in ALL_RULES if rule not in excluded)
+
+
+def restricted_closure(sigma: DependencySet, excluded: tuple[str, ...],
+                       **budgets) -> DerivationResult:
+    """The naive closure of ``Σ`` under the system minus ``excluded``."""
+    return derive_closure(sigma, rules=rules_without(*excluded), **budgets)
+
+
+def derives_without_complementation(sigma: DependencySet, target: Dependency,
+                                    **budgets) -> Derivability:
+    """Whether ``target`` is derivable without the complementation rule.
+
+    In the relational model this is decidable in polynomial time (Biskup
+    [14]); here it is decided exactly by fixpoint on small attributes.
+    ``UNKNOWN`` is returned when the engine's budget ran out before either
+    finding the target or reaching a fixpoint.
+    """
+    result = derive_closure(
+        sigma,
+        rules=rules_without("MVD complementation"),
+        target=target,
+        **budgets,
+    )
+    if target in result:
+        return Derivability.DERIVABLE
+    return Derivability.NOT_DERIVABLE if result.exhausted else Derivability.UNKNOWN
+
+
+@dataclass(frozen=True)
+class AblationReport:
+    """The effect of removing one rule on one closure computation.
+
+    Attributes
+    ----------
+    rule:
+        The removed rule's name.
+    lost:
+        Dependencies in the full closure that the reduced system missed.
+        Empty means the rule was redundant *for this input* (a rule is
+        only provably redundant if it is lost on no input at all).
+    exhausted:
+        Whether both fixpoints were genuinely reached (budgets untouched).
+    """
+
+    rule: str
+    lost: frozenset
+    exhausted: bool
+
+    @property
+    def redundant_here(self) -> bool:
+        return self.exhausted and not self.lost
+
+
+def rule_ablation(sigma: DependencySet, **budgets) -> tuple[AblationReport, ...]:
+    """Remove each rule in turn and diff the closure against the full one.
+
+    The per-rule reports feed the E16 ablation study: rules that are never
+    load-bearing across a randomized corpus are the redundancy candidates
+    the paper's conclusion expects.
+    """
+    full = derive_closure(sigma, **budgets)
+    reports = []
+    for rule in ALL_RULES:
+        reduced = derive_closure(
+            sigma, rules=tuple(r for r in ALL_RULES if r is not rule), **budgets
+        )
+        lost = frozenset(full.dependencies - reduced.dependencies)
+        reports.append(
+            AblationReport(rule.name, lost, full.exhausted and reduced.exhausted)
+        )
+    return tuple(reports)
+
+
+#: Names of the seven MVD rules, exported for ablation sweeps.
+MVD_RULE_NAMES = tuple(rule.name for rule in MVD_RULES)

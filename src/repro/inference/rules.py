@@ -1,0 +1,306 @@
+"""The inference rules of Theorem 4.6 as first-class objects.
+
+The paper (with full proofs in its companion [29]) axiomatises the
+implication of FDs and MVDs in the presence of base, record and finite
+list types by natural generalisations of the classical relational rules
+([36, pp. 80–81], [9]) **plus one genuinely new rule**:
+
+====================================  =======================================
+rule                                  schema
+====================================  =======================================
+FD reflexivity axiom                  ``⊢ X → Y``            for ``Y ≤ X``
+FD extension                          ``X → Y ⊢ X → X ⊔ Y``
+FD transitivity                       ``X → Y, Y → Z ⊢ X → Z``
+MVD complementation                   ``X ↠ Y ⊢ X ↠ Y^C``
+MVD reflexivity axiom                 ``⊢ X ↠ Y``            for ``Y ≤ X``
+MVD augmentation                      ``X ↠ Y ⊢ X ⊔ W ↠ Y ⊔ V`` for ``V ≤ W``
+MVD pseudo-transitivity               ``X ↠ Y, Y ↠ Z ⊢ X ↠ Z ∸ Y``
+implication (FD → MVD)                ``X → Y ⊢ X ↠ Y``
+mixed pseudo-transitivity             ``X ↠ Y, Y → Z ⊢ X → Z ∸ Y``
+multi-valued join                     ``X ↠ Y, X ↠ Z ⊢ X ↠ Y ⊔ Z``
+multi-valued meet                     ``X ↠ Y, X ↠ Z ⊢ X ↠ Y ⊓ Z``
+multi-valued pseudo-difference        ``X ↠ Y, X ↠ Z ⊢ X ↠ Y ∸ Z``
+**mixed meet**                        ``X ↠ Y ⊢ X → Y ⊓ Y^C``
+====================================  =======================================
+
+The *mixed meet rule* is the novelty: in the relational model
+``Y ∩ Y^C = ∅`` always, so the rule only derives the trivial ``X → ∅`` —
+but over lists ``Y ⊓ Y^C`` can be a non-trivial attribute (e.g. a list
+*length* component ``L[λ]``), so non-trivial FDs follow from MVDs.
+
+The reflexivity axiom, extension and transitivity alone are sound and
+complete for FDs (noted after Theorem 4.6); the full set is complete for
+FDs+MVDs and — as the paper's conclusion anticipates — redundant.
+
+Every rule is a :class:`Rule` with a uniform interface so that
+
+* the derivation engine (:mod:`repro.inference.derivation`) can chain
+  them mechanically, and
+* the property suite can verify each rule's *semantic soundness* in
+  isolation: for random instances, whenever all premises are satisfied
+  the conclusion is satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..attributes.lattice import complement, join, meet, pseudo_difference
+from ..attributes.nested import NestedAttribute
+from ..attributes.subattribute import is_subattribute
+from ..dependencies.dependency import (
+    Dependency,
+    FunctionalDependency,
+    MultivaluedDependency,
+)
+
+__all__ = [
+    "Rule",
+    "AxiomRule",
+    "UnaryRule",
+    "BinaryRule",
+    "FD_RULES",
+    "MVD_RULES",
+    "MIXED_RULES",
+    "ALL_RULES",
+    "rule_by_name",
+]
+
+
+class Rule:
+    """Base class: a named inference rule over a fixed-root lattice.
+
+    Subclasses implement :meth:`conclusions`, producing every dependency
+    derivable from a given premise tuple.  Rules whose schema quantifies
+    over extra lattice elements (reflexivity, augmentation) receive the
+    candidate elements from the caller — the derivation engine feeds the
+    elements occurring in the current derivation state plus the basis, so
+    closures stay finite.
+    """
+
+    #: Human-readable rule name matching the table above.
+    name: str = "?"
+    #: Number of dependency premises (0 for axiom schemata).
+    arity: int = 0
+
+    def conclusions(self, root: NestedAttribute, premises: Sequence[Dependency],
+                    elements: Iterable[NestedAttribute]) -> list[Dependency]:
+        """All conclusions from ``premises`` (length = :attr:`arity`).
+
+        ``elements`` supplies the side-condition candidates for schemata
+        quantifying over additional subattributes.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<rule {self.name!r}>"
+
+
+class AxiomRule(Rule):
+    """A premise-free schema generating dependencies from element pairs."""
+
+    arity = 0
+
+    def __init__(self, name: str,
+                 generate: Callable[[NestedAttribute, NestedAttribute, NestedAttribute],
+                                    Dependency | None]) -> None:
+        self.name = name
+        self._generate = generate
+
+    def conclusions(self, root, premises, elements):
+        elements = list(elements)
+        results = []
+        for x in elements:
+            for y in elements:
+                conclusion = self._generate(root, x, y)
+                if conclusion is not None:
+                    results.append(conclusion)
+        return results
+
+
+class UnaryRule(Rule):
+    """A one-premise rule, optionally quantifying over extra elements."""
+
+    arity = 1
+
+    def __init__(self, name: str,
+                 apply: Callable[[NestedAttribute, Dependency, Iterable[NestedAttribute]],
+                                 Iterable[Dependency]]) -> None:
+        self.name = name
+        self._apply = apply
+
+    def conclusions(self, root, premises, elements):
+        (premise,) = premises
+        return list(self._apply(root, premise, elements))
+
+
+class BinaryRule(Rule):
+    """A two-premise rule."""
+
+    arity = 2
+
+    def __init__(self, name: str,
+                 apply: Callable[[NestedAttribute, Dependency, Dependency],
+                                 Dependency | None]) -> None:
+        self.name = name
+        self._apply = apply
+
+    def conclusions(self, root, premises, elements):
+        first, second = premises
+        conclusion = self._apply(root, first, second)
+        return [conclusion] if conclusion is not None else []
+
+
+# ---------------------------------------------------------------------------
+# FD rules (complete for FDs alone)
+# ---------------------------------------------------------------------------
+
+def _fd_reflexivity(root, x, y):
+    if is_subattribute(y, x):
+        return FunctionalDependency(x, y)
+    return None
+
+
+def _fd_extension(root, premise, elements):
+    if isinstance(premise, FunctionalDependency):
+        yield FunctionalDependency(premise.lhs, join(root, premise.lhs, premise.rhs))
+
+
+def _fd_transitivity(root, first, second):
+    if (isinstance(first, FunctionalDependency) and isinstance(second, FunctionalDependency)
+            and first.rhs == second.lhs):
+        return FunctionalDependency(first.lhs, second.rhs)
+    return None
+
+
+FD_REFLEXIVITY = AxiomRule("FD reflexivity axiom", _fd_reflexivity)
+FD_EXTENSION = UnaryRule("FD extension", _fd_extension)
+FD_TRANSITIVITY = BinaryRule("FD transitivity", _fd_transitivity)
+
+FD_RULES: tuple[Rule, ...] = (FD_REFLEXIVITY, FD_EXTENSION, FD_TRANSITIVITY)
+
+
+# ---------------------------------------------------------------------------
+# MVD rules
+# ---------------------------------------------------------------------------
+
+def _mvd_complementation(root, premise, elements):
+    if isinstance(premise, MultivaluedDependency):
+        yield MultivaluedDependency(premise.lhs, complement(root, premise.rhs))
+
+
+def _mvd_reflexivity(root, x, y):
+    if is_subattribute(y, x):
+        return MultivaluedDependency(x, y)
+    return None
+
+
+def _mvd_augmentation(root, premise, elements):
+    if not isinstance(premise, MultivaluedDependency):
+        return
+    elements = list(elements)
+    for w in elements:
+        for v in elements:
+            if is_subattribute(v, w):
+                yield MultivaluedDependency(
+                    join(root, premise.lhs, w), join(root, premise.rhs, v)
+                )
+
+
+def _mvd_pseudo_transitivity(root, first, second):
+    if (isinstance(first, MultivaluedDependency) and isinstance(second, MultivaluedDependency)
+            and first.rhs == second.lhs):
+        return MultivaluedDependency(
+            first.lhs, pseudo_difference(root, second.rhs, first.rhs)
+        )
+    return None
+
+
+def _mvd_join(root, first, second):
+    if (isinstance(first, MultivaluedDependency) and isinstance(second, MultivaluedDependency)
+            and first.lhs == second.lhs):
+        return MultivaluedDependency(first.lhs, join(root, first.rhs, second.rhs))
+    return None
+
+
+def _mvd_meet(root, first, second):
+    if (isinstance(first, MultivaluedDependency) and isinstance(second, MultivaluedDependency)
+            and first.lhs == second.lhs):
+        return MultivaluedDependency(first.lhs, meet(root, first.rhs, second.rhs))
+    return None
+
+
+def _mvd_pseudo_difference(root, first, second):
+    if (isinstance(first, MultivaluedDependency) and isinstance(second, MultivaluedDependency)
+            and first.lhs == second.lhs):
+        return MultivaluedDependency(
+            first.lhs, pseudo_difference(root, first.rhs, second.rhs)
+        )
+    return None
+
+
+MVD_COMPLEMENTATION = UnaryRule("MVD complementation", _mvd_complementation)
+MVD_REFLEXIVITY = AxiomRule("MVD reflexivity axiom", _mvd_reflexivity)
+MVD_AUGMENTATION = UnaryRule("MVD augmentation", _mvd_augmentation)
+MVD_PSEUDO_TRANSITIVITY = BinaryRule("MVD pseudo-transitivity", _mvd_pseudo_transitivity)
+MVD_JOIN = BinaryRule("multi-valued join", _mvd_join)
+MVD_MEET = BinaryRule("multi-valued meet", _mvd_meet)
+MVD_PSEUDO_DIFFERENCE = BinaryRule("multi-valued pseudo-difference", _mvd_pseudo_difference)
+
+MVD_RULES: tuple[Rule, ...] = (
+    MVD_COMPLEMENTATION,
+    MVD_REFLEXIVITY,
+    MVD_AUGMENTATION,
+    MVD_PSEUDO_TRANSITIVITY,
+    MVD_JOIN,
+    MVD_MEET,
+    MVD_PSEUDO_DIFFERENCE,
+)
+
+
+# ---------------------------------------------------------------------------
+# Mixed FD/MVD rules
+# ---------------------------------------------------------------------------
+
+def _implication(root, premise, elements):
+    if isinstance(premise, FunctionalDependency):
+        yield MultivaluedDependency(premise.lhs, premise.rhs)
+
+
+def _mixed_pseudo_transitivity(root, first, second):
+    if (isinstance(first, MultivaluedDependency) and isinstance(second, FunctionalDependency)
+            and first.rhs == second.lhs):
+        return FunctionalDependency(
+            first.lhs, pseudo_difference(root, second.rhs, first.rhs)
+        )
+    return None
+
+
+def _mixed_meet(root, premise, elements):
+    """The paper's new rule: ``X ↠ Y ⊢ X → Y ⊓ Y^C``.
+
+    Over lists the meet of an attribute with its Brouwerian complement can
+    carry real information (list lengths); the rule states that this
+    shared part is functionally fixed once the MVD splits the rest.
+    """
+    if isinstance(premise, MultivaluedDependency):
+        y_complement = complement(root, premise.rhs)
+        yield FunctionalDependency(premise.lhs, meet(root, premise.rhs, y_complement))
+
+
+IMPLICATION = UnaryRule("implication (FD to MVD)", _implication)
+MIXED_PSEUDO_TRANSITIVITY = BinaryRule("mixed pseudo-transitivity", _mixed_pseudo_transitivity)
+MIXED_MEET = UnaryRule("mixed meet", _mixed_meet)
+
+MIXED_RULES: tuple[Rule, ...] = (IMPLICATION, MIXED_PSEUDO_TRANSITIVITY, MIXED_MEET)
+
+#: The full rule system of Theorem 4.6.
+ALL_RULES: tuple[Rule, ...] = FD_RULES + MVD_RULES + MIXED_RULES
+
+
+def rule_by_name(name: str) -> Rule:
+    """Look a rule up by its table name."""
+    for rule in ALL_RULES:
+        if rule.name == name:
+            return rule
+    raise KeyError(f"unknown rule {name!r}")

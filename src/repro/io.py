@@ -1,0 +1,220 @@
+"""JSON interchange for values, instances and reasoning problems.
+
+The paper motivates list types with XML and semi-structured data; this
+module maps the library's value model onto idiomatic JSON so real
+documents can be checked against dependencies:
+
+* record values ↔ JSON objects keyed by component *head* (label or flat
+  name) when the heads are unambiguous, positional arrays otherwise;
+* list values ↔ JSON arrays;
+* ``ok`` (the ``λ`` placeholder of projected values) ↔ omitted object
+  keys / JSON ``null``;
+* flat constants ↔ JSON scalars.
+
+A *problem file* bundles a schema and its ``Σ``::
+
+    {
+      "schema": "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+      "dependencies": ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"],
+      "instance": [ {"Person": "Sven", "Visit": [ ... ]}, ... ]
+    }
+
+so reasoning sessions are reproducible artifacts (and the CLI's
+``--sigma-file`` has a structured sibling).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from .attributes.nested import Flat, ListAttr, NestedAttribute, Null, Record
+from .attributes.parser import parse_attribute
+from .attributes.printer import unparse
+from .dependencies.sigma import DependencySet
+from .exceptions import InvalidValueError
+from .schema import Schema
+from .values.value import OK, Value
+
+__all__ = [
+    "value_to_json",
+    "value_from_json",
+    "instance_to_json",
+    "instance_from_json",
+    "Problem",
+    "dump_problem",
+    "load_problem",
+]
+
+
+def _object_keyed(record: Record) -> bool:
+    """Whether the record can round-trip as a JSON object.
+
+    ``λ`` components carry no information (they encode to nothing and
+    decode to ``ok``), so only the remaining components need distinct
+    heads.
+    """
+    heads = [
+        component.head()
+        for component in record.components
+        if not isinstance(component, Null)
+    ]
+    return None not in heads and len(set(heads)) == len(heads)
+
+
+def value_to_json(attribute: NestedAttribute, value: Value) -> Any:
+    """Encode a value of ``dom(attribute)`` as JSON-compatible data."""
+    if isinstance(attribute, Null):
+        return None
+    if isinstance(attribute, Flat):
+        return None if value == OK else value
+    if isinstance(attribute, Record):
+        if _object_keyed(attribute):
+            result = {}
+            for component_attribute, component_value in zip(
+                attribute.components, value
+            ):
+                if isinstance(component_attribute, Null):
+                    continue  # λ slots carry nothing
+                encoded = value_to_json(component_attribute, component_value)
+                if encoded is not None:
+                    result[component_attribute.head()] = encoded
+            return result
+        return [
+            value_to_json(component_attribute, component_value)
+            for component_attribute, component_value in zip(
+                attribute.components, value
+            )
+        ]
+    if isinstance(attribute, ListAttr):
+        if value == OK:
+            return None
+        return [value_to_json(attribute.element, element) for element in value]
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def value_from_json(attribute: NestedAttribute, data: Any) -> Value:
+    """Decode JSON data into a value of ``dom(attribute)``.
+
+    ``null`` (and, for object-keyed records, missing keys) decode to the
+    ``ok`` placeholder — matching how projected values print.
+
+    Raises
+    ------
+    InvalidValueError
+        When the JSON shape does not fit the attribute.
+    """
+    if isinstance(attribute, Null):
+        if data is not None:
+            raise InvalidValueError(f"λ expects null, got {data!r}")
+        return OK
+    if isinstance(attribute, Flat):
+        if data is None:
+            return OK
+        if isinstance(data, (dict, list)):
+            raise InvalidValueError(
+                f"flat attribute {attribute.name} expects a scalar, got {data!r}"
+            )
+        return data
+    if isinstance(attribute, Record):
+        if isinstance(data, dict):
+            if not _object_keyed(attribute):
+                raise InvalidValueError(
+                    f"record {unparse(attribute)} has ambiguous heads; "
+                    "use the positional array form"
+                )
+            known = {
+                component.head()
+                for component in attribute.components
+                if not isinstance(component, Null)
+            }
+            stray = set(data) - known
+            if stray:
+                raise InvalidValueError(
+                    f"unknown keys {sorted(stray)} for record {unparse(attribute)}"
+                )
+            return tuple(
+                OK
+                if isinstance(component, Null)
+                else value_from_json(component, data.get(component.head()))
+                for component in attribute.components
+            )
+        if isinstance(data, list):
+            if len(data) != attribute.arity:
+                raise InvalidValueError(
+                    f"record {unparse(attribute)} expects {attribute.arity} "
+                    f"items, got {len(data)}"
+                )
+            return tuple(
+                value_from_json(component, item)
+                for component, item in zip(attribute.components, data)
+            )
+        raise InvalidValueError(
+            f"record {unparse(attribute)} expects an object or array, got {data!r}"
+        )
+    if isinstance(attribute, ListAttr):
+        if data is None:
+            return OK
+        if not isinstance(data, list):
+            raise InvalidValueError(
+                f"list {unparse(attribute)} expects an array, got {data!r}"
+            )
+        return tuple(value_from_json(attribute.element, item) for item in data)
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def instance_to_json(attribute: NestedAttribute, instance: Iterable[Value]) -> list:
+    """Encode an instance as a JSON array, sorted for output stability."""
+    encoded = [value_to_json(attribute, value) for value in instance]
+    return sorted(encoded, key=lambda item: json.dumps(item, sort_keys=True,
+                                                       ensure_ascii=False))
+
+
+def instance_from_json(attribute: NestedAttribute, data: Iterable[Any]) -> frozenset:
+    """Decode a JSON array into an instance (a frozenset of values)."""
+    return frozenset(value_from_json(attribute, item) for item in data)
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A schema, its dependency set, and an optional instance."""
+
+    schema: Schema
+    sigma: DependencySet
+    instance: frozenset | None = None
+
+    def to_json(self) -> dict:
+        document: dict[str, Any] = {
+            "schema": unparse(self.schema.root),
+            "dependencies": [
+                dependency.display(self.schema.root) for dependency in self.sigma
+            ],
+        }
+        if self.instance is not None:
+            document["instance"] = instance_to_json(self.schema.root, self.instance)
+        return document
+
+    @classmethod
+    def from_json(cls, document: dict) -> "Problem":
+        root = parse_attribute(document["schema"])
+        schema = Schema(root)
+        sigma = schema.dependencies(*document.get("dependencies", []))
+        instance = None
+        if "instance" in document:
+            instance = instance_from_json(root, document["instance"])
+        return cls(schema, sigma, instance)
+
+
+def dump_problem(path: str | Path, problem: Problem) -> None:
+    """Write a problem file (UTF-8 JSON, human-diffable)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(problem.to_json(), handle, indent=2, ensure_ascii=False)
+        handle.write("\n")
+
+
+def load_problem(path: str | Path) -> Problem:
+    """Read a problem file written by :func:`dump_problem`."""
+    with open(path, encoding="utf-8") as handle:
+        return Problem.from_json(json.load(handle))

@@ -1,0 +1,15 @@
+"""Normalisation: keys, generalised 4NF, lossless decomposition (§7)."""
+
+from .keys import candidate_keys, is_superkey
+from .fourth_normal_form import FourNFViolation, is_in_4nf, violations
+from .decompose import Decomposition, DecompositionStep, decompose_4nf
+from .redundancy import RedundantOccurrence, redundancy_report, redundant_occurrences
+from .synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "is_superkey", "candidate_keys",
+    "FourNFViolation", "violations", "is_in_4nf",
+    "Decomposition", "DecompositionStep", "decompose_4nf",
+    "RedundantOccurrence", "redundant_occurrences", "redundancy_report",
+    "SynthesisResult", "synthesize",
+]

@@ -1,0 +1,117 @@
+"""A query-caching reasoner bound to one ``(N, Σ)`` pair.
+
+Algorithm 5.1 computes, for one left-hand side ``X``, *everything* there
+is to know about ``X`` (its closure and dependency basis). Applications
+typically fire many queries against one fixed ``Σ`` — schema design
+tools, the 4NF checker, interactive sessions — so re-running the
+algorithm per query wastes exactly the structure the paper's approach
+provides. :class:`Reasoner` memoises one :class:`ClosureResult` per
+distinct left-hand side and answers everything else from the cache.
+
+Example
+-------
+>>> from repro import Schema
+>>> from repro.reasoner import Reasoner
+>>> schema = Schema("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+>>> sigma = schema.dependencies(
+...     "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])")
+>>> reasoner = Reasoner(schema, sigma)
+>>> reasoner.implies("Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+True
+>>> reasoner.implies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])")
+True
+>>> reasoner.cache_info()   # one LHS computed, the second query hit it
+(1, 1)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .core.closure import ClosureResult, compute_closure
+from .dependencies.dependency import Dependency, FunctionalDependency
+from .dependencies.sigma import DependencySet
+from .attributes.nested import NestedAttribute
+from .schema import Schema
+
+__all__ = ["Reasoner"]
+
+
+class Reasoner:
+    """Memoised membership queries against a fixed dependency set.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.schema.Schema` (or anything accepted by its
+        constructor — an attribute or its textual form).
+    sigma:
+        The dependency set ``Σ``, as a :class:`DependencySet` or an
+        iterable of dependency texts/objects.
+    """
+
+    def __init__(self, schema: Schema | NestedAttribute | str,
+                 sigma: DependencySet | Iterable) -> None:
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self.sigma = self.schema._sigma(sigma)
+        self._results: dict[int, ClosureResult] = {}
+        self._hits = 0
+
+    # -- cache ---------------------------------------------------------------
+
+    def result_for(self, x: NestedAttribute | str) -> ClosureResult:
+        """The (cached) Algorithm 5.1 output for left-hand side ``x``."""
+        mask = self.schema.encoding.encode(self.schema.attribute(x))
+        cached = self._results.get(mask)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        result = compute_closure(self.schema.encoding, mask, self.sigma)
+        self._results[mask] = result
+        return result
+
+    def cache_info(self) -> tuple[int, int]:
+        """``(distinct left-hand sides computed, cache hits)``."""
+        return (len(self._results), self._hits)
+
+    # -- queries ---------------------------------------------------------------
+
+    def implies(self, dependency: Dependency | str) -> bool:
+        """Decide ``Σ ⊨ σ`` using the per-LHS cache."""
+        dependency = self.schema.dependency(dependency)
+        dependency.validate(self.schema.root)
+        result = self.result_for(dependency.lhs)
+        rhs_mask = self.schema.encoding.encode(dependency.rhs)
+        if isinstance(dependency, FunctionalDependency):
+            return result.implies_fd_rhs(rhs_mask)
+        return result.implies_mvd_rhs(rhs_mask)
+
+    def closure(self, x: NestedAttribute | str) -> NestedAttribute:
+        """The attribute-set closure ``X⁺``."""
+        return self.result_for(x).closure
+
+    def dependency_basis(self, x: NestedAttribute | str
+                         ) -> tuple[NestedAttribute, ...]:
+        """The dependency basis ``DepB(X)``."""
+        return self.result_for(x).dependency_basis()
+
+    def is_superkey(self, x: NestedAttribute | str) -> bool:
+        """Whether ``Σ ⊨ X → N``."""
+        return self.result_for(x).closure_mask == self.schema.encoding.full
+
+    def implied_mvd_rhs_masks(self, x: NestedAttribute | str) -> frozenset[int]:
+        """All DepB member masks — the generators of ``Dep(X)``.
+
+        By Proposition 4.10, the right-hand sides ``Y`` with
+        ``X ↠ Y ∈ Σ⁺`` are exactly the joins of subsets of these; the set
+        of all such ``Y`` forms a Brouwerian subalgebra of ``Sub(N)``
+        (the remark before Definition 4.9).
+        """
+        return self.result_for(x).dependency_basis_masks()
+
+    def __repr__(self) -> str:
+        computed, hits = self.cache_info()
+        return (
+            f"Reasoner(root={self.schema.root}, |Σ|={len(self.sigma)}, "
+            f"cached={computed}, hits={hits})"
+        )

@@ -1,0 +1,34 @@
+"""Relational (RDM) specialisation and the classic Beeri baseline."""
+
+from .schema import RelDependency, RelFD, RelMVD, RelationSchema
+from .beeri import (
+    mvd_counterpart,
+    relational_closure,
+    relational_dependency_basis,
+    relational_implies,
+)
+from .instances import (
+    freeze_rows,
+    rel_project_row,
+    rel_satisfies,
+    rel_satisfies_fd,
+    rel_satisfies_mvd,
+)
+from .bridge import (
+    dependency_to_nested,
+    dependency_to_relational,
+    schema_to_attribute,
+    sigma_to_nested,
+    subattribute_to_subset,
+    subset_to_subattribute,
+)
+
+__all__ = [
+    "RelationSchema", "RelFD", "RelMVD", "RelDependency",
+    "mvd_counterpart", "relational_dependency_basis", "relational_closure",
+    "relational_implies",
+    "schema_to_attribute", "subset_to_subattribute", "subattribute_to_subset",
+    "dependency_to_nested", "dependency_to_relational", "sigma_to_nested",
+    "freeze_rows", "rel_project_row", "rel_satisfies", "rel_satisfies_fd",
+    "rel_satisfies_mvd",
+]

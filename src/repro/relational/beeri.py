@@ -1,0 +1,131 @@
+"""Beeri's classical membership algorithm for the RDM ([6], 1980).
+
+An *independent* implementation of the relational baseline that the
+paper's Algorithm 5.1 generalises — independent in the strong sense that
+it shares no code with the nested algorithm: it works on plain attribute-
+name sets with the textbook refinement procedure.  Experiment E9 checks
+that, restricted to flat record schemas, the two produce identical
+dependency bases and closures.
+
+The pieces (Beeri 1980):
+
+* ``M(Σ)`` — replace every FD ``U → V`` by the MVDs ``U ↠ {A}``, ``A ∈ V``;
+  the dependency basis w.r.t. ``Σ`` equals the one w.r.t. ``M(Σ)``.
+* **Dependency basis** of ``X``: start from the single block ``R − X`` and
+  refine: while some ``W ↠ Z ∈ M(Σ)`` and block ``B`` satisfy
+  ``W ∩ B = ∅`` and ``∅ ≠ B ∩ Z ≠ B``, split ``B`` into ``B ∩ Z`` and
+  ``B − Z``.  The full basis adds the singletons of ``X``.
+* **FD membership** (the coalescence criterion): for ``A ∉ X``,
+  ``Σ ⊨ X → A`` iff ``{A}`` is a basis block *and* ``A ∈ V − U`` for some
+  FD ``U → V ∈ Σ``.
+* **MVD membership**: ``Σ ⊨ X ↠ Y`` iff ``Y − X`` is a union of basis
+  blocks.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Sequence
+
+from .schema import RelDependency, RelMVD, RelationSchema
+
+__all__ = [
+    "mvd_counterpart",
+    "relational_dependency_basis",
+    "relational_closure",
+    "relational_implies",
+]
+
+
+def mvd_counterpart(sigma: Iterable[RelDependency]) -> list[RelMVD]:
+    """``M(Σ)``: FDs become one singleton MVD per right-hand attribute."""
+    result: list[RelMVD] = []
+    for dependency in sigma:
+        if dependency.is_fd:
+            result.extend(RelMVD(dependency.lhs, {a}) for a in dependency.rhs)
+        else:
+            result.append(RelMVD(dependency.lhs, dependency.rhs))
+    return result
+
+
+def relational_dependency_basis(
+    schema: RelationSchema,
+    x: AbstractSet[str],
+    sigma: Sequence[RelDependency],
+) -> frozenset:
+    """``DEP(X)``: the partition blocks of ``R − X`` plus X's singletons.
+
+    Example
+    -------
+    >>> schema = RelationSchema("ABCD")
+    >>> basis = relational_dependency_basis(
+    ...     schema, {"A"}, [RelMVD({"A"}, {"B"})])
+    >>> sorted(sorted(block) for block in basis)
+    [['A'], ['B'], ['C', 'D']]
+    """
+    x = schema.validate_subset(x)
+    pool = [(mvd.lhs, mvd.rhs) for mvd in mvd_counterpart(sigma)]
+
+    blocks: set[frozenset] = set()
+    remainder = schema.attributes - x
+    if remainder:
+        blocks.add(remainder)
+
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in pool:
+            for block in list(blocks):
+                if lhs & block:
+                    continue
+                inside = block & rhs
+                if inside and inside != block:
+                    blocks.remove(block)
+                    blocks.add(inside)
+                    blocks.add(block - inside)
+                    changed = True
+    return frozenset(blocks) | {frozenset({a}) for a in x}
+
+
+def relational_closure(
+    schema: RelationSchema,
+    x: AbstractSet[str],
+    sigma: Sequence[RelDependency],
+) -> frozenset:
+    """The attribute closure ``X⁺`` under FDs *and* MVDs.
+
+    Uses Beeri's coalescence criterion on the dependency basis; for
+    FD-only inputs this coincides with the familiar FD closure.
+    """
+    x = schema.validate_subset(x)
+    basis = relational_dependency_basis(schema, x, sigma)
+    fd_supported = set()
+    for dependency in sigma:
+        if dependency.is_fd:
+            fd_supported |= dependency.rhs - dependency.lhs
+    extra = {
+        attribute
+        for block in basis
+        if len(block) == 1
+        for attribute in block
+        if attribute in fd_supported
+    }
+    return frozenset(x | extra)
+
+
+def relational_implies(
+    schema: RelationSchema,
+    sigma: Sequence[RelDependency],
+    dependency: RelDependency,
+) -> bool:
+    """Decide ``Σ ⊨ σ`` in the classical relational model."""
+    lhs = schema.validate_subset(dependency.lhs)
+    rhs = schema.validate_subset(dependency.rhs)
+    if dependency.is_fd:
+        return rhs <= relational_closure(schema, lhs, sigma)
+    basis = relational_dependency_basis(schema, lhs, sigma)
+    uncovered = rhs - lhs
+    union: set[str] = set()
+    for block in basis:
+        if block <= uncovered:
+            union |= block
+    return union == uncovered

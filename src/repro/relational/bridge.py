@@ -1,0 +1,94 @@
+"""Bridging flat relational schemas and record-only nested attributes.
+
+"Note that the relational data model is completely covered by the
+presence of tuple-valued attributes only" (Section 3.1): a schema
+``R = {A₁ < … < Aₙ}`` maps to the record ``R(A₁,…,Aₙ)``, attribute subsets
+map to subattributes with ``λ`` at the missing positions, and FDs/MVDs
+translate verbatim.  ``Sub(R(A₁,…,Aₙ))`` is then the Boolean algebra
+``P(R)`` and the paper's Algorithm 5.1 degenerates to Beeri's — which
+experiment E9 verifies through this bridge.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable
+
+from ..attributes.nested import NULL, Flat, NestedAttribute, Record
+from ..dependencies.dependency import (
+    Dependency,
+    FunctionalDependency,
+    MultivaluedDependency,
+)
+from ..dependencies.sigma import DependencySet
+from .schema import RelDependency, RelFD, RelMVD, RelationSchema
+
+__all__ = [
+    "schema_to_attribute",
+    "subset_to_subattribute",
+    "subattribute_to_subset",
+    "dependency_to_nested",
+    "dependency_to_relational",
+    "sigma_to_nested",
+]
+
+
+def schema_to_attribute(schema: RelationSchema) -> Record:
+    """``{A₁,…,Aₙ}  ↦  R(A₁,…,Aₙ)`` with names in sorted order."""
+    return Record(schema.name, tuple(Flat(name) for name in sorted(schema.attributes)))
+
+
+def subset_to_subattribute(schema: RelationSchema,
+                           subset: AbstractSet[str]) -> Record:
+    """``X ⊆ R  ↦`` the subattribute keeping exactly X's positions."""
+    subset = schema.validate_subset(subset)
+    return Record(
+        schema.name,
+        tuple(
+            Flat(name) if name in subset else NULL
+            for name in sorted(schema.attributes)
+        ),
+    )
+
+
+def subattribute_to_subset(schema: RelationSchema,
+                           element: NestedAttribute) -> frozenset:
+    """Inverse of :func:`subset_to_subattribute`."""
+    if not isinstance(element, Record) or element.label != schema.name:
+        raise ValueError(f"{element} is not a subattribute of the bridged schema")
+    names = sorted(schema.attributes)
+    if len(names) != element.arity:
+        raise ValueError(f"{element} has the wrong arity for schema {schema.name}")
+    return frozenset(
+        name
+        for name, component in zip(names, element.components)
+        if isinstance(component, Flat)
+    )
+
+
+def dependency_to_nested(schema: RelationSchema,
+                         dependency: RelDependency) -> Dependency:
+    """Translate a relational FD/MVD onto the bridged record attribute."""
+    lhs = subset_to_subattribute(schema, dependency.lhs)
+    rhs = subset_to_subattribute(schema, dependency.rhs)
+    if dependency.is_fd:
+        return FunctionalDependency(lhs, rhs)
+    return MultivaluedDependency(lhs, rhs)
+
+
+def dependency_to_relational(schema: RelationSchema,
+                             dependency: Dependency) -> RelDependency:
+    """Translate a nested FD/MVD on the bridged record back to name sets."""
+    lhs = subattribute_to_subset(schema, dependency.lhs)
+    rhs = subattribute_to_subset(schema, dependency.rhs)
+    if isinstance(dependency, FunctionalDependency):
+        return RelFD(lhs, rhs)
+    return RelMVD(lhs, rhs)
+
+
+def sigma_to_nested(schema: RelationSchema,
+                    sigma: Iterable[RelDependency]) -> DependencySet:
+    """Translate a whole relational dependency set."""
+    root = schema_to_attribute(schema)
+    return DependencySet(
+        root, (dependency_to_nested(schema, dependency) for dependency in sigma)
+    )

@@ -1,0 +1,102 @@
+"""Flat relation schemas — the RDM specialisation (Section 1.1).
+
+The paper notes that "the relational data model is completely covered by
+the presence of tuple-valued attributes only": a relation schema
+``R = {A₁,…,Aₙ}`` corresponds to the record attribute ``R(A₁,…,Aₙ)``,
+whose subattribute lattice is the Boolean powerset algebra ``P(R)``.
+
+This module provides the classical objects (schemas as frozen attribute
+sets, FDs/MVDs over them) used by the independent Beeri baseline in
+:mod:`repro.relational.beeri`, and :mod:`repro.relational.bridge` maps
+them onto nested attributes for the parity experiments (E9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Union
+
+__all__ = ["RelationSchema", "RelFD", "RelMVD", "RelDependency"]
+
+
+class RelationSchema:
+    """A classical relation schema: a finite, non-empty set of names.
+
+    Example
+    -------
+    >>> schema = RelationSchema(["A", "B", "C"])
+    >>> sorted(schema.attributes)
+    ['A', 'B', 'C']
+    """
+
+    __slots__ = ("name", "attributes")
+
+    def __init__(self, attributes: Iterable[str], name: str = "R") -> None:
+        self.name = name
+        self.attributes = frozenset(attributes)
+        if not self.attributes:
+            raise ValueError("a relation schema needs at least one attribute")
+
+    def validate_subset(self, subset: AbstractSet[str]) -> frozenset:
+        """Check ``subset ⊆ R`` and return it frozen."""
+        frozen = frozenset(subset)
+        stray = frozen - self.attributes
+        if stray:
+            raise ValueError(f"attributes {sorted(stray)} are not in schema {self.name}")
+        return frozen
+
+    def complement(self, subset: AbstractSet[str]) -> frozenset:
+        """``R − subset`` (the Boolean complement of the RDM)."""
+        return self.attributes - self.validate_subset(subset)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.attributes == other.attributes and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({sorted(self.attributes)!r}, name={self.name!r})"
+
+
+@dataclass(frozen=True)
+class RelFD:
+    """A relational FD ``lhs → rhs`` over attribute-name sets."""
+
+    lhs: frozenset
+    rhs: frozenset
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]) -> None:
+        object.__setattr__(self, "lhs", frozenset(lhs))
+        object.__setattr__(self, "rhs", frozenset(rhs))
+
+    @property
+    def is_fd(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(sorted(self.lhs))}}} -> {{{', '.join(sorted(self.rhs))}}}"
+
+
+@dataclass(frozen=True)
+class RelMVD:
+    """A relational MVD ``lhs ↠ rhs`` over attribute-name sets."""
+
+    lhs: frozenset
+    rhs: frozenset
+
+    def __init__(self, lhs: Iterable[str], rhs: Iterable[str]) -> None:
+        object.__setattr__(self, "lhs", frozenset(lhs))
+        object.__setattr__(self, "rhs", frozenset(rhs))
+
+    @property
+    def is_fd(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"{{{', '.join(sorted(self.lhs))}}} ->> {{{', '.join(sorted(self.rhs))}}}"
+
+
+RelDependency = Union[RelFD, RelMVD]

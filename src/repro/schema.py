@@ -1,0 +1,190 @@
+"""The :class:`Schema` facade — the library's friendly front door.
+
+A :class:`Schema` bundles a root nested attribute with its (cached) basis
+encoding and exposes the whole pipeline with string-friendly methods::
+
+    >>> from repro import Schema
+    >>> schema = Schema("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+    >>> sigma = schema.dependencies(
+    ...     "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])")
+    >>> schema.implies(sigma, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+    True
+
+Everything the facade does is available as composable functions in the
+subpackages; the facade only adds parsing, encoding reuse and display
+sugar.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .attributes.encoding import BasisEncoding
+from .attributes.nested import NestedAttribute
+from .attributes.parser import parse_attribute, parse_subattribute
+from .attributes.printer import unparse, unparse_abbreviated
+from .attributes.universe import Universe
+from .core.closure import ClosureResult, compute_closure
+from .core.membership import equivalent as _equivalent
+from .core.membership import implies as _implies
+from .core.membership import minimal_cover as _minimal_cover
+from .core.trace import TraceRecorder
+from .dependencies.dependency import (
+    Dependency,
+    FunctionalDependency,
+    MultivaluedDependency,
+    parse_dependency,
+)
+from .dependencies.satisfaction import satisfies as _satisfies
+from .dependencies.satisfaction import satisfies_all as _satisfies_all
+from .dependencies.sigma import DependencySet
+from .normalization.decompose import Decomposition, decompose_4nf
+from .normalization.fourth_normal_form import is_in_4nf as _is_in_4nf
+from .normalization.keys import candidate_keys as _candidate_keys
+from .normalization.keys import is_superkey as _is_superkey
+from .values.value import validate_instance
+from .witness.construct import Witness, build_witness
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """A nested attribute with cached machinery for dependency reasoning.
+
+    Parameters
+    ----------
+    root:
+        The nested attribute ``N``, as an attribute object or in the
+        paper's textual notation.
+    universe:
+        Optional flat-attribute domain registry used for instance
+        validation and witness construction.
+    """
+
+    def __init__(self, root: NestedAttribute | str,
+                 universe: Universe | None = None) -> None:
+        self.root = parse_attribute(root) if isinstance(root, str) else root
+        self.universe = universe
+        self.encoding = BasisEncoding(self.root)
+
+    # -- parsing helpers -----------------------------------------------------
+
+    def attribute(self, text: str | NestedAttribute) -> NestedAttribute:
+        """Resolve (possibly abbreviated) subattribute notation."""
+        if isinstance(text, NestedAttribute):
+            return text
+        return parse_subattribute(text, self.root)
+
+    def dependency(self, text: str | Dependency) -> Dependency:
+        """Parse one ``"X -> Y"`` / ``"X ->> Y"`` dependency."""
+        if isinstance(text, (FunctionalDependency, MultivaluedDependency)):
+            return text
+        return parse_dependency(text, self.root)
+
+    def dependencies(self, *texts: str | Dependency) -> DependencySet:
+        """Parse a dependency set ``Σ``."""
+        return DependencySet(self.root, (self.dependency(text) for text in texts))
+
+    def show(self, element: NestedAttribute) -> str:
+        """Abbreviated paper notation for an element of ``Sub(root)``."""
+        return unparse_abbreviated(element, self.root)
+
+    # -- the membership problem ------------------------------------------------
+
+    def implies(self, sigma: DependencySet | Iterable[str | Dependency],
+                dependency: str | Dependency) -> bool:
+        """Decide ``Σ ⊨ σ`` (Algorithm 5.1 + Proposition 4.10)."""
+        return _implies(self._sigma(sigma), self.dependency(dependency),
+                        encoding=self.encoding)
+
+    def closure(self, sigma: DependencySet | Iterable[str | Dependency],
+                x: str | NestedAttribute) -> NestedAttribute:
+        """The attribute-set closure ``X⁺``."""
+        return self.analyse(sigma, x).closure
+
+    def dependency_basis(self, sigma: DependencySet | Iterable[str | Dependency],
+                         x: str | NestedAttribute) -> tuple[NestedAttribute, ...]:
+        """The dependency basis ``DepB(X)``."""
+        return self.analyse(sigma, x).dependency_basis()
+
+    def analyse(self, sigma: DependencySet | Iterable[str | Dependency],
+                x: str | NestedAttribute,
+                *, trace: TraceRecorder | None = None) -> ClosureResult:
+        """Run Algorithm 5.1 once, keeping the result for further queries."""
+        return compute_closure(self.encoding, self.attribute(x),
+                               self._sigma(sigma), trace=trace)
+
+    def trace(self, sigma: DependencySet | Iterable[str | Dependency],
+              x: str | NestedAttribute) -> TraceRecorder:
+        """Run the algorithm and return the full Figures-3/4-style trace."""
+        recorder = TraceRecorder()
+        self.analyse(sigma, x, trace=recorder)
+        return recorder
+
+    def equivalent(self, first: DependencySet | Iterable[str | Dependency],
+                   second: DependencySet | Iterable[str | Dependency]) -> bool:
+        """Whether two dependency sets imply each other."""
+        return _equivalent(self._sigma(first), self._sigma(second),
+                           encoding=self.encoding)
+
+    def minimal_cover(self, sigma: DependencySet | Iterable[str | Dependency]
+                      ) -> DependencySet:
+        """An equivalent redundancy-free subset of ``Σ``."""
+        return _minimal_cover(self._sigma(sigma), encoding=self.encoding)
+
+    # -- semantics ---------------------------------------------------------------
+
+    def instance(self, tuples: Iterable) -> frozenset:
+        """Validate a finite set of tuples against ``dom(root)``."""
+        return validate_instance(self.root, tuples, self.universe)
+
+    def satisfies(self, instance: Iterable, dependency: str | Dependency) -> bool:
+        """Whether an instance satisfies a dependency (Definition 4.1)."""
+        return _satisfies(self.root, instance, self.dependency(dependency))
+
+    def satisfies_all(self, instance: Iterable,
+                      sigma: DependencySet | Iterable[str | Dependency]) -> bool:
+        """Whether an instance satisfies every dependency of ``Σ``."""
+        return _satisfies_all(self.root, instance, self._sigma(sigma))
+
+    def witness(self, sigma: DependencySet | Iterable[str | Dependency],
+                x: str | NestedAttribute) -> Witness:
+        """The Section 4.2 Armstrong-style witness instance for ``X``."""
+        return build_witness(self._sigma(sigma), self.attribute(x),
+                             encoding=self.encoding, universe=self.universe)
+
+    # -- schema design -------------------------------------------------------------
+
+    def is_superkey(self, sigma: DependencySet | Iterable[str | Dependency],
+                    x: str | NestedAttribute) -> bool:
+        """Whether ``Σ ⊨ X → N``."""
+        return _is_superkey(self._sigma(sigma), self.attribute(x),
+                            encoding=self.encoding)
+
+    def candidate_keys(self, sigma: DependencySet | Iterable[str | Dependency],
+                       **kwargs) -> tuple[NestedAttribute, ...]:
+        """≤-minimal superkeys (budgeted search)."""
+        return _candidate_keys(self._sigma(sigma), encoding=self.encoding, **kwargs)
+
+    def is_in_4nf(self, sigma: DependencySet | Iterable[str | Dependency],
+                  **kwargs) -> bool:
+        """Generalised fourth-normal-form test."""
+        return _is_in_4nf(self._sigma(sigma), encoding=self.encoding, **kwargs)
+
+    def decompose(self, sigma: DependencySet | Iterable[str | Dependency],
+                  **kwargs) -> Decomposition:
+        """Lossless 4NF-style decomposition."""
+        return decompose_4nf(self._sigma(sigma), encoding=self.encoding, **kwargs)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _sigma(self, sigma: DependencySet | Iterable[str | Dependency]
+               ) -> DependencySet:
+        if isinstance(sigma, DependencySet):
+            if sigma.root != self.root:
+                raise ValueError("dependency set belongs to a different schema")
+            return sigma
+        return DependencySet(self.root, (self.dependency(item) for item in sigma))
+
+    def __repr__(self) -> str:
+        return f"Schema({unparse(self.root)!r}, |N|={self.encoding.size})"

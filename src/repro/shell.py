@@ -1,0 +1,210 @@
+"""An interactive reasoning shell: ``python -m repro shell``.
+
+A line-oriented REPL for exploratory schema design — set a schema, grow
+``Σ`` incrementally, fire membership queries, inspect closures, bases,
+traces and keys, all with the query cache warm:
+
+.. code-block:: text
+
+    repro> schema Pubcrawl(Person, Visit[Drink(Beer, Pub)])
+    schema set (|N| = 4)
+    repro> add Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])
+    Σ now has 1 dependency
+    repro> implies Pubcrawl(Person) -> Pubcrawl(Visit[λ])
+    implied
+    repro> basis Pubcrawl(Person)
+    ...
+
+Designed for testability: the engine consumes an iterable of command
+lines and writes to any file-like object, so the test suite drives it
+without a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Iterable
+
+from .exceptions import ReproError
+from .reasoner import Reasoner
+from .schema import Schema
+
+__all__ = ["ReasoningShell", "run_shell"]
+
+_HELP = """\
+commands:
+  schema <N>          set the nested attribute, e.g. schema R(A, L[B])
+  add <dep>           add a dependency to Σ  (X -> Y or X ->> Y)
+  drop <index>        remove the i-th dependency (see 'sigma')
+  sigma               list Σ
+  implies <dep>       decide Σ ⊨ σ
+  closure <X>         the attribute-set closure X⁺
+  basis <X>           the dependency basis DepB(X)
+  trace <X>           replay Algorithm 5.1 for X
+  keys                candidate keys
+  check4nf            generalised 4NF test
+  decompose           lossless 4NF-style decomposition
+  cover               minimal cover of Σ
+  synthesize          Bernstein-style FD synthesis
+  witness <X>         build the §4.2 Armstrong-style instance for X
+  help                this text
+  quit / exit         leave the shell"""
+
+
+class ReasoningShell:
+    """The REPL engine; one instance per session."""
+
+    def __init__(self, output: IO[str] | None = None) -> None:
+        self.output = output if output is not None else sys.stdout
+        self.schema: Schema | None = None
+        self._dependencies: list = []
+        self._reasoner: Reasoner | None = None
+
+    # -- helpers ----------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        print(text, file=self.output)
+
+    def _sigma(self):
+        assert self.schema is not None
+        from .dependencies.sigma import DependencySet
+
+        return DependencySet(self.schema.root, self._dependencies)
+
+    def _need_schema(self) -> bool:
+        if self.schema is None:
+            self._say("no schema set — use: schema <attribute>")
+            return False
+        return True
+
+    def _reasoner_now(self) -> Reasoner:
+        if self._reasoner is None:
+            self._reasoner = Reasoner(self.schema, self._sigma())
+        return self._reasoner
+
+    # -- command dispatch ----------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one line; returns ``False`` when the session should end."""
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return True
+        command, _, argument = stripped.partition(" ")
+        command = command.lower()
+        argument = argument.strip()
+        try:
+            return self._dispatch(command, argument)
+        except ReproError as error:
+            self._say(f"error: {error}")
+            return True
+
+    def _dispatch(self, command: str, argument: str) -> bool:
+        if command in ("quit", "exit"):
+            return False
+        if command == "help":
+            self._say(_HELP)
+            return True
+        if command == "schema":
+            self.schema = Schema(argument)
+            self._dependencies = []
+            self._reasoner = None
+            self._say(f"schema set (|N| = {self.schema.encoding.size})")
+            return True
+        if not self._need_schema():
+            return True
+
+        schema = self.schema
+        if command == "add":
+            dependency = schema.dependency(argument)
+            if dependency not in self._dependencies:
+                self._dependencies.append(dependency)
+                self._reasoner = None
+            count = len(self._dependencies)
+            noun = "dependency" if count == 1 else "dependencies"
+            self._say(f"Σ now has {count} {noun}")
+            return True
+        if command == "drop":
+            try:
+                index = int(argument)
+                removed = self._dependencies.pop(index)
+            except (ValueError, IndexError):
+                self._say(f"no dependency #{argument}")
+                return True
+            self._reasoner = None
+            self._say(f"dropped {removed.display(schema.root)}")
+            return True
+        if command == "sigma":
+            if not self._dependencies:
+                self._say("(Σ is empty)")
+            for index, dependency in enumerate(self._dependencies):
+                self._say(f"  [{index}] {dependency.display(schema.root)}")
+            return True
+        if command == "implies":
+            verdict = self._reasoner_now().implies(argument)
+            self._say("implied" if verdict else "not implied")
+            return True
+        if command == "closure":
+            self._say(schema.show(self._reasoner_now().closure(argument)))
+            return True
+        if command == "basis":
+            for member in self._reasoner_now().dependency_basis(argument):
+                self._say(f"  {schema.show(member)}")
+            return True
+        if command == "trace":
+            self._say(schema.trace(self._sigma(), argument).render())
+            return True
+        if command == "keys":
+            keys = schema.candidate_keys(self._sigma())
+            for key in keys:
+                self._say(f"  {schema.show(key)}")
+            if not keys:
+                self._say("  (no key within the search budget)")
+            return True
+        if command == "check4nf":
+            self._say("in 4NF" if schema.is_in_4nf(self._sigma()) else "NOT in 4NF")
+            return True
+        if command == "decompose":
+            self._say(schema.decompose(self._sigma()).describe())
+            return True
+        if command == "cover":
+            self._say(schema.minimal_cover(self._sigma()).display())
+            return True
+        if command == "synthesize":
+            from .normalization import synthesize
+
+            self._say(synthesize(self._sigma(),
+                                 encoding=schema.encoding).describe())
+            return True
+        if command == "witness":
+            from .values import format_instance
+
+            witness = schema.witness(self._sigma(), argument)
+            self._say(
+                f"{len(witness.instance)} tuples over "
+                f"{len(witness.free_blocks)} free blocks"
+            )
+            self._say(format_instance(schema.root, witness.instance))
+            return True
+        self._say(f"unknown command {command!r} — try 'help'")
+        return True
+
+
+def run_shell(lines: Iterable[str] | None = None,
+              output: IO[str] | None = None) -> int:
+    """Run the REPL over ``lines`` (defaults to interactive stdin)."""
+    shell = ReasoningShell(output)
+    shell._say("repro reasoning shell — 'help' for commands, 'quit' to leave")
+    if lines is None:  # pragma: no cover - interactive path
+        lines = _interactive_lines()
+    for line in lines:
+        if not shell.handle(line):
+            break
+    return 0
+
+
+def _interactive_lines():  # pragma: no cover - interactive path
+    while True:
+        try:
+            yield input("repro> ")
+        except EOFError:
+            return

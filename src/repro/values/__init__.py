@@ -1,0 +1,30 @@
+"""Value model for nested attributes: domains, projections, joins.
+
+Implements Definitions 3.3 (domains) and 3.6 (projection functions), the
+generalised join of Section 4 (Theorem 4.4), amalgamation of compatible
+partial values, and seeded random generation of values and instances.
+"""
+
+from .value import (
+    OK,
+    Instance,
+    Ok,
+    Value,
+    format_instance,
+    format_value,
+    is_valid_value,
+    validate_instance,
+    validate_value,
+)
+from .projection import agreement_holds, project, project_instance
+from .join import amalgamate, compatible, generalised_join, generalized_join
+from .generator import ValueGenerator
+
+__all__ = [
+    "OK", "Ok", "Value", "Instance",
+    "is_valid_value", "validate_value", "validate_instance",
+    "format_value", "format_instance",
+    "project", "project_instance", "agreement_holds",
+    "amalgamate", "compatible", "generalised_join", "generalized_join",
+    "ValueGenerator",
+]

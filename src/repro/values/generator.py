@@ -1,0 +1,74 @@
+"""Seeded random generation of values and instances.
+
+Used by property tests (semantic soundness of inference rules, Theorem 4.4
+equivalence, triviality characterisations) and by the benchmark workloads.
+Generation is deliberately *collision-friendly*: flat constants come from
+small domains and list lengths from a small range, so that randomly
+generated instances actually exhibit agreeing projections — otherwise
+FD/MVD satisfaction would almost always hold vacuously and the tests would
+exercise nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..attributes.nested import Flat, ListAttr, NestedAttribute, Null, Record
+from ..attributes.universe import Universe
+from .value import OK, Value
+
+__all__ = ["ValueGenerator"]
+
+
+class ValueGenerator:
+    """Random value/instance factory for a fixed universe.
+
+    Parameters
+    ----------
+    rng:
+        The random source; pass a seeded ``random.Random`` for
+        reproducibility.
+    universe:
+        Optional domain registry; unregistered flat attributes draw small
+        integers.
+    max_list_length:
+        Upper bound (inclusive) for generated list lengths; ``0`` is always
+        possible — empty lists are legal values (the paper's Example 4.2
+        contains ``(Sebastian, [])``).
+    """
+
+    def __init__(self, rng: random.Random | None = None,
+                 universe: Universe | None = None,
+                 max_list_length: int = 3) -> None:
+        self.rng = rng if rng is not None else random.Random(0)
+        self.universe = universe if universe is not None else Universe()
+        if max_list_length < 0:
+            raise ValueError("max_list_length must be non-negative")
+        self.max_list_length = max_list_length
+
+    def value(self, attribute: NestedAttribute) -> Value:
+        """Draw one random value of ``dom(attribute)``."""
+        if isinstance(attribute, Null):
+            return OK
+        if isinstance(attribute, Flat):
+            return self.universe.domain_of(attribute).sample(self.rng)
+        if isinstance(attribute, Record):
+            return tuple(self.value(component) for component in attribute.components)
+        if isinstance(attribute, ListAttr):
+            length = self.rng.randint(0, self.max_list_length)
+            return tuple(self.value(attribute.element) for _ in range(length))
+        raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+    def values(self, attribute: NestedAttribute, count: int) -> Iterator[Value]:
+        """Draw ``count`` random values (duplicates possible)."""
+        for _ in range(count):
+            yield self.value(attribute)
+
+    def instance(self, attribute: NestedAttribute, size: int) -> frozenset:
+        """Draw a random instance of *at most* ``size`` tuples.
+
+        Being a set, collisions shrink it — which is fine for the
+        verification workloads this feeds.
+        """
+        return frozenset(self.values(attribute, size))

@@ -1,0 +1,87 @@
+"""Projection functions ``π^N_M : dom(N) → dom(M)`` (Definition 3.6).
+
+The existence of a projection for every ``M ≤ N`` is what makes the
+informal reading of the subattribute relation ("``M`` comprises at most as
+much information as ``N``") precise:
+
+* ``π^N_N`` is the identity,
+* ``π^N_λ`` is the constant ``ok`` function,
+* records project componentwise,
+* lists project **elementwise, preserving order and length** — this is the
+  crucial difference from set-based nesting: projecting a list onto
+  ``L[λ]`` keeps its length, so list lengths are first-class information
+  (the source of the non-maximal basis attributes and ultimately of the
+  paper's new *mixed meet* inference rule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..attributes.nested import ListAttr, NestedAttribute, Null, Record
+from ..attributes.subattribute import is_subattribute
+from ..exceptions import NotASubattributeError
+from .value import OK, Value
+
+__all__ = ["project", "project_instance", "agreement_holds"]
+
+
+def project(parent: NestedAttribute, target: NestedAttribute, value: Value) -> Value:
+    """Compute ``π^parent_target(value)`` for ``target ≤ parent``.
+
+    Raises
+    ------
+    NotASubattributeError
+        If ``target ≰ parent`` (no projection function exists).
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute, parse_subattribute
+    >>> N = parse_attribute("Visit[Drink(Beer, Pub)]")
+    >>> M = parse_subattribute("Visit[Drink(Pub)]", N)
+    >>> project(N, M, (("Lübzer", "Deanos"), ("Kindl", "Highflyers")))
+    ((ok, 'Deanos'), (ok, 'Highflyers'))
+
+    (each list element keeps its position and length; the pruned ``Beer``
+    component collapses to the ``ok`` placeholder of its ``λ`` slot)
+    """
+    if not is_subattribute(target, parent):
+        raise NotASubattributeError(f"{target} is not a subattribute of {parent}")
+    return _project(parent, target, value)
+
+
+def _project(parent: NestedAttribute, target: NestedAttribute, value: Value) -> Value:
+    if target == parent:
+        return value
+    if isinstance(target, Null):
+        return OK
+    if isinstance(parent, Record):
+        assert isinstance(target, Record)
+        return tuple(
+            _project(component_parent, component_target, component_value)
+            for component_parent, component_target, component_value in zip(
+                parent.components, target.components, value
+            )
+        )
+    if isinstance(parent, ListAttr):
+        assert isinstance(target, ListAttr)
+        return tuple(_project(parent.element, target.element, element) for element in value)
+    raise AssertionError(  # pragma: no cover - flat handled by the two cases above
+        f"unreachable projection case {target} ≤ {parent}"
+    )
+
+
+def project_instance(parent: NestedAttribute, target: NestedAttribute,
+                     instance: Iterable[Value]) -> frozenset:
+    """The projection ``π_target(r) = {π^parent_target(t) | t ∈ r}``.
+
+    Being a *set*, the projection deduplicates — two tuples that agree on
+    ``target`` contribute one projected tuple (Section 4's definition).
+    """
+    return frozenset(project(parent, target, value) for value in instance)
+
+
+def agreement_holds(parent: NestedAttribute, target: NestedAttribute,
+                    left: Value, right: Value) -> bool:
+    """Whether two values of ``dom(parent)`` agree on ``target``."""
+    return project(parent, target, left) == project(parent, target, right)

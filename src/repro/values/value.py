@@ -1,0 +1,171 @@
+"""Values of nested attributes: ``dom(N)`` (Definition 3.3).
+
+The domains are
+
+* ``dom(λ) = {ok}`` — represented by the singleton :data:`OK`,
+* ``dom(A)`` for flat ``A`` — any hashable Python constant,
+* ``dom(L(N₁,…,Nₖ))`` — ``k``-tuples of component values, represented by
+  Python tuples,
+* ``dom(L[N])`` — finite lists over ``dom(N)``, represented by Python
+  tuples as well (immutability keeps values hashable so instances can be
+  plain ``set``/``frozenset`` objects).
+
+Whether a tuple means "record" or "list" is determined by the attribute a
+value is interpreted against; all functions in this package therefore take
+the attribute alongside the value.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..attributes.nested import Flat, ListAttr, NestedAttribute, Null, Record
+from ..attributes.universe import Universe
+from ..exceptions import InvalidValueError
+
+__all__ = ["OK", "Ok", "Value", "Instance", "is_valid_value", "validate_value",
+           "validate_instance", "format_value", "format_instance"]
+
+
+class Ok:
+    """The unique value of ``dom(λ)``.
+
+    Projecting any value onto ``λ`` yields :data:`OK`; it is the "no
+    information" witness.  A single shared instance is exported.
+    """
+
+    _instance: "Ok | None" = None
+
+    def __new__(cls) -> "Ok":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ok"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ok)
+
+    def __hash__(self) -> int:
+        return hash("repro.ok")
+
+
+#: The unique inhabitant of ``dom(λ)``.
+OK = Ok()
+
+#: Type alias: a value of some ``dom(N)`` (structure depends on ``N``).
+Value = Hashable
+
+#: Type alias: a finite set ``r ⊆ dom(N)``.
+Instance = frozenset
+
+
+def is_valid_value(attribute: NestedAttribute, value: Value,
+                   universe: Universe | None = None) -> bool:
+    """Whether ``value ∈ dom(attribute)``.
+
+    If a ``universe`` is supplied, flat constants are additionally checked
+    against their registered domains; otherwise any hashable constant is
+    accepted for a flat attribute.
+    """
+    try:
+        validate_value(attribute, value, universe)
+    except InvalidValueError:
+        return False
+    return True
+
+
+def validate_value(attribute: NestedAttribute, value: Value,
+                   universe: Universe | None = None) -> None:
+    """Assert ``value ∈ dom(attribute)``; raise :class:`InvalidValueError`.
+
+    The error message pinpoints the offending sub-value.
+    """
+    if isinstance(attribute, Null):
+        if value != OK:
+            raise InvalidValueError(f"dom(λ) contains only ok, got {value!r}")
+        return
+    if isinstance(attribute, Flat):
+        if isinstance(value, (tuple, Ok)):
+            raise InvalidValueError(
+                f"flat attribute {attribute.name} cannot hold structured value {value!r}"
+            )
+        try:
+            hash(value)
+        except TypeError:
+            raise InvalidValueError(
+                f"flat attribute {attribute.name} needs a hashable constant, got {value!r}"
+            ) from None
+        if universe is not None and value not in universe.domain_of(attribute):
+            raise InvalidValueError(
+                f"{value!r} is not in the registered domain of {attribute.name}"
+            )
+        return
+    if isinstance(attribute, Record):
+        if not isinstance(value, tuple) or len(value) != attribute.arity:
+            raise InvalidValueError(
+                f"dom({attribute}) holds {attribute.arity}-tuples, got {value!r}"
+            )
+        for component_attribute, component_value in zip(attribute.components, value):
+            validate_value(component_attribute, component_value, universe)
+        return
+    if isinstance(attribute, ListAttr):
+        if not isinstance(value, tuple):
+            raise InvalidValueError(
+                f"dom({attribute}) holds finite lists (tuples), got {value!r}"
+            )
+        for element_value in value:
+            validate_value(attribute.element, element_value, universe)
+        return
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def validate_instance(attribute: NestedAttribute, instance: Iterable[Value],
+                      universe: Universe | None = None) -> frozenset:
+    """Validate every tuple of an instance and return it as a frozenset.
+
+    An *instance* over ``N`` is a finite set ``r ⊆ dom(N)`` (the paper
+    replaces R-relations by such sets).
+    """
+    checked = frozenset(instance)
+    for value in checked:
+        validate_value(attribute, value, universe)
+    return checked
+
+
+def format_value(attribute: NestedAttribute, value: Value) -> str:
+    """Render a value in the paper's notation.
+
+    Records print as ``(v₁, …, vₖ)``, lists as ``[v₁, …, vₙ]``, the null
+    value as ``ok`` and flat constants via ``str``.
+
+    Example
+    -------
+    >>> from repro.attributes import parse_attribute
+    >>> N = parse_attribute("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+    >>> format_value(N, ("Sven", ((("Lübzer", "Deanos")),)))
+    '(Sven, [(Lübzer, Deanos)])'
+    """
+    if isinstance(attribute, Null):
+        return "ok"
+    if isinstance(attribute, Flat):
+        return str(value)
+    if isinstance(attribute, Record):
+        inner = ", ".join(
+            format_value(component_attribute, component_value)
+            for component_attribute, component_value in zip(attribute.components, value)
+        )
+        return f"({inner})"
+    if isinstance(attribute, ListAttr):
+        inner = ", ".join(format_value(attribute.element, element) for element in value)
+        return f"[{inner}]"
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def format_instance(attribute: NestedAttribute, instance: Iterable[Value]) -> str:
+    """Render an instance as a set of formatted tuples, sorted for output
+    stability."""
+    rows = sorted(format_value(attribute, value) for value in instance)
+    inner = ",\n  ".join(rows)
+    return "{\n  " + inner + "\n}" if rows else "{}"

@@ -1,0 +1,11 @@
+"""Figure reproduction: Hasse diagrams of Sub(N) and SubB(N) (Figs 1-4)."""
+
+from .hasse import ascii_levels, basis_graph, hasse_graph, to_dot
+from .figures import figure_1, figure_2, figures_3_and_4, render_all
+from .depb_diagram import render_result, render_state, render_trace_states
+
+__all__ = [
+    "hasse_graph", "basis_graph", "to_dot", "ascii_levels",
+    "figure_1", "figure_2", "figures_3_and_4", "render_all",
+    "render_state", "render_result", "render_trace_states",
+]

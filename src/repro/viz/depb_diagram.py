@@ -1,0 +1,80 @@
+"""ASCII rendering of dependency-basis states (Figures 3 and 4 proper).
+
+The paper's Figures 3 and 4 draw the algorithm's state as the maximal
+basis attributes of ``N`` *boxed* by block membership, with the
+functionally determined basis attributes *circled*.  This module renders
+the same picture in text::
+
+    (F)  (L8[λ])  (L2[λ]) …            <- circled: inside X⁺
+    [ L2[L3[L4(B)]] ]  [ L4(C)  L6(E) ] <- boxes: the X^M blocks
+
+so a trace can be eyeballed against the figures directly.
+"""
+
+from __future__ import annotations
+
+from ..attributes.encoding import BasisEncoding, iter_bits
+from ..attributes.printer import unparse_abbreviated
+from ..core.closure import ClosureResult
+from ..core.trace import TraceRecorder
+
+__all__ = ["render_state", "render_result", "render_trace_states"]
+
+
+def _label(encoding: BasisEncoding, index: int) -> str:
+    return unparse_abbreviated(encoding.basis[index], encoding.root)
+
+
+def render_state(encoding: BasisEncoding, closure_mask: int,
+                 blocks: frozenset[int]) -> str:
+    """One state as two lines: circled closure members, boxed blocks.
+
+    Circles ``( · )`` mark basis attributes functionally determined by
+    ``X`` (the paper's circled nodes); each box ``[ · ]`` lists the
+    maximal basis attributes of one ``DB_new`` block (the paper's boxes).
+    Blocks entirely inside the closure are suppressed, matching the
+    figures.
+    """
+    circled = [
+        f"({_label(encoding, index)})" for index in iter_bits(closure_mask)
+    ]
+    boxes = []
+    for block in sorted(blocks):
+        if block & ~closure_mask == 0:
+            continue  # determined blocks are drawn as circles already
+        members = [
+            _label(encoding, index)
+            for index in iter_bits(encoding.maximal_of(block))
+        ]
+        boxes.append("[ " + "  ".join(members) + " ]")
+    lines = []
+    lines.append("determined: " + ("  ".join(circled) if circled else "(none)"))
+    lines.append("blocks:     " + ("  ".join(boxes) if boxes else "(none)"))
+    return "\n".join(lines)
+
+
+def render_result(result: ClosureResult) -> str:
+    """The final state of a run — the paper's Figure 4 view."""
+    return render_state(result.encoding, result.closure_mask, result.blocks)
+
+
+def render_trace_states(recorder: TraceRecorder) -> str:
+    """Every *changed* state of a recorded run, Figure-3-to-4 style."""
+    encoding = recorder.encoding
+    if encoding is None:
+        return "(empty trace)"
+    sections = [
+        "Initial state (Figure 3 view):",
+        render_state(encoding, recorder.initial_x, recorder.initial_db),
+    ]
+    for step in recorder.states_after_each_change():
+        label = (
+            step.dependency.display(encoding.root)
+            if step.dependency is not None
+            else ("FD step" if step.is_fd else "MVD step")
+        )
+        sections.append(f"After {label} (pass {step.pass_number}):")
+        sections.append(render_state(encoding, step.x_new, step.db_new))
+    sections.append("Final state (Figure 4 view):")
+    sections.append(render_state(encoding, recorder.final_x, recorder.final_db))
+    return "\n".join(sections)

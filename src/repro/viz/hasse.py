@@ -1,0 +1,125 @@
+"""Hasse diagrams of subattribute lattices (Figures 1 and 2).
+
+Builds the cover relation of ``Sub(N)`` (or of the basis poset
+``SubB(N)``) as a :mod:`networkx` digraph, exports Graphviz DOT, and
+renders a plain-text level diagram — enough to reproduce the paper's
+Figure 1 (the Brouwerian algebra of ``J[K(A, L[M(B,C)])]``) and Figure 2
+(the subattribute basis of ``K[L(M[N(A,B)],C)]``) without a display.
+
+``networkx`` is an optional dependency (the ``viz`` extra); everything
+else in the library works without it.
+"""
+
+from __future__ import annotations
+
+from ..attributes.basis import basis, maximal_basis
+from ..attributes.nested import NestedAttribute
+from ..attributes.printer import unparse_abbreviated
+from ..attributes.subattribute import is_subattribute, subattributes
+
+__all__ = ["hasse_graph", "basis_graph", "to_dot", "ascii_levels"]
+
+
+def _covers_within(elements: list[NestedAttribute]):
+    """Cover pairs of a finite poset given by ``is_subattribute``."""
+    for lower in elements:
+        for upper in elements:
+            if lower == upper or not is_subattribute(lower, upper):
+                continue
+            if any(
+                middle not in (lower, upper)
+                and is_subattribute(lower, middle)
+                and is_subattribute(middle, upper)
+                for middle in elements
+            ):
+                continue
+            yield lower, upper
+
+
+def hasse_graph(root: NestedAttribute):
+    """The cover digraph of ``Sub(root)`` (edges point upward).
+
+    Node attributes: ``label`` (abbreviated display), ``is_root``,
+    ``is_bottom``.  Exponential in record width — intended for the small
+    roots of the figures.
+    """
+    import networkx as nx
+
+    from ..attributes.subattribute import bottom
+
+    elements = list(subattributes(root))
+    graph = nx.DiGraph()
+    for element in elements:
+        graph.add_node(
+            element,
+            label=unparse_abbreviated(element, root),
+            is_root=element == root,
+            is_bottom=element == bottom(root),
+        )
+    graph.add_edges_from(_covers_within(elements))
+    return graph
+
+
+def basis_graph(root: NestedAttribute):
+    """The cover digraph of the basis poset ``SubB(root)`` (Figure 2).
+
+    Node attribute ``maximal`` marks the elements of ``MaxB(root)``.
+    """
+    import networkx as nx
+
+    elements = list(basis(root))
+    maximal = set(maximal_basis(root))
+    graph = nx.DiGraph()
+    for element in elements:
+        graph.add_node(
+            element,
+            label=unparse_abbreviated(element, root),
+            maximal=element in maximal,
+        )
+    graph.add_edges_from(_covers_within(elements))
+    return graph
+
+
+def to_dot(graph, *, title: str = "Sub(N)") -> str:
+    """Graphviz DOT text for a Hasse digraph (rank = lattice level)."""
+    lines = [
+        f'digraph "{title}" {{',
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for node, data in graph.nodes(data=True):
+        label = data.get("label", str(node)).replace('"', '\\"')
+        style = []
+        if data.get("is_root") or data.get("maximal"):
+            style.append("penwidth=2")
+        if data.get("is_bottom"):
+            style.append("style=dashed")
+        attributes = f'label="{label}"' + ("," + ",".join(style) if style else "")
+        lines.append(f'  "{id(node)}" [{attributes}];')
+    for lower, upper in graph.edges():
+        lines.append(f'  "{id(lower)}" -> "{id(upper)}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ascii_levels(graph) -> str:
+    """Plain-text rendering: one line per lattice level, bottom first.
+
+    The level of a node is the longest cover-chain distance from a
+    minimal element — the vertical coordinate of the paper's figures.
+    """
+    import networkx as nx
+
+    level: dict = {}
+    for node in nx.topological_sort(graph):
+        predecessors = list(graph.predecessors(node))
+        level[node] = 1 + max((level[p] for p in predecessors), default=-1)
+    by_level: dict[int, list[str]] = {}
+    for node, node_level in level.items():
+        label = graph.nodes[node].get("label", str(node))
+        by_level.setdefault(node_level, []).append(label)
+    lines = []
+    for node_level in sorted(by_level):
+        labels = "   ".join(sorted(by_level[node_level]))
+        lines.append(f"level {node_level}:  {labels}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Completeness machinery: exact-agreement pairs and witness instances."""
+
+from .agreement import PairRealizer
+from .construct import Witness, build_witness
+
+__all__ = ["PairRealizer", "Witness", "build_witness"]

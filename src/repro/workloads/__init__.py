@@ -1,0 +1,40 @@
+"""Workload generators and the paper's worked examples as fixtures."""
+
+from .random_schemas import (
+    deep_list_chain,
+    flat_record,
+    mixed_family,
+    random_attribute,
+    record_of_lists,
+)
+from .instances import PubcrawlWorkload, pubcrawl_workload
+from .random_sigma import (
+    random_dependency,
+    random_element,
+    random_element_mask,
+    random_sigma,
+)
+from .scenarios import (
+    EXAMPLE_4_8_BASIS,
+    EXAMPLE_4_8_MAXIMAL,
+    EXAMPLE_4_8_NON_MAXIMAL,
+    FIGURE_1_ELEMENTS,
+    Example51,
+    PubcrawlScenario,
+    example_4_8_root,
+    example_4_12,
+    example_5_1,
+    figure_1_root,
+    pubcrawl,
+)
+
+__all__ = [
+    "random_attribute", "flat_record", "record_of_lists", "deep_list_chain",
+    "mixed_family",
+    "random_element_mask", "random_element", "random_dependency", "random_sigma",
+    "PubcrawlWorkload", "pubcrawl_workload",
+    "PubcrawlScenario", "pubcrawl", "example_4_8_root", "example_4_12",
+    "Example51", "example_5_1", "figure_1_root",
+    "EXAMPLE_4_8_BASIS", "EXAMPLE_4_8_MAXIMAL", "EXAMPLE_4_8_NON_MAXIMAL",
+    "FIGURE_1_ELEMENTS",
+]

@@ -1,0 +1,86 @@
+"""Seeded instance families for benchmarks and data-facing tests.
+
+The pub-crawl shape — one fixed schema, per-group cross products of two
+list orderings — is the library's standard Σ-satisfying data workload:
+it scales the *instance* while keeping the schema constant, which is
+what the satisfaction, chase and lossless-join experiments need.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..attributes.nested import NestedAttribute
+from ..attributes.parser import parse_attribute
+from ..dependencies.sigma import DependencySet
+
+__all__ = ["PubcrawlWorkload", "pubcrawl_workload"]
+
+
+class PubcrawlWorkload:
+    """A scaled pub-crawl dataset with its schema and Σ.
+
+    For each of ``n_people`` persons, two beer orderings and two pub
+    orderings (of one shared length 1–3) are combined into the full
+    2×2 cross product, so the instance satisfies the example's MVD and
+    the mixed-meet FD by construction.
+
+    Attributes
+    ----------
+    root / sigma:
+        The Example 4.2 schema and its single MVD.
+    instance:
+        The generated tuples (≈ ``4 · n_people``, fewer on collisions).
+    """
+
+    def __init__(self, n_people: int, *, seed: int = 23,
+                 value_range: int = 100) -> None:
+        rng = random.Random(seed)
+        self.root: NestedAttribute = parse_attribute(
+            "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
+        )
+        self.sigma = DependencySet.parse(
+            self.root, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        self._groups: list[list] = []
+        tuples = set()
+        for person in range(n_people):
+            length = rng.randint(1, 3)
+            beer_orders = [
+                tuple(rng.randrange(value_range) for _ in range(length))
+                for _ in range(2)
+            ]
+            pub_orders = [
+                tuple(rng.randrange(value_range) for _ in range(length))
+                for _ in range(2)
+            ]
+            group = [
+                (person, tuple(zip(beers, pubs)))
+                for beers in beer_orders
+                for pubs in pub_orders
+            ]
+            self._groups.append(group)
+            tuples.update(group)
+        self.instance = frozenset(tuples)
+
+    def with_dropped_combinations(self, *, seed: int = 5) -> frozenset:
+        """A broken variant: one combination tuple removed per person.
+
+        The remaining three tuples of each group still witness both
+        orderings of each side, so the chase must regenerate exactly the
+        dropped tuples.
+        """
+        rng = random.Random(seed)
+        kept = set()
+        for group in self._groups:
+            group = list(dict.fromkeys(group))
+            if len(group) > 1:
+                rng.shuffle(group)
+                group = group[:-1]
+            kept.update(group)
+        return frozenset(kept)
+
+
+def pubcrawl_workload(n_people: int, *, seed: int = 23) -> PubcrawlWorkload:
+    """Convenience constructor mirroring the other workload factories."""
+    return PubcrawlWorkload(n_people, seed=seed)

@@ -1,0 +1,113 @@
+"""Seeded random nested attributes for tests and benchmarks.
+
+Two families:
+
+* :func:`random_attribute` — structurally random terms with bounded depth
+  and fan-out, used by the hypothesis strategies and differential tests.
+* the *sized* families (:func:`flat_record`, :func:`record_of_lists`,
+  :func:`deep_list_chain`, :func:`mixed_family`) — schemas whose basis
+  size ``|N| = |SubB(N)|`` is a controlled function of a scale parameter,
+  used by the Theorem 6.4 scaling benchmarks where the x-axis must be
+  ``|N|``.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import count
+
+from ..attributes.nested import Flat, ListAttr, NestedAttribute, Record
+
+__all__ = [
+    "random_attribute",
+    "flat_record",
+    "record_of_lists",
+    "deep_list_chain",
+    "mixed_family",
+]
+
+
+def random_attribute(rng: random.Random, *, max_depth: int = 3,
+                     max_fanout: int = 3,
+                     allow_flat_root: bool = True,
+                     shared_names: bool = False) -> NestedAttribute:
+    """A random nested attribute (never ``λ``).
+
+    Depth-0 draws are flat attributes with names ``A0, A1, …`` unique
+    within one call tree; records draw 1–``max_fanout`` components; list
+    and record constructors are equally likely below the root.
+
+    With ``shared_names=True``, flat names and labels are drawn from a
+    small pool instead, so hash-equal subtrees can occur under several
+    parents — the structure that once broke the basis-poset traversal
+    and that unique-name generation can never produce.
+    """
+    names = count()
+    labels = count()
+
+    def fresh_flat() -> Flat:
+        if shared_names:
+            return Flat(rng.choice("ABCD"))
+        return Flat(f"A{next(names)}")
+
+    def build(depth: int) -> NestedAttribute:
+        if depth <= 0:
+            return fresh_flat()
+        roll = rng.random()
+        if roll < 0.34:
+            return fresh_flat()
+        if roll < 0.67:
+            label = rng.choice("LM") if shared_names else f"L{next(labels)}"
+            return ListAttr(label, build(depth - 1))
+        fanout = rng.randint(1, max_fanout)
+        label = rng.choice("RS") if shared_names else f"R{next(labels)}"
+        return Record(label, tuple(build(depth - 1) for _ in range(fanout)))
+
+    root = build(max_depth)
+    if not allow_flat_root and root.is_flat:
+        return Record(f"R{next(labels)}", (root, fresh_flat()))
+    return root
+
+
+def flat_record(width: int, label: str = "R") -> Record:
+    """``R(A1,…,Aw)`` — the relational family; ``|N| = width``."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    return Record(label, tuple(Flat(f"A{i}") for i in range(1, width + 1)))
+
+
+def record_of_lists(width: int, label: str = "R") -> Record:
+    """``R(L1[A1],…,Lw[Aw])`` — one list per field; ``|N| = 2·width``."""
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    return Record(
+        label,
+        tuple(ListAttr(f"L{i}", Flat(f"A{i}")) for i in range(1, width + 1)),
+    )
+
+
+def deep_list_chain(depth: int, label: str = "L") -> NestedAttribute:
+    """``L1[L2[…[A]…]]`` — nesting depth stress; ``|N| = depth + 1``."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    attribute: NestedAttribute = Flat("A")
+    for level in range(depth, 0, -1):
+        attribute = ListAttr(f"{label}{level}", attribute)
+    return attribute
+
+
+def mixed_family(scale: int, label: str = "R") -> Record:
+    """Alternating flat / list-of-record fields; ``|N| = 4·scale``.
+
+    Field ``2i`` is flat, field ``2i+1`` is ``Li[Di(Bi, Ci)]`` — the shape
+    of the paper's running examples, scaled.
+    """
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    components: list[NestedAttribute] = []
+    for i in range(1, scale + 1):
+        components.append(Flat(f"A{i}"))
+        components.append(
+            ListAttr(f"L{i}", Record(f"D{i}", (Flat(f"B{i}"), Flat(f"C{i}"))))
+        )
+    return Record(label, tuple(components))

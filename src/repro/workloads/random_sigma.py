@@ -1,0 +1,71 @@
+"""Seeded random dependency sets over a fixed root.
+
+Random lattice elements use the Birkhoff representation: any down-closed
+basis mask denotes an element of ``Sub(N)``, so a random element is the
+down-closure of a random generator set.  Generator density is a dial: low
+density makes small, specific attributes (interesting left-hand sides),
+high density approaches the root.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..attributes.encoding import BasisEncoding
+from ..attributes.nested import NestedAttribute
+from ..dependencies.dependency import (
+    Dependency,
+    FunctionalDependency,
+    MultivaluedDependency,
+)
+from ..dependencies.sigma import DependencySet
+
+__all__ = ["random_element_mask", "random_element", "random_dependency", "random_sigma"]
+
+
+def random_element_mask(rng: random.Random, encoding: BasisEncoding,
+                        density: float = 0.3) -> int:
+    """A random element of ``Sub(N)`` as a mask (possibly ``λ`` or ``N``)."""
+    generators = 0
+    for index in range(encoding.size):
+        if rng.random() < density:
+            generators |= 1 << index
+    return encoding.down_close(generators)
+
+
+def random_element(rng: random.Random, encoding: BasisEncoding,
+                   density: float = 0.3) -> NestedAttribute:
+    """A random element of ``Sub(N)`` as an attribute."""
+    return encoding.decode(random_element_mask(rng, encoding, density))
+
+
+def random_dependency(rng: random.Random, encoding: BasisEncoding,
+                      *, mvd_probability: float = 0.5,
+                      lhs_density: float = 0.25,
+                      rhs_density: float = 0.35) -> Dependency:
+    """One random FD or MVD with independently drawn sides."""
+    lhs = random_element(rng, encoding, lhs_density)
+    rhs = random_element(rng, encoding, rhs_density)
+    if rng.random() < mvd_probability:
+        return MultivaluedDependency(lhs, rhs)
+    return FunctionalDependency(lhs, rhs)
+
+
+def random_sigma(rng: random.Random, encoding: BasisEncoding, size: int,
+                 *, mvd_probability: float = 0.5,
+                 lhs_density: float = 0.25,
+                 rhs_density: float = 0.35) -> DependencySet:
+    """A random ``Σ`` of (up to, after dedup) ``size`` dependencies."""
+    return DependencySet(
+        encoding.root,
+        (
+            random_dependency(
+                rng,
+                encoding,
+                mvd_probability=mvd_probability,
+                lhs_density=lhs_density,
+                rhs_density=rhs_density,
+            )
+            for _ in range(size)
+        ),
+    )

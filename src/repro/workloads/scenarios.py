@@ -1,0 +1,268 @@
+"""The paper's worked examples as reusable fixtures.
+
+Each scenario bundles the exact input of a figure/example of the paper and
+the *expected* outputs as stated in the text, so integration tests and
+benchmark harnesses compare against a single authoritative transcription.
+
+========  ==================================================================
+fixture   source in the paper
+========  ==================================================================
+E4_2      Example 4.2 / 4.5 — the Pubcrawl schema, snapshot instance, the
+          two failing FDs, the holding MVD and FD, and the decomposition
+E4_8      Example 4.8 — basis of ``A(B, C[D(E, F[G])])``
+E4_12     Example 4.12 / Figure 2 — possession in ``K[L(M[N(A,B)],C)]``
+E5_1      Example 5.1 / Figures 3–4 — the full Algorithm 5.1 run with all
+          intermediate states
+FIG1      Figure 1 — the Brouwerian algebra of ``J[K(A, L[M(B,C)])]``
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attributes.nested import NestedAttribute
+from ..attributes.parser import parse_attribute, parse_subattribute
+from ..dependencies.sigma import DependencySet
+
+__all__ = [
+    "PubcrawlScenario",
+    "pubcrawl",
+    "example_4_8_root",
+    "example_4_12",
+    "Example51",
+    "example_5_1",
+    "figure_1_root",
+]
+
+
+# ---------------------------------------------------------------------------
+# Example 4.2 / 4.5 — Pubcrawl
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PubcrawlScenario:
+    """The paper's running example with its expected verdicts."""
+
+    root: NestedAttribute
+    instance: frozenset
+    failing_fd_texts: tuple[str, ...]
+    holding_mvd_text: str
+    holding_fd_text: str
+    decomposition_texts: tuple[str, str]
+
+    def sigma(self) -> DependencySet:
+        """The MVD the example asserts, as a dependency set."""
+        return DependencySet.parse(self.root, [self.holding_mvd_text])
+
+
+def pubcrawl() -> PubcrawlScenario:
+    """Example 4.2's snapshot ``r`` (all seven tuples, verbatim)."""
+    root = parse_attribute("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+    instance = frozenset(
+        {
+            ("Sven", (("Lübzer", "Deanos"), ("Kindl", "Highflyers"))),
+            ("Sven", (("Kindl", "Deanos"), ("Lübzer", "Highflyers"))),
+            (
+                "Klaus-Dieter",
+                (("Guiness", "Irish Pub"), ("Speights", "3Bar"), ("Guiness", "Irish Pub")),
+            ),
+            (
+                "Klaus-Dieter",
+                (("Kölsch", "Irish Pub"), ("Bönnsch", "3Bar"), ("Guiness", "Irish Pub")),
+            ),
+            (
+                "Klaus-Dieter",
+                (("Guiness", "Highflyers"), ("Speights", "Deanos"), ("Guiness", "3Bar")),
+            ),
+            (
+                "Klaus-Dieter",
+                (("Kölsch", "Highflyers"), ("Bönnsch", "Deanos"), ("Guiness", "3Bar")),
+            ),
+            ("Sebastian", ()),
+        }
+    )
+    return PubcrawlScenario(
+        root=root,
+        instance=instance,
+        failing_fd_texts=(
+            "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])",
+            "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Beer)])",
+        ),
+        holding_mvd_text="Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])",
+        holding_fd_text="Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+        decomposition_texts=(
+            "Pubcrawl(Person, Visit[Drink(Beer)])",
+            "Pubcrawl(Person, Visit[Drink(Pub)])",
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 4.8 — subattribute basis
+# ---------------------------------------------------------------------------
+
+def example_4_8_root() -> NestedAttribute:
+    """``A(B, C[D(E, F[G])])`` with basis/maximal split stated in the text."""
+    return parse_attribute("A(B, C[D(E, F[G])])")
+
+
+#: Expected (abbreviated) basis strings of Example 4.8, paper order.
+EXAMPLE_4_8_BASIS = (
+    "A(B)",
+    "A(C[λ])",
+    "A(C[D(F[λ])])",
+    "A(C[D(E)])",
+    "A(C[D(F[G])])",
+)
+EXAMPLE_4_8_MAXIMAL = ("A(B)", "A(C[D(E)])", "A(C[D(F[G])])")
+EXAMPLE_4_8_NON_MAXIMAL = ("A(C[λ])", "A(C[D(F[λ])])")
+
+
+# ---------------------------------------------------------------------------
+# Example 4.12 / Figure 2 — possession
+# ---------------------------------------------------------------------------
+
+def example_4_12() -> tuple[NestedAttribute, NestedAttribute, NestedAttribute, NestedAttribute]:
+    """``(root, X, possessed, not_possessed)`` from Example 4.12.
+
+    ``X = K[L(M[N(A,B)])]`` possesses ``K[L(M[λ])]`` but not ``K[λ]``.
+    """
+    root = parse_attribute("K[L(M[N(A, B)], C)]")
+    x = parse_subattribute("K[L(M[N(A, B)])]", root)
+    possessed = parse_subattribute("K[L(M[λ])]", root)
+    not_possessed = parse_subattribute("K[λ]", root)
+    return root, x, possessed, not_possessed
+
+
+# ---------------------------------------------------------------------------
+# Example 5.1 / Figures 3–4 — the algorithm run
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Example51:
+    """The complete Example 5.1 fixture.
+
+    All expectation fields hold the paper's printed states, transcribed as
+    subattribute text (resolved against :attr:`root` on demand).
+    """
+
+    root: NestedAttribute
+    sigma: DependencySet
+    x_text: str
+
+    #: Figure 3 — DB_new after initialisation.
+    initial_db_texts: tuple[str, ...]
+    #: X_new after pass 1 step (iii) (the U3 MVD fires).
+    pass1_x_text: str
+    pass1_db_texts: tuple[str, ...]
+    #: X_new / DB_new after pass 2 step (i) (the U2 FD fires).
+    pass2_fd_x_text: str
+    pass2_fd_db_texts: tuple[str, ...]
+    #: DB_new after pass 2 step (ii) (the U1 MVD fires).
+    pass2_mvd_db_texts: tuple[str, ...]
+    #: Final outputs (Figure 4).
+    closure_text: str
+    dependency_basis_texts: tuple[str, ...]
+
+    def x(self) -> NestedAttribute:
+        return parse_subattribute(self.x_text, self.root)
+
+    def resolve(self, texts: tuple[str, ...]) -> frozenset:
+        return frozenset(parse_subattribute(text, self.root) for text in texts)
+
+
+def example_5_1() -> Example51:
+    """Build the Example 5.1 fixture, states verbatim from the paper."""
+    root = parse_attribute(
+        "L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(F, L8[L9(G, L10[H])], I))"
+    )
+    sigma = DependencySet.parse(
+        root,
+        [
+            # U1 ->> V1
+            "L1(L5[λ], L7(F, L8[L9(G)], I)) ->> L1(L2[L3[L4(C)]], L5[L6(E)])",
+            # U2 -> V2
+            "L1(L2[L3[λ]], L7(F)) -> L1(L2[L3[L4(A)]], L7(L8[L9(G)], I))",
+            # U3 ->> V3
+            "L1(L7(F, L8[L9(L10[λ])])) ->> L1(L2[L3[λ]], L5[L6(D)])",
+        ],
+    )
+    return Example51(
+        root=root,
+        sigma=sigma,
+        x_text="L1(L7(F, L8[L9(L10[H])]))",
+        initial_db_texts=(
+            "L1(L2[L3[L4(A, B, C)]], L5[L6(D, E)], L7(L8[L9(G)], I))",
+            "L1(L7(F))",
+            "L1(L7(L8[L9(L10[H])]))",
+        ),
+        pass1_x_text="L1(L2[L3[λ]], L5[λ], L7(F, L8[L9(L10[H])]))",
+        pass1_db_texts=(
+            "L1(L2[L3[L4(A, B, C)]], L5[L6(E)], L7(L8[L9(G)], I))",
+            "L1(L7(F))",
+            "L1(L7(L8[L9(L10[H])]))",
+            "L1(L5[L6(D)])",
+        ),
+        pass2_fd_x_text="L1(L2[L3[L4(A)]], L5[λ], L7(F, L8[L9(G, L10[H])], I))",
+        pass2_fd_db_texts=(
+            "L1(L2[L3[L4(A)]])",
+            "L1(L7(L8[L9(G)]))",
+            "L1(L7(I))",
+            "L1(L2[L3[L4(B, C)]], L5[L6(E)])",
+            "L1(L7(F))",
+            "L1(L7(L8[L9(L10[H])]))",
+            "L1(L5[L6(D)])",
+        ),
+        pass2_mvd_db_texts=(
+            "L1(L2[L3[L4(A)]])",
+            "L1(L7(L8[L9(G)]))",
+            "L1(L7(I))",
+            "L1(L2[L3[L4(B)]])",
+            "L1(L2[L3[L4(C)]], L5[L6(E)])",
+            "L1(L7(F))",
+            "L1(L7(L8[L9(L10[H])]))",
+            "L1(L5[L6(D)])",
+        ),
+        closure_text="L1(L2[L3[L4(A)]], L5[λ], L7(F, L8[L9(G, L10[H])], I))",
+        dependency_basis_texts=(
+            "L1(L2[λ])",
+            "L1(L2[L3[λ]])",
+            "L1(L2[L3[L4(A)]])",
+            "L1(L5[λ])",
+            "L1(L7(F))",
+            "L1(L7(L8[λ]))",
+            "L1(L7(L8[L9(G)]))",
+            "L1(L7(L8[L9(L10[λ])]))",
+            "L1(L7(L8[L9(L10[H])]))",
+            "L1(L7(I))",
+            "L1(L5[L6(D)])",
+            "L1(L2[L3[L4(B)]])",
+            "L1(L2[L3[L4(C)]], L5[L6(E)])",
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — the Brouwerian algebra of J[K(A, L[M(B, C)])]
+# ---------------------------------------------------------------------------
+
+def figure_1_root() -> NestedAttribute:
+    """The root of Figure 1; its ``Sub`` has exactly 11 elements."""
+    return parse_attribute("J[K(A, L[M(B, C)])]")
+
+
+#: The 11 elements of Figure 1's lattice, abbreviated as in the paper.
+FIGURE_1_ELEMENTS = (
+    "λ",
+    "J[λ]",
+    "J[K(A)]",
+    "J[K(L[λ])]",
+    "J[K(A, L[λ])]",
+    "J[K(L[M(B)])]",
+    "J[K(L[M(C)])]",
+    "J[K(A, L[M(B)])]",
+    "J[K(A, L[M(C)])]",
+    "J[K(L[M(B, C)])]",
+    "J[K(A, L[M(B, C)])]",
+)

@@ -1,0 +1,209 @@
+"""XML front-end: nested attributes as document schemas.
+
+XML is the paper's flagship motivation for list types — "the list type …
+is in particular important for XML [1,47]" — because child elements are
+*ordered*.  This module maps nested attributes onto XML documents with
+the obvious conventions, so real documents can be checked against FDs
+and MVDs:
+
+=====================  ====================================================
+attribute              XML shape
+=====================  ====================================================
+flat ``A``             ``<A>text</A>`` (the text is the constant)
+record ``L(N₁,…,Nₖ)``  ``<L>`` with one child per component, matched by
+                       the component's head (order-insensitive on input,
+                       schema order on output); ``λ`` slots are omitted
+list ``L[N]``          ``<L>`` with zero or more ``N``-shaped children
+``λ``                  the empty element ``<L/>`` / an omitted child
+=====================  ====================================================
+
+Like :mod:`repro.io`, records whose non-``λ`` component heads collide
+cannot be matched by name and are rejected (positional XML would be
+ambiguous to read back).  Values use only the standard library's
+``xml.etree.ElementTree``.
+
+Example
+-------
+>>> from repro import Schema
+>>> schema = Schema("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+>>> document = (
+...     "<Pubcrawl><Person>Sven</Person>"
+...     "<Visit><Drink><Beer>Lübzer</Beer><Pub>Deanos</Pub></Drink>"
+...     "<Drink><Beer>Kindl</Beer><Pub>Highflyers</Pub></Drink></Visit>"
+...     "</Pubcrawl>"
+... )
+>>> value_from_xml(schema.root, document)
+('Sven', (('Lübzer', 'Deanos'), ('Kindl', 'Highflyers')))
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterable
+
+from .attributes.nested import Flat, ListAttr, NestedAttribute, Null, Record
+from .attributes.printer import unparse
+from .exceptions import InvalidValueError
+from .values.value import OK, Value
+
+__all__ = [
+    "value_from_xml",
+    "value_to_xml",
+    "instance_from_xml",
+    "instance_to_xml",
+]
+
+
+def _mappable(record: Record) -> bool:
+    heads = [
+        component.head()
+        for component in record.components
+        if not isinstance(component, Null)
+    ]
+    return None not in heads and len(set(heads)) == len(heads)
+
+
+def _element_of(data: str | ET.Element) -> ET.Element:
+    if isinstance(data, ET.Element):
+        return data
+    return ET.fromstring(data)
+
+
+def value_from_xml(attribute: NestedAttribute, data: str | ET.Element) -> Value:
+    """Decode an XML element (or document text) into a value.
+
+    Raises
+    ------
+    InvalidValueError
+        When the document shape does not match the attribute (wrong tag,
+        duplicate component children, stray children, structured text …).
+    """
+    return _decode(attribute, _element_of(data))
+
+
+def _decode(attribute: NestedAttribute, element: ET.Element) -> Value:
+    if isinstance(attribute, Null):
+        return OK
+    tag = attribute.head()
+    if element.tag != tag:
+        raise InvalidValueError(
+            f"expected element <{tag}> for {unparse(attribute)}, got <{element.tag}>"
+        )
+    if isinstance(attribute, Flat):
+        if len(element):
+            raise InvalidValueError(
+                f"flat element <{tag}> must not have children"
+            )
+        return (element.text or "").strip()
+    if isinstance(attribute, Record):
+        if not _mappable(attribute):
+            raise InvalidValueError(
+                f"record {unparse(attribute)} has ambiguous component heads; "
+                "XML children cannot be matched by name"
+            )
+        children: dict[str, list[ET.Element]] = {}
+        for child in element:
+            children.setdefault(child.tag, []).append(child)
+        known = {
+            component.head()
+            for component in attribute.components
+            if not isinstance(component, Null)
+        }
+        stray = set(children) - known
+        if stray:
+            raise InvalidValueError(
+                f"unexpected children {sorted(stray)} under <{tag}>"
+            )
+        values = []
+        for component in attribute.components:
+            if isinstance(component, Null):
+                values.append(OK)
+                continue
+            matches = children.get(component.head(), [])
+            if not matches:
+                values.append(_missing_component(component))
+                continue
+            if len(matches) > 1:
+                raise InvalidValueError(
+                    f"component <{component.head()}> occurs {len(matches)} "
+                    f"times under <{tag}>; wrap repetitions in a list type"
+                )
+            values.append(_decode(component, matches[0]))
+        return tuple(values)
+    if isinstance(attribute, ListAttr):
+        expected = attribute.element.head()
+        if isinstance(attribute.element, Null):
+            # a list of λ: only the count is information — count children.
+            return tuple(OK for _ in element)
+        items = []
+        for child in element:
+            if expected is not None and child.tag != expected:
+                raise InvalidValueError(
+                    f"list <{tag}> expects <{expected}> children, got "
+                    f"<{child.tag}>"
+                )
+            items.append(_decode(attribute.element, child))
+        return tuple(items)
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def _missing_component(component: NestedAttribute) -> Value:
+    """A missing child decodes to the bottom value (projected reading).
+
+    Flat and list components bottom out at ``ok``; record components
+    bottom out at a tuple of bottoms (records never project to ``ok`` —
+    the bottom of ``Sub(record)`` is the record of bottoms).
+    """
+    if isinstance(component, Record):
+        return tuple(_missing_component(inner) for inner in component.components)
+    return OK
+
+
+def value_to_xml(attribute: NestedAttribute, value: Value) -> ET.Element:
+    """Encode a value as an XML element (inverse of :func:`value_from_xml`).
+
+    ``ok`` placeholders (projected-away parts) are omitted; flat constants
+    are rendered with ``str``.
+    """
+    if isinstance(attribute, Null):
+        raise InvalidValueError("λ has no element representation on its own")
+    element = ET.Element(attribute.head())
+    if isinstance(attribute, Flat):
+        if value != OK:
+            element.text = str(value)
+        return element
+    if isinstance(attribute, Record):
+        if not _mappable(attribute):
+            raise InvalidValueError(
+                f"record {unparse(attribute)} has ambiguous component heads"
+            )
+        for component, component_value in zip(attribute.components, value):
+            if isinstance(component, Null) or component_value == OK:
+                continue
+            element.append(value_to_xml(component, component_value))
+        return element
+    if isinstance(attribute, ListAttr):
+        if value == OK:
+            return element
+        for item in value:
+            if isinstance(attribute.element, Null):
+                element.append(ET.Element("item"))
+            else:
+                element.append(value_to_xml(attribute.element, item))
+        return element
+    raise TypeError(f"not a nested attribute: {attribute!r}")  # pragma: no cover
+
+
+def instance_from_xml(attribute: NestedAttribute,
+                      documents: Iterable[str | ET.Element]) -> frozenset:
+    """Decode a collection of documents into an instance."""
+    return frozenset(value_from_xml(attribute, document) for document in documents)
+
+
+def instance_to_xml(attribute: NestedAttribute, instance: Iterable[Value],
+                    *, wrapper: str = "instance") -> ET.Element:
+    """Encode an instance as one ``<wrapper>`` element of documents."""
+    container = ET.Element(wrapper)
+    for value in sorted(instance, key=repr):
+        container.append(value_to_xml(attribute, value))
+    return container

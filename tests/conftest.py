@@ -1,0 +1,44 @@
+"""Shared fixtures: the paper's worked examples and small standard roots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attributes import BasisEncoding, parse_attribute
+from repro.workloads import example_5_1, pubcrawl
+
+
+@pytest.fixture(scope="session")
+def pubcrawl_scenario():
+    """Example 4.2 / 4.5: schema, instance and expected verdicts."""
+    return pubcrawl()
+
+
+@pytest.fixture(scope="session")
+def example51():
+    """Example 5.1 / Figures 3-4: the full algorithm fixture."""
+    return example_5_1()
+
+
+@pytest.fixture(scope="session")
+def example51_encoding(example51):
+    return BasisEncoding(example51.root)
+
+
+@pytest.fixture(scope="session")
+def small_roots():
+    """A spread of small roots covering every constructor combination."""
+    texts = (
+        "A",
+        "L[A]",
+        "L[K[A]]",
+        "R(A, B)",
+        "R(A, A)",
+        "R(A, L[B])",
+        "L[R(A, B)]",
+        "R(L1[A], L2[B])",
+        "R(A, L[D(B, C)])",
+        "J[K(A, L[M(B, C)])]",
+        "K[L(M[N(A, B)], C)]",
+    )
+    return tuple(parse_attribute(text) for text in texts)

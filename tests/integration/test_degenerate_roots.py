@@ -1,0 +1,96 @@
+"""Integration: degenerate roots through the whole pipeline.
+
+``λ`` itself, a single flat attribute, and a bare list are all legal
+nested attributes; every layer — algebra, algorithm, witness,
+normalisation, facade — must handle them without special-casing by the
+caller.
+"""
+
+import pytest
+
+from repro import Schema
+from repro.values import OK
+
+
+class TestNullRoot:
+    @pytest.fixture()
+    def schema(self):
+        return Schema("λ")
+
+    def test_empty_basis(self, schema):
+        assert schema.encoding.size == 0
+        assert schema.encoding.full == 0
+
+    def test_closure_and_membership(self, schema):
+        sigma = schema.dependencies()
+        assert schema.show(schema.closure(sigma, "λ")) == "λ"
+        assert schema.implies(sigma, "λ -> λ")
+        assert schema.implies(sigma, "λ ->> λ")
+        assert schema.dependency_basis(sigma, "λ") == ()
+
+    def test_witness_is_the_ok_singleton(self, schema):
+        witness = schema.witness(schema.dependencies(), "λ")
+        assert witness.instance == frozenset({OK})
+
+    def test_design_queries(self, schema):
+        sigma = schema.dependencies()
+        assert schema.is_in_4nf(sigma)
+        assert [schema.show(c) for c in schema.decompose(sigma).components] == ["λ"]
+        # λ is (vacuously) a key of itself.
+        assert schema.is_superkey(sigma, "λ")
+
+    def test_satisfaction(self, schema):
+        instance = schema.instance([OK])
+        assert schema.satisfies(instance, "λ -> λ")
+
+
+class TestFlatRoot:
+    @pytest.fixture()
+    def schema(self):
+        return Schema("A")
+
+    def test_closure_under_constant_fd(self, schema):
+        sigma = schema.dependencies("λ -> A")
+        assert schema.show(schema.closure(sigma, "λ")) == "A"
+        assert schema.is_superkey(sigma, "λ")
+        assert schema.candidate_keys(sigma) == (schema.attribute("λ"),)
+
+    def test_witness_for_constant_fd(self, schema):
+        sigma = schema.dependencies("λ -> A")
+        witness = schema.witness(sigma, "λ")
+        # λ → A forces a single tuple: every value agrees on λ, hence on A.
+        assert len(witness.instance) == 1
+
+    def test_without_dependencies(self, schema):
+        sigma = schema.dependencies()
+        witness = schema.witness(sigma, "λ")
+        assert len(witness.instance) == 2  # two distinct constants
+        assert not schema.implies(sigma, "λ -> A")
+
+
+class TestBareListRoot:
+    @pytest.fixture()
+    def schema(self):
+        return Schema("L[A]")
+
+    def test_trivial_mvd_implies_nothing_new(self, schema):
+        # L[λ] ↠ L[A] is trivial (the join is the root): no consequences.
+        sigma = schema.dependencies("L[λ] ->> L[A]")
+        assert not schema.implies(sigma, "L[λ] -> L[A]")
+        assert schema.implies(sigma, "L[λ] ->> L[A]")  # trivially
+
+    def test_length_determines_content_fd(self, schema):
+        sigma = schema.dependencies("L[λ] -> L[A]")
+        assert schema.is_superkey(sigma, "L[λ]")
+        witness = schema.witness(sigma, "L[λ]")
+        assert len(witness.instance) == 1
+
+    def test_empty_list_value_everywhere(self, schema):
+        instance = schema.instance([(), (1,), (1, 2)])
+        assert schema.satisfies(instance, "L[A] -> L[λ]")  # trivial
+        assert not schema.satisfies(instance, "λ -> L[λ]")  # lengths differ
+
+    def test_erratum_instance_through_facade(self, schema):
+        # {[], [3]}: lossless yet MVD-violating (E11), via the facade.
+        instance = schema.instance([(), (3,)])
+        assert not schema.satisfies(instance, "λ ->> L[λ]")

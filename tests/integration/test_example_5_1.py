@@ -1,0 +1,148 @@
+"""Integration: Example 5.1 / Figures 3 and 4, state by state (E5).
+
+Every intermediate state printed in the paper is checked verbatim against
+the trace of Algorithm 5.1 — initialisation (Figure 3), the single
+effective step of pass 1, both effective steps of pass 2, and the final
+closure plus 13-element dependency basis (Figure 4).
+"""
+
+import pytest
+
+from repro.core import TraceRecorder, compute_closure
+
+
+@pytest.fixture(scope="module")
+def run(example51, example51_encoding):
+    recorder = TraceRecorder()
+    result = compute_closure(
+        example51_encoding, example51.x(), example51.sigma, trace=recorder
+    )
+    return example51, example51_encoding, recorder, result
+
+
+def decode_db(encoding, masks):
+    return frozenset(encoding.decode(mask) for mask in masks)
+
+
+def one(fixture, text):
+    return next(iter(fixture.resolve((text,))))
+
+
+class TestInitialisation:
+    """Figure 3: X_new = X; DB_new = MaxB(X^CC) ∪ {X^C}."""
+
+    def test_initial_x(self, run):
+        fixture, encoding, recorder, _ = run
+        assert encoding.decode(recorder.initial_x) == fixture.x()
+
+    def test_initial_db(self, run):
+        fixture, encoding, recorder, _ = run
+        assert decode_db(encoding, recorder.initial_db) == fixture.resolve(
+            fixture.initial_db_texts
+        )
+
+
+class TestPassOne:
+    """Pass 1: the FD and U1 change nothing; U3 ↠ V3 fires."""
+
+    def test_fd_step_no_change(self, run):
+        fixture, _, recorder, _ = run
+        fd = fixture.sigma.fds()[0]
+        assert not recorder.state_after(1, fd).changed
+
+    def test_u1_step_no_change(self, run):
+        fixture, _, recorder, _ = run
+        u1 = fixture.sigma.mvds()[0]
+        assert not recorder.state_after(1, u1).changed
+
+    def test_u3_step_updates_x(self, run):
+        fixture, encoding, recorder, _ = run
+        u3 = fixture.sigma.mvds()[1]
+        step = recorder.state_after(1, u3)
+        assert step.changed
+        assert encoding.decode(step.x_new) == one(fixture, fixture.pass1_x_text)
+
+    def test_u3_step_updates_db(self, run):
+        fixture, encoding, recorder, _ = run
+        u3 = fixture.sigma.mvds()[1]
+        step = recorder.state_after(1, u3)
+        assert decode_db(encoding, step.db_new) == fixture.resolve(
+            fixture.pass1_db_texts
+        )
+
+    def test_u3_vtilde_is_v3(self, run):
+        # Ū = λ in pass 1(iii), so Ṽ = V3 itself.
+        fixture, encoding, recorder, _ = run
+        u3 = fixture.sigma.mvds()[1]
+        step = recorder.state_after(1, u3)
+        assert encoding.decode(step.v_tilde) == u3.rhs
+
+
+class TestPassTwo:
+    """Pass 2: the FD fires, then U1 ↠ V1 fires, U3 is absorbed."""
+
+    def test_fd_step_state(self, run):
+        fixture, encoding, recorder, _ = run
+        fd = fixture.sigma.fds()[0]
+        step = recorder.state_after(2, fd)
+        assert step.changed
+        assert encoding.decode(step.x_new) == one(fixture, fixture.pass2_fd_x_text)
+        assert decode_db(encoding, step.db_new) == fixture.resolve(
+            fixture.pass2_fd_db_texts
+        )
+
+    def test_u1_step_state(self, run):
+        fixture, encoding, recorder, _ = run
+        u1 = fixture.sigma.mvds()[0]
+        step = recorder.state_after(2, u1)
+        assert step.changed
+        # X_new unchanged by this MVD (its overlap is already absorbed).
+        assert encoding.decode(step.x_new) == one(fixture, fixture.pass2_fd_x_text)
+        assert decode_db(encoding, step.db_new) == fixture.resolve(
+            fixture.pass2_mvd_db_texts
+        )
+
+    def test_u3_absorbed(self, run):
+        fixture, _, recorder, _ = run
+        u3 = fixture.sigma.mvds()[1]
+        assert not recorder.state_after(2, u3).changed
+
+
+class TestFinalState:
+    """Figure 4 and the closing lines of Example 5.1."""
+
+    def test_pass_three_changes_nothing(self, run):
+        _, _, recorder, result = run
+        assert result.passes == 3
+        assert not any(
+            step.changed for step in recorder.steps if step.pass_number == 3
+        )
+
+    def test_closure(self, run):
+        fixture, _, _, result = run
+        assert result.closure == one(fixture, fixture.closure_text)
+
+    def test_dependency_basis_thirteen_elements(self, run):
+        fixture, _, _, result = run
+        expected = fixture.resolve(fixture.dependency_basis_texts)
+        assert len(expected) == 13
+        assert set(result.dependency_basis()) == expected
+
+    def test_membership_queries_on_final_state(self, run):
+        fixture, encoding, _, result = run
+        from repro.attributes import parse_subattribute
+
+        # X ->> L1(L5[L6(D)]) is a dependency-basis element: implied.
+        member = parse_subattribute("L1(L5[L6(D)])", fixture.root)
+        assert result.implies_mvd_rhs(encoding.encode(member))
+        # X -> L1(L2[L3[L4(A)]]) follows from the closure.
+        inside = parse_subattribute("L1(L2[L3[L4(A)]])", fixture.root)
+        assert result.implies_fd_rhs(encoding.encode(inside))
+        # X -> L1(L2[L3[L4(B)]]) does not.
+        outside = parse_subattribute("L1(L2[L3[L4(B)]])", fixture.root)
+        assert not result.implies_fd_rhs(encoding.encode(outside))
+        # Joins of basis members are implied MVDs; partial overlaps not.
+        pair = parse_subattribute("L1(L2[L3[L4(A, B)]])", fixture.root)
+        assert result.implies_mvd_rhs(encoding.encode(pair))
+        partial = parse_subattribute("L1(L2[L3[L4(C)]])", fixture.root)
+        assert not result.implies_mvd_rhs(encoding.encode(partial))

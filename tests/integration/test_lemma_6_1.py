@@ -1,0 +1,59 @@
+"""Integration: Lemma 6.1 — the algorithm's outputs are *derivable*.
+
+Lemma 6.1 states the soundness half of the correctness proof directly:
+``X ↠ W ∈ Σ⁺`` for every ``W ∈ DepB_alg(X)``, and ``X → X⁺_alg ∈ Σ⁺``.
+The cross-validation suite checks this *semantically*; here the claim is
+checked in its original syntactic form — each output is reproduced by an
+actual derivation in the Theorem 4.6 rule system (with the proof
+available via ``explain``).
+"""
+
+import pytest
+
+from repro.attributes import BasisEncoding, parse_attribute as p, parse_subattribute
+from repro.core import compute_closure
+from repro.dependencies import FD, MVD, DependencySet
+from repro.inference import derive_closure, explain
+
+
+CASES = [
+    ("R(A, B, C)", ["R(A) -> R(B)", "R(B) ->> R(C)"], "R(A)"),
+    ("R(A, L[B])", ["R(A) ->> R(L[λ])"], "R(A)"),
+    ("R(A, L[D(B, C)])", ["R(A) ->> R(L[D(B)])"], "R(A)"),
+]
+
+
+@pytest.mark.parametrize("root_text,sigma_texts,x_text", CASES)
+def test_every_output_is_derivable(root_text, sigma_texts, x_text):
+    root = p(root_text)
+    encoding = BasisEncoding(root)
+    sigma = DependencySet.parse(root, sigma_texts)
+    x = parse_subattribute(x_text, root)
+    result = compute_closure(encoding, x, sigma)
+
+    # X → X⁺_alg ∈ Σ⁺ (derivable).
+    closure_fd = FD(x, result.closure)
+    derivation = derive_closure(sigma, target=closure_fd)
+    assert closure_fd in derivation
+    assert explain(derivation, closure_fd)  # a printable proof exists
+
+    # X ↠ W ∈ Σ⁺ for every dependency-basis member W.
+    for member in result.dependency_basis():
+        mvd = MVD(x, member)
+        derivation = derive_closure(sigma, target=mvd)
+        assert mvd in derivation, mvd.display(root)
+
+
+def test_proof_for_a_mixed_meet_output_names_the_rule():
+    # On the list schema the closure gains the length through the mixed
+    # meet rule; the derivation the engine finds must actually use it
+    # (no other rule produces a non-trivial FD from a bare MVD here).
+    root = p("R(A, L[D(B, C)])")
+    sigma = DependencySet.parse(root, ["R(A) ->> R(L[D(B)])"])
+    x = parse_subattribute("R(A)", root)
+    encoding = BasisEncoding(root)
+    result = compute_closure(encoding, x, sigma)
+    closure_fd = FD(x, result.closure)
+    derivation = derive_closure(sigma, target=closure_fd)
+    proof = explain(derivation, closure_fd)
+    assert "mixed meet" in proof

@@ -1,0 +1,129 @@
+"""Integration: Figures 1 and 2 and Examples 4.8 / 4.12 (E1–E3)."""
+
+import pytest
+
+from repro.attributes import (
+    BasisEncoding,
+    basis,
+    complement,
+    count_subattributes,
+    is_possessed_by,
+    is_subattribute,
+    join,
+    maximal_basis,
+    meet,
+    non_maximal_basis,
+    pseudo_difference,
+    subattributes,
+    unparse_abbreviated,
+)
+from repro.workloads import (
+    EXAMPLE_4_8_BASIS,
+    EXAMPLE_4_8_MAXIMAL,
+    EXAMPLE_4_8_NON_MAXIMAL,
+    FIGURE_1_ELEMENTS,
+    example_4_8_root,
+    example_4_12,
+    figure_1_root,
+)
+
+
+class TestFigure1:
+    """The Brouwerian algebra of J[K(A, L[M(B, C)])]."""
+
+    def test_eleven_elements_with_paper_names(self):
+        root = figure_1_root()
+        shown = {unparse_abbreviated(e, root) for e in subattributes(root)}
+        assert shown == set(FIGURE_1_ELEMENTS)
+        assert count_subattributes(root) == 11
+
+    def test_is_a_brouwerian_algebra(self):
+        # Theorem 3.9 checked exhaustively on Figure 1's lattice: the
+        # pseudo-difference satisfies the defining adjunction.
+        root = figure_1_root()
+        elements = list(subattributes(root))
+        for a in elements:
+            for b in elements:
+                difference = pseudo_difference(root, a, b)
+                for c in elements:
+                    assert is_subattribute(difference, c) == is_subattribute(
+                        a, join(root, b, c)
+                    )
+
+    def test_distributivity(self):
+        root = figure_1_root()
+        elements = list(subattributes(root))
+        for a in elements:
+            for b in elements:
+                for c in elements:
+                    assert meet(root, a, join(root, b, c)) == join(
+                        root, meet(root, a, b), meet(root, a, c)
+                    )
+
+    def test_not_boolean(self):
+        # The lattice contains an element with Y ⊓ Y^C ≠ λ.
+        root = figure_1_root()
+        from repro.attributes import bottom
+
+        assert any(
+            meet(root, y, complement(root, y)) != bottom(root)
+            for y in subattributes(root)
+        )
+
+    def test_hasse_levels(self):
+        from repro.viz import ascii_levels, hasse_graph
+
+        text = ascii_levels(hasse_graph(figure_1_root()))
+        lines = text.splitlines()
+        assert len(lines) == 6  # λ up to the root: six levels
+        assert lines[0].endswith("λ")
+        assert lines[-1].endswith("J[K(A, L[M(B, C)])]")
+
+
+class TestExample48:
+    """SubB / MaxB / non-MaxB of A(B, C[D(E, F[G])])."""
+
+    def test_basis_exactly_as_printed(self):
+        root = example_4_8_root()
+        shown = {unparse_abbreviated(b, root) for b in basis(root)}
+        assert shown == set(EXAMPLE_4_8_BASIS)
+
+    def test_maximal_and_non_maximal_split(self):
+        root = example_4_8_root()
+        assert {
+            unparse_abbreviated(b, root) for b in maximal_basis(root)
+        } == set(EXAMPLE_4_8_MAXIMAL)
+        assert {
+            unparse_abbreviated(b, root) for b in non_maximal_basis(root)
+        } == set(EXAMPLE_4_8_NON_MAXIMAL)
+
+
+class TestFigure2AndExample412:
+    """Possession in K[L(M[N(A, B)], C)]."""
+
+    def test_possession_claims(self):
+        root, x, possessed, not_possessed = example_4_12()
+        assert is_possessed_by(root, possessed, x)
+        assert not is_possessed_by(root, not_possessed, x)
+
+    def test_x_is_join_of_maximal_attributes(self):
+        root, x, _, _ = example_4_12()
+        enc = BasisEncoding(root)
+        mask = enc.encode(x)
+        assert enc.double_complement(mask) == mask
+
+    def test_basis_of_figure_2(self):
+        root, _, _, _ = example_4_12()
+        shown = {unparse_abbreviated(b, root) for b in basis(root)}
+        assert shown == {
+            "K[λ]",
+            "K[L(M[λ])]",
+            "K[L(M[N(A)])]",
+            "K[L(M[N(B)])]",
+            "K[L(C)]",
+        }
+
+    def test_not_possessed_is_shared_with_complement(self):
+        # K[λ] is also a basis attribute of X^C — the §4.2 criterion.
+        root, x, _, not_possessed = example_4_12()
+        assert is_subattribute(not_possessed, complement(root, x))

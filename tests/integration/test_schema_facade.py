@@ -1,0 +1,114 @@
+"""Integration: end-to-end flows through the public Schema facade."""
+
+import pytest
+
+from repro import Schema
+from repro.dependencies import DependencySet
+from repro.exceptions import InvalidValueError
+
+
+@pytest.fixture()
+def schema():
+    return Schema("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+
+
+@pytest.fixture()
+def sigma(schema):
+    return schema.dependencies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])")
+
+
+class TestReasoningFlow:
+    def test_implies(self, schema, sigma):
+        assert schema.implies(sigma, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+        assert not schema.implies(
+            sigma, "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"
+        )
+
+    def test_sigma_as_plain_strings(self, schema):
+        assert schema.implies(
+            ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"],
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])",
+        )
+
+    def test_closure_and_basis(self, schema, sigma):
+        closure = schema.closure(sigma, "Pubcrawl(Person)")
+        assert schema.show(closure) == "Pubcrawl(Person, Visit[λ])"
+        basis = schema.dependency_basis(sigma, "Pubcrawl(Person)")
+        shown = {schema.show(member) for member in basis}
+        assert "Pubcrawl(Visit[Drink(Beer)])" in shown
+        assert "Pubcrawl(Visit[Drink(Pub)])" in shown
+
+    def test_trace(self, schema, sigma):
+        trace = schema.trace(sigma, "Pubcrawl(Person)")
+        assert "Initialisation:" in trace.render()
+
+    def test_equivalent_and_minimal_cover(self, schema):
+        first = schema.dependencies(
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+        )
+        second = schema.dependencies(
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])"
+        )
+        assert schema.equivalent(first, second)
+        merged = first.union(second)
+        assert len(schema.minimal_cover(merged)) == 1
+
+    def test_foreign_sigma_rejected(self, schema):
+        other = Schema("R(A, B)")
+        foreign = other.dependencies("R(A) -> R(B)")
+        with pytest.raises(ValueError):
+            schema.implies(foreign, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+
+
+class TestSemanticsFlow:
+    def test_instance_validation(self, schema):
+        instance = schema.instance([("Sven", (("Lübzer", "Deanos"),))])
+        assert len(instance) == 1
+        with pytest.raises(InvalidValueError):
+            schema.instance([("Sven", "not-a-list")])
+
+    def test_satisfies(self, schema, pubcrawl_scenario):
+        assert schema.satisfies(
+            pubcrawl_scenario.instance,
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])",
+        )
+        assert schema.satisfies_all(
+            pubcrawl_scenario.instance,
+            ["Pubcrawl(Person) -> Pubcrawl(Visit[λ])"],
+        )
+
+    def test_witness(self, schema, sigma):
+        witness = schema.witness(sigma, "Pubcrawl(Person)")
+        assert schema.satisfies_all(witness.instance, sigma)
+        assert witness.violates(
+            schema.dependency("Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])")
+        )
+
+
+class TestDesignFlow:
+    def test_keys(self, schema, sigma):
+        assert schema.is_superkey(sigma, "Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        assert not schema.is_superkey(sigma, "Pubcrawl(Person)")
+        keys = schema.candidate_keys(sigma)
+        assert keys == (schema.root,)
+
+    def test_4nf_and_decompose(self, schema, sigma):
+        assert not schema.is_in_4nf(sigma)
+        decomposition = schema.decompose(sigma)
+        shown = {schema.show(component) for component in decomposition.components}
+        assert shown == {
+            "Pubcrawl(Person, Visit[Drink(Beer)])",
+            "Pubcrawl(Person, Visit[Drink(Pub)])",
+        }
+
+    def test_repr(self, schema):
+        assert "|N|=4" in repr(schema)
+
+    def test_attribute_passthrough(self, schema):
+        element = schema.attribute("Pubcrawl(Person)")
+        assert schema.attribute(element) is element
+
+    def test_dependency_set_passthrough(self, schema, sigma):
+        assert schema._sigma(sigma) is sigma
+        rebuilt = schema._sigma(list(sigma))
+        assert isinstance(rebuilt, DependencySet)

@@ -1,0 +1,124 @@
+"""Stress and robustness tests: large schemas, deep nesting, long inputs.
+
+Nothing paper-specific here — these pin the practical envelope a
+downstream user can rely on: deeply nested list chains, wide records
+(whose ``Sub(N)`` is astronomically large but whose *basis* stays
+linear), long textual inputs, and the algorithm on three-digit basis
+sizes.
+"""
+
+import pytest
+
+from repro.attributes import (
+    BasisEncoding,
+    basis_size,
+    count_subattributes,
+    parse_attribute,
+    unparse,
+)
+from repro.core import compute_closure
+from repro.dependencies import DependencySet
+from repro.workloads import deep_list_chain, flat_record, mixed_family, record_of_lists
+
+
+class TestDeepNesting:
+    def test_deep_list_chain_attribute_operations(self):
+        root = deep_list_chain(200)
+        assert basis_size(root) == 201
+        assert root.depth() == 200
+        # Parse/print roundtrip on the ~1.5 kB textual form.
+        assert parse_attribute(unparse(root)) == root
+
+    def test_deep_chain_encoding_and_closure(self):
+        root = deep_list_chain(120)
+        encoding = BasisEncoding(root)
+        assert encoding.size == 121
+        # λ ↠ (chain cut at level 60): forces every length above the cut
+        # into the closure via the mixed meet rule.
+        half = encoding.decode(encoding.below[60])
+        sigma = DependencySet.parse(root, [f"λ ->> {unparse(half)}"])
+        result = compute_closure(encoding, 0, sigma)
+        # Y ⊓ Y^C = Y here (a pure prefix of lengths): the closure gains Y.
+        assert result.implies_fd_rhs(encoding.below[60])
+
+    def test_projection_on_deep_values(self):
+        from repro.values import project
+
+        root = deep_list_chain(60)
+        value = 7
+        for _ in range(60):
+            value = (value,)
+        projected = project(root, root, value)
+        assert projected == value
+
+
+class TestWideRecords:
+    def test_sub_count_is_astronomical_but_basis_linear(self):
+        root = flat_record(120)
+        assert basis_size(root) == 120
+        assert count_subattributes(root) == 2 ** 120  # counting only!
+
+    def test_encoding_on_wide_record(self):
+        root = flat_record(200)
+        encoding = BasisEncoding(root)
+        assert encoding.size == 200
+        assert encoding.maximal == encoding.full  # all flats maximal
+        # Boolean special case: complement is set complement.
+        some = encoding.down_close(0b1011)
+        assert encoding.complement(some) == encoding.full & ~some
+
+    def test_closure_on_wide_mixed_schema(self):
+        root = mixed_family(30)  # |N| = 120
+        encoding = BasisEncoding(root)
+        sigma = DependencySet.parse(
+            root,
+            [
+                "R(A1) -> R(L1[D1(B1, C1)])",
+                "R(A2) ->> R(L2[D2(B2)])",
+                "R(A3) -> R(A4)",
+            ],
+        )
+        result = compute_closure(
+            encoding, encoding.encode(parse_attribute_x(root)), sigma
+        )
+        assert result.passes <= encoding.size
+
+
+def parse_attribute_x(root):
+    from repro.attributes import parse_subattribute
+
+    return parse_subattribute("R(A1, A2, A3)", root)
+
+
+class TestLongTextualInputs:
+    def test_long_dependency_text(self):
+        root = record_of_lists(50)
+        text = unparse(root)
+        assert len(text) > 400
+        sigma = DependencySet.parse(root, [f"{text} -> {text}"])
+        assert len(sigma) == 1
+
+    def test_example_5_1_text_roundtrip_stability(self, example51):
+        # Idempotent display: print → parse → print is a fixpoint.
+        from repro.attributes import parse_subattribute, unparse_abbreviated
+
+        root = example51.root
+        for text in example51.dependency_basis_texts:
+            element = parse_subattribute(text, root)
+            shown = unparse_abbreviated(element, root)
+            assert parse_subattribute(shown, root) == element
+            assert unparse_abbreviated(parse_subattribute(shown, root), root) == shown
+
+
+class TestAlgorithmScale:
+    @pytest.mark.slow
+    def test_three_digit_basis_size(self):
+        root = mixed_family(64)  # |N| = 256
+        encoding = BasisEncoding(root)
+        sigma = DependencySet.parse(
+            root,
+            [f"R(A{i}) ->> R(L{i}[D{i}(B{i})])" for i in range(1, 17)],
+        )
+        result = compute_closure(encoding, encoding.below[0], sigma)
+        assert result.passes <= encoding.size
+        assert result.blocks

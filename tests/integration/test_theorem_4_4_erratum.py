@@ -1,0 +1,91 @@
+"""Integration: the Theorem 4.4 erratum found by this reproduction (E11).
+
+Theorem 4.4 of the paper claims ``r ⊨ X ↠ Y`` iff
+``r = π_{X⊔Y}(r) ⋈ π_{X⊔Y^C}(r)``.  This module pins down the minimal
+counterexample to the "if" direction discovered by the property suite and
+verifies the corrected statement (adding the mixed-meet FD conjunct) from
+every angle.
+"""
+
+import pytest
+
+from repro.attributes import complement, meet, parse_attribute as p, parse_subattribute
+from repro.dependencies import (
+    FD,
+    MVD,
+    lossless_binary_decomposition,
+    satisfies_fd,
+    satisfies_mvd,
+    satisfies_mvd_via_join,
+)
+
+
+@pytest.fixture(scope="module")
+def counterexample():
+    root = p("L[A]")
+    x = parse_subattribute("λ", root)
+    y = parse_subattribute("L[λ]", root)
+    instance = frozenset({(), (3,)})  # the empty list and [3]
+    return root, x, y, instance
+
+
+class TestTheCounterexample:
+    def test_instance_is_lossless_join_of_projections(self, counterexample):
+        root, x, y, instance = counterexample
+        assert lossless_binary_decomposition(root, instance, MVD(x, y))
+
+    def test_but_the_mvd_is_violated(self, counterexample):
+        # Definition 4.1 needs a tuple with length 0 and content [3]:
+        # no such value exists in dom(L[A]).
+        root, x, y, instance = counterexample
+        assert not satisfies_mvd(root, instance, MVD(x, y))
+
+    def test_mixed_meet_fd_is_the_missing_conjunct(self, counterexample):
+        root, x, y, instance = counterexample
+        overlap = meet(root, y, complement(root, y))
+        assert overlap == y  # Y ⊓ Y^C = L[λ]: genuinely above λ
+        assert not satisfies_fd(root, instance, FD(x, overlap))
+
+    def test_corrected_oracle_gets_it_right(self, counterexample):
+        root, x, y, instance = counterexample
+        assert not satisfies_mvd_via_join(root, instance, MVD(x, y))
+
+    def test_equal_lengths_restore_the_equivalence(self, counterexample):
+        # With the mixed-meet FD satisfied (all lists the same length),
+        # losslessness and the MVD agree again.
+        root, x, y, _ = counterexample
+        same_length = frozenset({(3,), (4,)})
+        assert satisfies_mvd(root, same_length, MVD(x, y))
+        assert satisfies_mvd_via_join(root, same_length, MVD(x, y))
+        assert lossless_binary_decomposition(root, same_length, MVD(x, y))
+
+
+class TestRelationalCaseUnaffected:
+    def test_flat_records_keep_fagins_theorem(self):
+        # In the RDM Y ⊓ Y^C = λ always, so the raw statement is exact.
+        root = p("R(A, B, C)")
+        x = parse_subattribute("R(A)", root)
+        y = parse_subattribute("R(B)", root)
+        mvd = MVD(x, y)
+        overlap = meet(root, y, complement(root, y))
+        assert overlap == parse_subattribute("λ", root)
+        incomplete = {(1, "b1", "c1"), (1, "b2", "c2")}
+        complete = incomplete | {(1, "b1", "c2"), (1, "b2", "c1")}
+        for instance in (incomplete, complete):
+            assert satisfies_mvd(root, instance, mvd) == (
+                lossless_binary_decomposition(root, instance, mvd)
+            )
+
+
+class TestConsistencyWithTheAlgorithm:
+    def test_algorithm_agrees_with_definition_not_raw_theorem(self, counterexample):
+        # Σ = {λ ↠ L[λ]} forces the FD λ → L[λ] via the mixed meet rule;
+        # the witness semantics (Definition 4.1 checkers) and Algorithm
+        # 5.1 are mutually consistent here — the erratum concerns only
+        # the lossless-join characterisation.
+        from repro.core import implies
+        from repro.dependencies import DependencySet
+
+        root, x, y, _ = counterexample
+        sigma = DependencySet(root, [MVD(x, y)])
+        assert implies(sigma, FD(x, y))

@@ -1,0 +1,136 @@
+"""Property tests: partial order and Brouwerian algebra laws (E12).
+
+Theorem 3.9 says ``(Sub(N), ≤, ⊔, ⊓, ∸, N)`` is a Brouwerian algebra;
+these properties check every axiom — and the identities the paper uses
+along the way — on random roots and elements via the bitmask encoding
+(which the companion suite ``test_encoding_agreement`` ties back to the
+structural Definition 3.8 operations).
+"""
+
+from hypothesis import given, settings
+
+from tests.strategies import (
+    roots_with_element_pairs,
+    roots_with_element_triples,
+    roots_with_elements,
+)
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+@SETTINGS
+@given(roots_with_element_pairs())
+def test_le_is_antisymmetric(case):
+    _, enc, (x, y) = case
+    if enc.le(x, y) and enc.le(y, x):
+        assert x == y
+
+
+@SETTINGS
+@given(roots_with_element_triples())
+def test_le_is_transitive(case):
+    _, enc, (x, y, z) = case
+    if enc.le(x, y) and enc.le(y, z):
+        assert enc.le(x, z)
+
+
+@SETTINGS
+@given(roots_with_element_pairs())
+def test_join_is_least_upper_bound(case):
+    _, enc, (x, y) = case
+    j = enc.join(x, y)
+    assert enc.le(x, j) and enc.le(y, j)
+
+
+@SETTINGS
+@given(roots_with_element_triples())
+def test_join_least_among_upper_bounds(case):
+    _, enc, (x, y, z) = case
+    if enc.le(x, z) and enc.le(y, z):
+        assert enc.le(enc.join(x, y), z)
+
+
+@SETTINGS
+@given(roots_with_element_pairs())
+def test_meet_is_greatest_lower_bound(case):
+    _, enc, (x, y) = case
+    m = enc.meet(x, y)
+    assert enc.le(m, x) and enc.le(m, y)
+
+
+@SETTINGS
+@given(roots_with_element_triples())
+def test_meet_greatest_among_lower_bounds(case):
+    _, enc, (x, y, z) = case
+    if enc.le(z, x) and enc.le(z, y):
+        assert enc.le(z, enc.meet(x, y))
+
+
+@SETTINGS
+@given(roots_with_element_pairs())
+def test_absorption_laws(case):
+    _, enc, (x, y) = case
+    assert enc.join(x, enc.meet(x, y)) == x
+    assert enc.meet(x, enc.join(x, y)) == x
+
+
+@SETTINGS
+@given(roots_with_element_triples())
+def test_distributivity(case):
+    _, enc, (x, y, z) = case
+    assert enc.meet(x, enc.join(y, z)) == enc.join(enc.meet(x, y), enc.meet(x, z))
+    assert enc.join(x, enc.meet(y, z)) == enc.meet(enc.join(x, y), enc.join(x, z))
+
+
+@SETTINGS
+@given(roots_with_element_triples())
+def test_brouwerian_adjunction(case):
+    # Z ∸ Y ≤ X  iff  Z ≤ Y ⊔ X — the defining property of ∸ (§3.3).
+    _, enc, (z, y, x) = case
+    assert enc.le(enc.pseudo_difference(z, y), x) == enc.le(z, enc.join(y, x))
+
+
+@SETTINGS
+@given(roots_with_element_pairs())
+def test_pseudo_difference_bottom_iff_le(case):
+    _, enc, (z, y) = case
+    assert (enc.pseudo_difference(z, y) == 0) == enc.le(z, y)
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_complement_characterisation(case):
+    # Y^C is the least X with X ⊔ Y = N.
+    _, enc, (y,) = case
+    y_c = enc.complement(y)
+    assert enc.join(y, y_c) == enc.full
+    # minimality: removing any generator breaks the join property
+    for i in range(enc.size):
+        bit = 1 << i
+        if y_c & bit and enc.generators(y_c) & bit:
+            smaller = enc.down_close(enc.generators(y_c) & ~bit)
+            if smaller != y_c:
+                assert enc.join(y, smaller) != enc.full or enc.le(bit, smaller)
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_double_complement_decomposition(case):
+    # X = X^CC ⊔ (X ⊓ X^C) (§4.2).
+    _, enc, (x,) = case
+    assert enc.join(enc.double_complement(x), enc.meet(x, enc.complement(x))) == x
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_triple_complement_stabilises(case):
+    _, enc, (x,) = case
+    assert enc.complement(enc.double_complement(x)) == enc.complement(x)
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_double_complement_idempotent(case):
+    _, enc, (x,) = case
+    cc = enc.double_complement(x)
+    assert enc.double_complement(cc) == cc

@@ -1,0 +1,66 @@
+"""Property tests: the order utilities on random encoded lattices."""
+
+from hypothesis import given, settings
+
+from repro.attributes.order import (
+    atoms,
+    coatoms,
+    lower_covers,
+    maximal_chain,
+    rank,
+    upper_covers,
+)
+from tests.strategies import roots_with_element_pairs, roots_with_elements
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_upper_covers_are_minimal_strict_supersets(case):
+    _, enc, (mask,) = case
+    for cover in upper_covers(enc, mask):
+        assert enc.le(mask, cover) and cover != mask
+        assert rank(enc, cover) == rank(enc, mask) + 1
+        assert enc.is_downclosed(cover)
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_cover_relations_are_mutually_inverse(case):
+    _, enc, (mask,) = case
+    for cover in upper_covers(enc, mask):
+        assert mask in lower_covers(enc, cover)
+    for covered in lower_covers(enc, mask):
+        assert mask in upper_covers(enc, covered)
+
+
+@SETTINGS
+@given(roots_with_element_pairs())
+def test_maximal_chain_between_comparable_elements(case):
+    _, enc, (x, y) = case
+    lower, upper = enc.meet(x, y), enc.join(x, y)
+    chain = maximal_chain(enc, lower, upper)
+    assert chain[0] == lower and chain[-1] == upper
+    assert len(chain) == rank(enc, upper) - rank(enc, lower) + 1
+    for a, b in zip(chain, chain[1:]):
+        assert b in upper_covers(enc, a)
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_atoms_and_coatoms_are_extreme_covers(case):
+    _, enc, _ = case
+    for atom in atoms(enc):
+        assert rank(enc, atom) == 1
+    for coatom in coatoms(enc):
+        assert rank(enc, coatom) == enc.size - 1
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_every_nonbottom_element_sits_above_an_atom(case):
+    _, enc, (mask,) = case
+    if mask == 0:
+        return
+    assert any(enc.le(atom, mask) for atom in atoms(enc))

@@ -1,0 +1,149 @@
+"""Property tests: projections, agreement sets, Theorem 4.4, Lemma 4.3.
+
+E11 (MVD ⇔ lossless join) and E13 (triviality characterisation) live
+here, together with the structural facts the witness construction relies
+on: projection composition, and agreement sets being join-closed ideals.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies import (
+    FunctionalDependency,
+    MultivaluedDependency,
+    satisfies,
+    satisfies_mvd,
+    satisfies_mvd_via_join,
+)
+from repro.values import ValueGenerator, project
+from tests.strategies import (
+    nested_attributes,
+    roots_with_element_pairs,
+    roots_with_elements,
+    roots_with_sigma_and_instance,
+)
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+@st.composite
+def roots_with_values(draw, count=2):
+    root = draw(nested_attributes(max_basis=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    generator = ValueGenerator(random.Random(seed), max_list_length=2)
+    return root, [generator.value(root) for _ in range(count)]
+
+
+@SETTINGS
+@given(roots_with_elements(element_count=2, max_basis=6),
+       st.integers(min_value=0, max_value=2**16))
+def test_projection_composes(case, seed):
+    # π^M_K ∘ π^N_M = π^N_K whenever K ≤ M.
+    root, enc, (m_mask, k_mask) = case
+    k_mask = enc.meet(m_mask, k_mask)  # force K ≤ M
+    middle, target = enc.decode(m_mask), enc.decode(k_mask)
+    value = ValueGenerator(random.Random(seed), max_list_length=2).value(root)
+    assert project(middle, target, project(root, middle, value)) == project(
+        root, target, value
+    )
+
+
+@SETTINGS
+@given(roots_with_values())
+def test_agreement_sets_are_join_closed_ideals(case):
+    root, (first, second) = case
+    from repro.attributes import BasisEncoding
+
+    enc = BasisEncoding(root)
+    agreeing = [
+        mask
+        for mask in enc.all_elements()
+        if project(root, enc.decode(mask), first)
+        == project(root, enc.decode(mask), second)
+    ]
+    agreement = set(agreeing)
+    for x in agreeing:
+        for y in agreeing:
+            assert enc.join(x, y) in agreement
+        # down-closure
+        for mask in enc.all_elements():
+            if enc.le(mask, x):
+                assert mask in agreement
+
+
+@SETTINGS
+@given(roots_with_sigma_and_instance())
+def test_corrected_theorem_4_4_equivalence(case):
+    # r ⊨ X ↠ Y  ⟺  lossless binary join  ∧  r ⊨ X → Y⊓Y^C
+    # (the corrected form of Theorem 4.4; see the erratum note in
+    # repro.dependencies.satisfaction).
+    root, enc, sigma, instance = case
+    for dependency in sigma.mvds():
+        assert satisfies_mvd(root, instance, dependency) == (
+            satisfies_mvd_via_join(root, instance, dependency)
+        )
+
+
+@SETTINGS
+@given(roots_with_sigma_and_instance())
+def test_raw_theorem_4_4_direction_mvd_implies_lossless(case):
+    # The "only if" direction of Theorem 4.4 as printed does hold:
+    # a satisfied MVD always yields a lossless binary decomposition.
+    from repro.dependencies import lossless_binary_decomposition
+
+    root, enc, sigma, instance = case
+    for dependency in sigma.mvds():
+        if satisfies_mvd(root, instance, dependency):
+            assert lossless_binary_decomposition(root, instance, dependency)
+
+
+@SETTINGS
+@given(roots_with_element_pairs(max_basis=6),
+       st.integers(min_value=0, max_value=2**16),
+       st.integers(min_value=0, max_value=6))
+def test_lemma_4_3_triviality(case, seed, size):
+    # A dependency syntactically trivial per Lemma 4.3 holds in every
+    # instance; and a dependency that held in ALL sampled instances of a
+    # *spread* of random instances is likely trivial — we only assert the
+    # sound direction plus the exact syntactic characterisation.
+    root, enc, (lhs_mask, rhs_mask) = case
+    lhs, rhs = enc.decode(lhs_mask), enc.decode(rhs_mask)
+    fd = FunctionalDependency(lhs, rhs)
+    mvd = MultivaluedDependency(lhs, rhs)
+    assert fd.is_trivial(root) == enc.le(rhs_mask, lhs_mask)
+    assert mvd.is_trivial(root) == (
+        enc.le(rhs_mask, lhs_mask) or enc.join(lhs_mask, rhs_mask) == enc.full
+    )
+    instance = ValueGenerator(random.Random(seed), max_list_length=2).instance(
+        root, size
+    )
+    if fd.is_trivial(root):
+        assert satisfies(root, instance, fd)
+    if mvd.is_trivial(root):
+        assert satisfies(root, instance, mvd)
+
+
+@SETTINGS
+@given(roots_with_sigma_and_instance(max_dependencies=2))
+def test_fd_satisfaction_implies_mvd_satisfaction(case):
+    # Definition 4.1: r ⊨ X → Y entails r ⊨ X ↠ Y.
+    root, enc, sigma, instance = case
+    for dependency in sigma.fds():
+        if satisfies(root, instance, dependency):
+            assert satisfies(
+                root,
+                instance,
+                MultivaluedDependency(dependency.lhs, dependency.rhs),
+            )
+
+
+@SETTINGS
+@given(roots_with_sigma_and_instance(max_dependencies=2))
+def test_mvd_satisfaction_closed_under_complement(case):
+    # Semantic soundness of complementation, instance-level.
+    root, enc, sigma, instance = case
+    for dependency in sigma.mvds():
+        if satisfies(root, instance, dependency):
+            assert satisfies(root, instance, dependency.complemented(root))

@@ -1,0 +1,102 @@
+"""Property tests: Proposition 4.10 and the structure of ``Dep(X)``.
+
+The remark before Definition 4.9: the set
+``Dep(X) = {Y | X ↠ Y ∈ Σ⁺}``, ordered by ``≤``, forms a Brouwerian
+algebra (it is closed under the multi-valued join, meet and
+pseudo-difference rules, and under complementation).  Combined with
+Proposition 4.10 this gives strong structural laws the algorithm's
+output must satisfy — checked here on random inputs through the
+membership predicates themselves.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_closure
+from tests.strategies import roots_with_sigma
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@st.composite
+def analysed_problems(draw, max_basis=6):
+    root, enc, sigma = draw(roots_with_sigma(max_dependencies=3, max_basis=max_basis))
+    x_mask = enc.down_close(draw(st.integers(min_value=0, max_value=enc.full)))
+    result = compute_closure(enc, x_mask, sigma)
+    y_mask = enc.down_close(draw(st.integers(min_value=0, max_value=enc.full)))
+    z_mask = enc.down_close(draw(st.integers(min_value=0, max_value=enc.full)))
+    return enc, result, y_mask, z_mask
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_dep_x_closed_under_join(case):
+    enc, result, y, z = case
+    if result.implies_mvd_rhs(y) and result.implies_mvd_rhs(z):
+        assert result.implies_mvd_rhs(enc.join(y, z))
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_dep_x_closed_under_meet(case):
+    enc, result, y, z = case
+    if result.implies_mvd_rhs(y) and result.implies_mvd_rhs(z):
+        assert result.implies_mvd_rhs(enc.meet(y, z))
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_dep_x_closed_under_pseudo_difference(case):
+    enc, result, y, z = case
+    if result.implies_mvd_rhs(y) and result.implies_mvd_rhs(z):
+        assert result.implies_mvd_rhs(enc.pseudo_difference(y, z))
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_dep_x_closed_under_complementation(case):
+    enc, result, y, _ = case
+    if result.implies_mvd_rhs(y):
+        assert result.implies_mvd_rhs(enc.complement(y))
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_fd_implication_embeds_into_mvds(case):
+    # X → Y ∈ Σ⁺  ⇒  X ↠ Y ∈ Σ⁺  (the implication rule, via Prop. 4.10).
+    enc, result, y, _ = case
+    if result.implies_fd_rhs(y):
+        assert result.implies_mvd_rhs(y)
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_closure_itself_is_an_implied_fd_and_mvd(case):
+    enc, result, _, _ = case
+    assert result.implies_fd_rhs(result.closure_mask)
+    assert result.implies_mvd_rhs(result.closure_mask)
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_x_and_its_subattributes_always_implied(case):
+    # Reflexivity through the algorithm's lens: Y ≤ X ⇒ both implied.
+    enc, result, y, _ = case
+    below_x = enc.meet(y, result.x_mask)
+    assert result.implies_fd_rhs(below_x)
+    assert result.implies_mvd_rhs(below_x)
+
+
+@SETTINGS
+@given(analysed_problems())
+def test_dep_basis_members_have_cc_as_joins_of_blocks(case):
+    # Definition 4.9 (iii): for every implied MVD rhs Y, the maximal part
+    # Y^CC is a join of X^M blocks (or of closure-internal members).
+    enc, result, y, _ = case
+    if result.implies_mvd_rhs(y):
+        y_cc = enc.double_complement(y)
+        union = 0
+        for member in result.dependency_basis_masks():
+            if enc.le(member, y_cc):
+                union |= member
+        assert union == y_cc

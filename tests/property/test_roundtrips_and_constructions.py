@@ -1,0 +1,159 @@
+"""Property tests: roundtrips and the constructive machinery.
+
+Covers the interfaces the other property modules take for granted: the
+paper-notation printer/parser pair, JSON interchange, amalgamation, the
+exact-agreement realiser, minimal covers and decomposition losslessness —
+each as a law over randomized inputs.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attributes import parse_attribute, parse_subattribute, unparse, unparse_abbreviated
+from repro.core import equivalent, minimal_cover
+from repro.io import instance_from_json, instance_to_json, value_from_json, value_to_json
+from repro.values import ValueGenerator, amalgamate, project
+from repro.witness import PairRealizer, build_witness
+from repro.exceptions import WitnessConstructionError
+from tests.strategies import (
+    nested_attributes,
+    roots_with_element_pairs,
+    roots_with_elements,
+    roots_with_sigma,
+)
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+@SETTINGS
+@given(nested_attributes())
+def test_unparse_parse_roundtrip(root):
+    assert parse_attribute(unparse(root)) == root
+
+
+@SETTINGS
+@given(roots_with_elements())
+def test_abbreviated_display_roundtrip(case):
+    # The paper's λ-omission convention must resolve back to the same
+    # element — including roots with duplicate heads, where the printer
+    # falls back to the explicit positional form.
+    root, enc, (mask,) = case
+    element = enc.decode(mask)
+    shown = unparse_abbreviated(element, root)
+    assert parse_subattribute(shown, root) == element
+
+
+@SETTINGS
+@given(nested_attributes(max_basis=6), st.integers(min_value=0, max_value=2**16))
+def test_json_value_roundtrip(root, seed):
+    generator = ValueGenerator(random.Random(seed), max_list_length=2)
+    value = generator.value(root)
+    assert value_from_json(root, value_to_json(root, value)) == value
+
+
+@SETTINGS
+@given(nested_attributes(max_basis=6), st.integers(min_value=0, max_value=2**16))
+def test_json_instance_roundtrip(root, seed):
+    generator = ValueGenerator(random.Random(seed), max_list_length=2)
+    instance = generator.instance(root, 5)
+    assert instance_from_json(root, instance_to_json(root, instance)) == instance
+
+
+@SETTINGS
+@given(roots_with_element_pairs(max_basis=6),
+       st.integers(min_value=0, max_value=2**16))
+def test_amalgamation_projects_back(case, seed):
+    # For any A, B and value t of dom(N): amalgamating the projections of
+    # t onto A and B (always compatible) recovers π_{A⊔B}(t).
+    root, enc, (a_mask, b_mask) = case
+    a_attr, b_attr = enc.decode(a_mask), enc.decode(b_mask)
+    value = ValueGenerator(random.Random(seed), max_list_length=2).value(root)
+    combined = amalgamate(
+        root, a_attr, b_attr,
+        project(root, a_attr, value),
+        project(root, b_attr, value),
+    )
+    joined = enc.decode(enc.join(a_mask, b_mask))
+    assert combined == project(root, joined, value)
+
+
+@SETTINGS
+@given(roots_with_elements(max_basis=6))
+def test_pair_realizer_exact_on_random_elements(case):
+    root, enc, (mask,) = case
+    agreement = enc.decode(mask)
+    first, second = PairRealizer().realize(root, agreement)
+    for other in enc.all_elements():
+        element = enc.decode(other)
+        agrees = project(root, element, first) == project(root, element, second)
+        assert agrees == enc.le(other, mask), element
+
+
+@SETTINGS
+@given(roots_with_sigma(max_dependencies=4, max_basis=6))
+def test_minimal_cover_is_equivalent_and_irredundant(case):
+    root, enc, sigma = case
+    cover = minimal_cover(sigma, encoding=enc)
+    assert equivalent(cover, sigma, encoding=enc)
+    from repro.core import is_redundant
+
+    for dependency in cover:
+        assert not is_redundant(cover, dependency, encoding=enc)
+
+
+@SETTINGS
+@given(roots_with_sigma(max_dependencies=2, max_basis=5))
+def test_decomposition_lossless_on_witnesses(case):
+    # The 4NF decomposition must re-join Σ-satisfying data losslessly;
+    # witness instances are the canonical Σ-satisfying data.
+    from repro.attributes import join as attr_join
+    from repro.normalization import decompose_4nf
+    from repro.values import generalised_join, project_instance
+
+    root, enc, sigma = case
+    try:
+        witness = build_witness(sigma, enc.decode(0), encoding=enc)
+    except WitnessConstructionError:
+        return  # too many free blocks for this random Σ; skip
+    decomposition = decompose_4nf(sigma, encoding=enc)
+    components = list(decomposition.components)
+    current_attr = components[0]
+    current = project_instance(root, current_attr, witness.instance)
+    for component in components[1:]:
+        projection = project_instance(root, component, witness.instance)
+        current = generalised_join(
+            root, current_attr, component, current, projection
+        )
+        current_attr = attr_join(root, current_attr, component)
+    assert current_attr == root
+    assert current == witness.instance
+
+
+@SETTINGS
+@given(roots_with_sigma(max_dependencies=2, max_basis=5),
+       st.integers(min_value=0, max_value=2**16))
+def test_chase_is_a_closure_operator(case, seed):
+    # Increasing, monotone, idempotent — on MVD-only Σ where it succeeds.
+    from repro.chase import ChaseFailure, chase
+    from repro.exceptions import ReproError
+
+    root, enc, sigma = case
+    if sigma.fds():
+        return
+    generator = ValueGenerator(random.Random(seed), max_list_length=2)
+    small = generator.instance(root, 3)
+    big = small | generator.instance(root, 2)
+    try:
+        chased_small = chase(root, small, sigma, max_tuples=2_000)
+        chased_big = chase(root, big, sigma, max_tuples=2_000)
+    except (ChaseFailure, ReproError):
+        return
+    # increasing
+    assert small <= chased_small.instance
+    # monotone
+    assert chased_small.instance <= chased_big.instance
+    # idempotent
+    again = chase(root, chased_small.instance, sigma, max_tuples=2_000)
+    assert again.instance == chased_small.instance

@@ -1,0 +1,88 @@
+"""Property tests: semantic soundness of every Theorem 4.6 rule (E14).
+
+For random roots, instances and premise dependencies: whenever all
+premises of a rule are satisfied by an instance, every conclusion the
+rule produces must be satisfied too.  Each rule is exercised in
+isolation, so an unsound generalisation of a relational rule would be
+pinpointed directly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependencies import satisfies
+from repro.inference import ALL_RULES
+from repro.values import ValueGenerator
+from tests.strategies import roots_with_sigma
+
+SETTINGS = settings(max_examples=150, deadline=None)
+
+
+@st.composite
+def rule_scenarios(draw):
+    root, enc, sigma = draw(roots_with_sigma(max_dependencies=2, max_basis=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    size = draw(st.integers(min_value=0, max_value=8))
+    instance = ValueGenerator(random.Random(seed), max_list_length=2).instance(
+        root, size
+    )
+    # Element pool for quantified schemata: sides of Σ plus a random one.
+    pool = {root}
+    for dependency in sigma:
+        pool.add(dependency.lhs)
+        pool.add(dependency.rhs)
+    extra = enc.down_close(draw(st.integers(min_value=0, max_value=enc.full)))
+    pool.add(enc.decode(extra))
+    return root, sigma, instance, sorted(pool, key=str)
+
+
+@SETTINGS
+@given(rule_scenarios())
+def test_axiom_rules_only_produce_satisfied_dependencies(case):
+    root, sigma, instance, pool = case
+    for rule in ALL_RULES:
+        if rule.arity != 0:
+            continue
+        for conclusion in rule.conclusions(root, (), pool):
+            assert satisfies(root, instance, conclusion), (
+                rule.name,
+                conclusion.display(root),
+            )
+
+
+@SETTINGS
+@given(rule_scenarios())
+def test_unary_rules_sound(case):
+    root, sigma, instance, pool = case
+    satisfied = [d for d in sigma if satisfies(root, instance, d)]
+    for rule in ALL_RULES:
+        if rule.arity != 1:
+            continue
+        for premise in satisfied:
+            for conclusion in rule.conclusions(root, (premise,), pool):
+                assert satisfies(root, instance, conclusion), (
+                    rule.name,
+                    premise.display(root),
+                    conclusion.display(root),
+                )
+
+
+@SETTINGS
+@given(rule_scenarios())
+def test_binary_rules_sound(case):
+    root, sigma, instance, pool = case
+    satisfied = [d for d in sigma if satisfies(root, instance, d)]
+    for rule in ALL_RULES:
+        if rule.arity != 2:
+            continue
+        for first in satisfied:
+            for second in satisfied:
+                for conclusion in rule.conclusions(root, (first, second), pool):
+                    assert satisfies(root, instance, conclusion), (
+                        rule.name,
+                        first.display(root),
+                        second.display(root),
+                        conclusion.display(root),
+                    )

@@ -1,0 +1,103 @@
+"""Hypothesis strategies for nested attributes, elements and instances.
+
+The strategies keep roots small (basis size ≤ 10 or so) — the algebra and
+algorithm complexity is combinatorial, and the interesting structure
+(lists inside records inside lists, repeated labels, bare lengths) appears
+at tiny sizes already.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.attributes import BasisEncoding, Flat, ListAttr, NestedAttribute, Record
+from repro.attributes.basis import basis_size
+from repro.dependencies import DependencySet, FunctionalDependency, MultivaluedDependency
+from repro.values import ValueGenerator
+
+__all__ = [
+    "nested_attributes",
+    "roots_with_elements",
+    "roots_with_element_pairs",
+    "roots_with_element_triples",
+    "roots_with_sigma",
+    "roots_with_sigma_and_instance",
+]
+
+_flat_names = st.sampled_from(["A", "B", "C", "D"])
+_labels = st.sampled_from(["L", "M", "R", "S"])
+
+
+def nested_attributes(max_basis: int = 8) -> st.SearchStrategy[NestedAttribute]:
+    """Random nested attributes with bounded basis size (never ``λ``)."""
+    base = st.builds(Flat, _flat_names)
+    attributes = st.recursive(
+        base,
+        lambda children: st.one_of(
+            st.builds(ListAttr, _labels, children),
+            st.builds(
+                lambda label, components: Record(label, tuple(components)),
+                _labels,
+                st.lists(children, min_size=1, max_size=3),
+            ),
+        ),
+        max_leaves=4,
+    )
+    return attributes.filter(lambda attribute: basis_size(attribute) <= max_basis)
+
+
+@st.composite
+def roots_with_elements(draw, element_count: int = 1, max_basis: int = 8):
+    """``(root, encoding, [element masks])`` with uniform random elements."""
+    root = draw(nested_attributes(max_basis))
+    encoding = BasisEncoding(root)
+    masks = []
+    for _ in range(element_count):
+        generators = draw(st.integers(min_value=0, max_value=encoding.full))
+        masks.append(encoding.down_close(generators))
+    return root, encoding, masks
+
+
+def roots_with_element_pairs(max_basis: int = 8):
+    return roots_with_elements(element_count=2, max_basis=max_basis)
+
+
+def roots_with_element_triples(max_basis: int = 8):
+    return roots_with_elements(element_count=3, max_basis=max_basis)
+
+
+@st.composite
+def roots_with_sigma(draw, max_dependencies: int = 4, max_basis: int = 7):
+    """``(root, encoding, DependencySet)`` with random FDs and MVDs."""
+    root = draw(nested_attributes(max_basis))
+    encoding = BasisEncoding(root)
+    count = draw(st.integers(min_value=0, max_value=max_dependencies))
+    dependencies = []
+    for _ in range(count):
+        lhs = encoding.decode(
+            encoding.down_close(draw(st.integers(min_value=0, max_value=encoding.full)))
+        )
+        rhs = encoding.decode(
+            encoding.down_close(draw(st.integers(min_value=0, max_value=encoding.full)))
+        )
+        if draw(st.booleans()):
+            dependencies.append(MultivaluedDependency(lhs, rhs))
+        else:
+            dependencies.append(FunctionalDependency(lhs, rhs))
+    return root, encoding, DependencySet(root, dependencies)
+
+
+@st.composite
+def roots_with_sigma_and_instance(draw, max_dependencies: int = 3,
+                                  max_basis: int = 6, max_tuples: int = 8):
+    """``(root, encoding, sigma, instance)`` with a random small instance."""
+    root, encoding, sigma = draw(
+        roots_with_sigma(max_dependencies=max_dependencies, max_basis=max_basis)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    size = draw(st.integers(min_value=0, max_value=max_tuples))
+    generator = ValueGenerator(random.Random(seed), max_list_length=2)
+    instance = generator.instance(root, size)
+    return root, encoding, sigma, instance

@@ -1,0 +1,222 @@
+"""Unit tests for ``SubB``/``MaxB`` and possession (Definitions 4.7/4.11)."""
+
+import pytest
+
+from repro.attributes import (
+    basis,
+    basis_of_element,
+    basis_size,
+    double_complement,
+    is_possessed_by,
+    is_possessed_by_definition,
+    is_subattribute,
+    join_all,
+    maximal_basis,
+    meet,
+    complement,
+    non_maximal_basis,
+    parse_attribute as p,
+    parse_subattribute,
+    subattributes,
+    unparse_abbreviated,
+)
+from repro.workloads import (
+    EXAMPLE_4_8_BASIS,
+    EXAMPLE_4_8_MAXIMAL,
+    EXAMPLE_4_8_NON_MAXIMAL,
+    example_4_8_root,
+    example_4_12,
+)
+
+
+class TestExample48:
+    """Example 4.8 of the paper, verbatim."""
+
+    def test_basis(self):
+        root = example_4_8_root()
+        shown = {unparse_abbreviated(b, root) for b in basis(root)}
+        assert shown == set(EXAMPLE_4_8_BASIS)
+
+    def test_maximal(self):
+        root = example_4_8_root()
+        shown = {unparse_abbreviated(b, root) for b in maximal_basis(root)}
+        assert shown == set(EXAMPLE_4_8_MAXIMAL)
+
+    def test_non_maximal(self):
+        root = example_4_8_root()
+        shown = {unparse_abbreviated(b, root) for b in non_maximal_basis(root)}
+        assert shown == set(EXAMPLE_4_8_NON_MAXIMAL)
+
+
+class TestBasisStructure:
+    def test_null_has_empty_basis(self):
+        assert basis(p("λ")) == ()
+
+    def test_flat_is_its_own_basis(self):
+        assert basis(p("A")) == (p("A"),)
+
+    def test_list_adds_new_minimum(self):
+        root = p("L[A]")
+        assert set(basis(root)) == {p("L[λ]"), p("L[A]")}
+
+    def test_deep_list_chain(self):
+        root = p("L1[L2[A]]")
+        shown = {unparse_abbreviated(b, root) for b in basis(root)}
+        assert shown == {"L1[λ]", "L1[L2[λ]]", "L1[L2[A]]"}
+
+    def test_record_embeds_components(self):
+        root = p("R(A, L[B])")
+        shown = {unparse_abbreviated(b, root) for b in basis(root)}
+        assert shown == {"R(A)", "R(L[λ])", "R(L[B])"}
+
+    def test_basis_size_formula(self, small_roots):
+        for root in small_roots:
+            assert basis_size(root) == len(basis(root))
+
+    def test_every_element_is_join_of_its_basis(self, small_roots):
+        # The defining property of SubB(N) (Definition 4.7).
+        for root in small_roots:
+            for element in subattributes(root):
+                generators = basis_of_element(root, element)
+                assert join_all(root, generators) == element
+
+    def test_basis_elements_are_join_irreducible(self, small_roots):
+        # No basis attribute is the join of strictly smaller elements.
+        for root in small_roots:
+            for b in basis(root):
+                below = [
+                    e
+                    for e in subattributes(root)
+                    if e != b and is_subattribute(e, b)
+                ]
+                assert join_all(root, below) != b
+
+    def test_lambda_not_in_basis(self, small_roots):
+        from repro.attributes import bottom
+
+        for root in small_roots:
+            assert bottom(root) not in basis(root)
+
+
+class TestMaximality:
+    def test_maximal_iff_double_complement_fixed(self, small_roots):
+        # Y maximal iff Y = Y^CC (Section 4.2).
+        for root in small_roots:
+            maximal = set(maximal_basis(root))
+            for y in basis(root):
+                assert (double_complement(root, y) == y) == (y in maximal)
+
+    def test_non_maximal_iff_meet_with_complement_fixed(self, small_roots):
+        # Y non-maximal iff Y = Y ⊓ Y^C (Section 4.2).
+        for root in small_roots:
+            non_maximal = set(non_maximal_basis(root))
+            for y in basis(root):
+                overlap = meet(root, y, complement(root, y))
+                assert (overlap == y) == (y in non_maximal)
+
+    def test_split_is_a_partition(self, small_roots):
+        for root in small_roots:
+            maximal = set(maximal_basis(root))
+            non_maximal = set(non_maximal_basis(root))
+            assert maximal | non_maximal == set(basis(root))
+            assert not (maximal & non_maximal)
+
+    def test_every_basis_attribute_below_some_maximal(self, small_roots):
+        for root in small_roots:
+            maximal = maximal_basis(root)
+            for b in basis(root):
+                assert any(is_subattribute(b, m) for m in maximal)
+
+
+class TestPossession:
+    """Example 4.12 / Figure 2 and the two characterisations."""
+
+    def test_example_4_12(self):
+        root, x, possessed, not_possessed = example_4_12()
+        assert is_possessed_by(root, possessed, x)
+        assert not is_possessed_by(root, not_possessed, x)
+
+    def test_example_4_12_by_definition(self):
+        root, x, possessed, not_possessed = example_4_12()
+        assert is_possessed_by_definition(root, possessed, x)
+        assert not is_possessed_by_definition(root, not_possessed, x)
+
+    def test_characterisations_agree(self, small_roots):
+        # Definition 4.11 vs the §6 working characterisation.
+        for root in small_roots:
+            for element in subattributes(root):
+                for b in basis(root):
+                    assert is_possessed_by(root, b, element) == (
+                        is_possessed_by_definition(root, b, element)
+                    )
+
+    def test_not_possessed_iff_in_complement_basis(self, small_roots):
+        # "A basis attribute is not possessed by X exactly if it is also a
+        # basis attribute of X^C" (Section 4.2).
+        for root in small_roots:
+            for element in subattributes(root):
+                x_c = complement(root, element)
+                for b in basis_of_element(root, element):
+                    assert is_possessed_by(root, b, element) == (
+                        not is_subattribute(b, x_c)
+                    )
+
+    def test_maximal_members_always_possessed(self, small_roots):
+        for root in small_roots:
+            for element in subattributes(root):
+                for b in maximal_basis(root):
+                    if is_subattribute(b, element):
+                        assert is_possessed_by(root, b, element)
+
+
+class TestBasisPoset:
+    """The structural (mask-based) poset construction behind the encoding."""
+
+    def test_agrees_with_pairwise_order(self, small_roots):
+        from repro.attributes.basis import basis_poset
+
+        for root in small_roots:
+            elements, below = basis_poset(root)
+            assert elements == basis(root)
+            for i, mask in enumerate(below):
+                expected = 0
+                for j, other in enumerate(elements):
+                    if is_subattribute(other, elements[i]):
+                        expected |= 1 << j
+                assert mask == expected, (root, i)
+
+    def test_null_and_flat(self):
+        from repro.attributes.basis import basis_poset
+
+        assert basis_poset(p("λ")) == ((), ())
+        elements, below = basis_poset(p("A"))
+        assert elements == (p("A"),)
+        assert below == (1,)
+
+    def test_deep_chain_does_not_recurse(self):
+        from repro.attributes.basis import basis_poset
+        from repro.workloads import deep_list_chain
+
+        elements, below = basis_poset(deep_list_chain(600))
+        assert len(elements) == 601
+        # The chain order: below[i] = the first i+1 bits.
+        assert below[600] == (1 << 601) - 1
+
+    def test_shared_subterms_regression(self):
+        # Hash-equal subtrees under several parents once broke the
+        # iterative traversal (a reversed pre-order is not a topological
+        # order on a DAG with sharing).
+        from repro.attributes.basis import basis_poset
+
+        for text in ("R(L[A], L[A])",
+                     "R(S(A, B), S(A, B), L[S(A, B)])",
+                     "L[R(M[A], M[A])]"):
+            root = p(text)
+            elements, below = basis_poset(root)
+            assert elements == basis(root)
+            for i, mask in enumerate(below):
+                expected = 0
+                for j, other in enumerate(elements):
+                    if is_subattribute(other, elements[i]):
+                        expected |= 1 << j
+                assert mask == expected, (text, i)

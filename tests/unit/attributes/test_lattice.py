@@ -1,0 +1,141 @@
+"""Unit tests for the structural Brouwerian operations (Definition 3.8)."""
+
+import pytest
+
+from repro.attributes import (
+    NULL,
+    bottom,
+    complement,
+    double_complement,
+    is_subattribute,
+    join,
+    join_all,
+    meet,
+    meet_all,
+    parse_attribute as p,
+    parse_subattribute,
+    pseudo_difference,
+    subattributes,
+)
+from repro.exceptions import NotAnElementError
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestJoin:
+    def test_record_componentwise(self):
+        root = p("R(A, B)")
+        assert join(root, s("R(A)", root), s("R(B)", root)) == root
+
+    def test_list_lifted(self):
+        root = p("L[R(A, B)]")
+        assert join(root, s("L[R(A)]", root), s("L[R(B)]", root)) == root
+
+    def test_with_comparable_operands(self):
+        root = p("L[A]")
+        assert join(root, NULL, s("L[λ]", root)) == s("L[λ]", root)
+        assert join(root, s("L[λ]", root), root) == root
+
+    def test_rejects_foreign_elements(self):
+        with pytest.raises(NotAnElementError):
+            join(p("R(A, B)"), p("A"), p("R(A, λ)"))
+
+    def test_join_all_empty_is_bottom(self):
+        root = p("R(A, B)")
+        assert join_all(root, []) == bottom(root)
+
+
+class TestMeet:
+    def test_record_componentwise(self):
+        root = p("R(A, B)")
+        assert meet(root, s("R(A)", root), s("R(B)", root)) == bottom(root)
+
+    def test_lists_share_length_component(self):
+        root = p("L[R(A, B)]")
+        result = meet(root, s("L[R(A)]", root), s("L[R(B)]", root))
+        assert result == s("L[λ]", root)  # bare length survives the meet
+
+    def test_meet_all_empty_is_top(self):
+        root = p("R(A, B)")
+        assert meet_all(root, []) == root
+
+
+class TestPseudoDifference:
+    def test_relational_case_is_set_difference(self):
+        root = p("R(A, B, C)")
+        assert pseudo_difference(root, s("R(A, B)", root), s("R(B, C)", root)) == s(
+            "R(A)", root
+        )
+
+    def test_subtracting_bottom_is_identity(self, small_roots):
+        for root in small_roots:
+            for element in subattributes(root):
+                assert pseudo_difference(root, element, bottom(root)) == element
+
+    def test_result_is_bottom_iff_below(self, small_roots):
+        for root in small_roots:
+            elements = list(subattributes(root))
+            for z in elements:
+                for y in elements:
+                    result = pseudo_difference(root, z, y)
+                    assert (result == bottom(root)) == is_subattribute(z, y)
+
+    def test_paper_list_example(self):
+        # Removing only the list structure L[λ] from L[A] removes nothing.
+        root = p("L[A]")
+        assert pseudo_difference(root, root, s("L[λ]", root)) == root
+
+    def test_nested_list_difference(self):
+        root = p("L[R(A, B)]")
+        result = pseudo_difference(root, root, s("L[R(A)]", root))
+        assert result == s("L[R(B)]", root)
+
+
+class TestComplement:
+    def test_relational_complement(self):
+        root = p("R(A, B, C)")
+        assert complement(root, s("R(B)", root)) == s("R(A, C)", root)
+
+    def test_paper_non_boolean_example(self):
+        # N = L[A], Y = L[λ]: Y^C = N, Y ⊓ Y^C = Y ≠ λ, Y^CC = λ ≠ Y.
+        root = p("L[A]")
+        y = s("L[λ]", root)
+        y_c = complement(root, y)
+        assert y_c == root
+        assert meet(root, y, y_c) == y
+        assert y != NULL
+        assert double_complement(root, y) == NULL
+
+    def test_complement_adjunction_characterisation(self, small_roots):
+        # Y^C ≤ X iff X ⊔ Y = N, for all X (Section 3.3).
+        for root in small_roots:
+            elements = list(subattributes(root))
+            for y in elements:
+                y_c = complement(root, y)
+                for x in elements:
+                    assert is_subattribute(y_c, x) == (join(root, x, y) == root)
+
+    def test_complement_of_root_is_bottom(self, small_roots):
+        for root in small_roots:
+            assert complement(root, root) == bottom(root)
+
+    def test_complement_of_bottom_is_root(self, small_roots):
+        for root in small_roots:
+            assert complement(root, bottom(root)) == root
+
+
+class TestDoubleComplement:
+    def test_decomposition_identity(self, small_roots):
+        # X = X^CC ⊔ (X ⊓ X^C) holds in every Brouwerian algebra (§4.2).
+        for root in small_roots:
+            for x in subattributes(root):
+                x_cc = double_complement(root, x)
+                overlap = meet(root, x, complement(root, x))
+                assert join(root, x_cc, overlap) == x
+
+    def test_double_complement_below_original(self, small_roots):
+        for root in small_roots:
+            for x in subattributes(root):
+                assert is_subattribute(double_complement(root, x), x)

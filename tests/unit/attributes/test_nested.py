@@ -1,0 +1,170 @@
+"""Unit tests for the nested-attribute AST (Definition 3.2)."""
+
+import pytest
+
+from repro.attributes import (
+    NULL,
+    Flat,
+    ListAttr,
+    NestedAttribute,
+    Record,
+    flat,
+    list_of,
+    record,
+)
+from repro.attributes.nested import Null
+
+
+class TestNull:
+    def test_singleton(self):
+        assert Null() is NULL
+
+    def test_classification(self):
+        assert NULL.is_null
+        assert not NULL.is_flat
+        assert not NULL.is_record
+        assert not NULL.is_list
+
+    def test_metrics(self):
+        assert NULL.depth() == 0
+        assert NULL.node_count() == 1
+        assert NULL.head() is None
+        assert NULL.children() == ()
+
+    def test_str(self):
+        assert str(NULL) == "λ"
+
+    def test_equality_and_hash(self):
+        assert NULL == Null()
+        assert hash(NULL) == hash(Null())
+        assert NULL != Flat("A")
+
+
+class TestFlat:
+    def test_basic(self):
+        a = Flat("Beer")
+        assert a.is_flat
+        assert a.name == "Beer"
+        assert a.head() == "Beer"
+        assert a.depth() == 0
+        assert a.node_count() == 1
+
+    def test_equality_by_name(self):
+        assert Flat("A") == Flat("A")
+        assert Flat("A") != Flat("B")
+        assert hash(Flat("A")) == hash(Flat("A"))
+
+    def test_immutable(self):
+        a = Flat("A")
+        with pytest.raises(AttributeError):
+            a.name = "B"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Flat("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ValueError):
+            Flat(3)  # type: ignore[arg-type]
+
+
+class TestRecord:
+    def test_basic(self):
+        r = Record("Drink", (Flat("Beer"), Flat("Pub")))
+        assert r.is_record
+        assert r.label == "Drink"
+        assert r.arity == 2
+        assert r.head() == "Drink"
+        assert r.children() == (Flat("Beer"), Flat("Pub"))
+        assert r.depth() == 1
+        assert r.node_count() == 3
+
+    def test_requires_at_least_one_component(self):
+        # Definition 3.2 demands k >= 1.
+        with pytest.raises(ValueError):
+            Record("L", ())
+
+    def test_rejects_non_attribute_components(self):
+        with pytest.raises(TypeError):
+            Record("L", ("A",))  # type: ignore[arg-type]
+
+    def test_equality_is_structural_and_positional(self):
+        assert Record("L", (Flat("A"), NULL)) != Record("L", (NULL, Flat("A")))
+        assert Record("L", (Flat("A"),)) != Record("M", (Flat("A"),))
+
+    def test_replace(self):
+        r = Record("L", (Flat("A"), Flat("B")))
+        assert r.replace(1, NULL) == Record("L", (Flat("A"), NULL))
+        # original untouched
+        assert r.components[1] == Flat("B")
+
+    def test_immutable(self):
+        r = Record("L", (Flat("A"),))
+        with pytest.raises(AttributeError):
+            r.label = "M"
+
+
+class TestListAttr:
+    def test_basic(self):
+        l = ListAttr("Visit", Record("Drink", (Flat("Beer"),)))
+        assert l.is_list
+        assert l.label == "Visit"
+        assert l.head() == "Visit"
+        assert l.depth() == 2
+        assert l.node_count() == 3
+
+    def test_nested_lists(self):
+        ll = ListAttr("L1", ListAttr("L2", Flat("A")))
+        assert ll.depth() == 2
+        assert list(ll.labels()) == ["L1", "L2"]
+
+    def test_equality(self):
+        assert ListAttr("L", Flat("A")) == ListAttr("L", Flat("A"))
+        assert ListAttr("L", Flat("A")) != ListAttr("L", Flat("B"))
+        assert ListAttr("L", Flat("A")) != ListAttr("M", Flat("A"))
+
+    def test_immutable(self):
+        l = ListAttr("L", Flat("A"))
+        with pytest.raises(AttributeError):
+            l.element = Flat("B")
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        n = record("R", "A", list_of("L", "B"))
+        kinds = [type(node).__name__ for node in n.walk()]
+        assert kinds == ["Record", "Flat", "ListAttr", "Flat"]
+
+    def test_flat_names(self):
+        n = record("R", "A", list_of("L", record("D", "B", "C")))
+        assert sorted(n.flat_names()) == ["A", "B", "C"]
+
+    def test_labels(self):
+        n = record("R", "A", list_of("L", record("D", "B")))
+        assert list(n.labels()) == ["R", "L", "D"]
+
+
+class TestConvenienceConstructors:
+    def test_record_coerces_strings(self):
+        assert record("D", "Beer", "Pub") == Record("D", (Flat("Beer"), Flat("Pub")))
+
+    def test_list_of_coerces_strings(self):
+        assert list_of("L", "A") == ListAttr("L", Flat("A"))
+
+    def test_lambda_string_becomes_null(self):
+        assert record("L", "A", "λ") == Record("L", (Flat("A"), NULL))
+        assert record("L", "A", "lambda") == Record("L", (Flat("A"), NULL))
+
+    def test_flat_helper(self):
+        assert flat("A") == Flat("A")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            record("L", 7)  # type: ignore[arg-type]
+
+    def test_repr_is_informative(self):
+        assert "Drink(Beer, Pub)" in repr(record("Drink", "Beer", "Pub"))
+
+    def test_nested_attribute_is_abstract_base(self):
+        assert issubclass(Record, NestedAttribute)
+        assert issubclass(ListAttr, NestedAttribute)

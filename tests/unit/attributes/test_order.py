@@ -1,0 +1,95 @@
+"""Unit tests for the order-theoretic utilities on Sub(N)."""
+
+import pytest
+
+from repro.attributes import BasisEncoding, covers, parse_attribute as p, subattributes
+from repro.attributes.order import (
+    atoms,
+    coatoms,
+    interval,
+    lower_covers,
+    maximal_chain,
+    rank,
+    upper_covers,
+)
+
+
+@pytest.fixture(params=["L[A]", "R(A, B)", "R(A, L[D(B, C)])", "J[K(A, L[M(B, C)])]"])
+def encoding(request):
+    return BasisEncoding(p(request.param))
+
+
+class TestCovers:
+    def test_agree_with_structural_cover_relation(self, encoding):
+        root = encoding.root
+        elements = list(subattributes(root))
+        for element in elements:
+            mask = encoding.encode(element)
+            expected = {
+                encoding.encode(other)
+                for other in elements
+                if covers(root, element, other)
+            }
+            assert set(upper_covers(encoding, mask)) == expected
+
+    def test_lower_covers_invert_upper_covers(self, encoding):
+        for mask in encoding.all_elements():
+            for cover in upper_covers(encoding, mask):
+                assert mask in lower_covers(encoding, cover)
+
+    def test_covers_add_exactly_one_bit(self, encoding):
+        for mask in encoding.all_elements():
+            for cover in upper_covers(encoding, mask):
+                assert rank(encoding, cover) == rank(encoding, mask) + 1
+
+
+class TestRankAndChains:
+    def test_rank_of_extremes(self, encoding):
+        assert rank(encoding, 0) == 0
+        assert rank(encoding, encoding.full) == encoding.size
+
+    def test_maximal_chain_length_is_rank_difference(self, encoding):
+        chain = maximal_chain(encoding, 0, encoding.full)
+        assert len(chain) == encoding.size + 1
+        assert chain[0] == 0 and chain[-1] == encoding.full
+        for lower, upper in zip(chain, chain[1:]):
+            assert upper in upper_covers(encoding, lower)
+
+    def test_maximal_chain_requires_comparability(self):
+        encoding = BasisEncoding(p("R(A, B)"))
+        a = encoding.encode(p("R(A, λ)"))
+        b = encoding.encode(p("R(λ, B)"))
+        with pytest.raises(ValueError):
+            maximal_chain(encoding, a, b)
+
+
+class TestAtomsAndCoatoms:
+    def test_atoms_of_figure_1(self):
+        encoding = BasisEncoding(p("J[K(A, L[M(B, C)])]"))
+        # One atom: J[λ] — everything else sits above the outer length.
+        assert [encoding.describe(a) for a in atoms(encoding)] == ["J[λ]"]
+
+    def test_atoms_of_flat_record_are_fields(self):
+        encoding = BasisEncoding(p("R(A, B, C)"))
+        shown = {encoding.describe(a) for a in atoms(encoding)}
+        assert shown == {"R(A)", "R(B)", "R(C)"}
+
+    def test_coatoms_count_equals_maximal_basis(self, encoding):
+        # Removing one maximal basis attribute of N gives a coatom.
+        assert len(coatoms(encoding)) == bin(encoding.maximal).count("1")
+
+
+class TestInterval:
+    def test_full_interval_is_all_elements(self, encoding):
+        enumerated = set(interval(encoding, 0, encoding.full))
+        assert enumerated == set(encoding.all_elements())
+
+    def test_empty_when_incomparable(self):
+        encoding = BasisEncoding(p("R(A, B)"))
+        a = encoding.encode(p("R(A, λ)"))
+        b = encoding.encode(p("R(λ, B)"))
+        assert list(interval(encoding, a, b)) == []
+
+    def test_breadth_first_by_rank(self, encoding):
+        ranks = [rank(encoding, m) for m in interval(encoding, 0, encoding.full)]
+        assert ranks == sorted(ranks)

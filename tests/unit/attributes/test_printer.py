@@ -1,0 +1,69 @@
+"""Unit tests for the paper-notation printers (Section 3.3 conventions)."""
+
+import pytest
+
+from repro.attributes import (
+    NULL,
+    parse_attribute as p,
+    parse_subattribute,
+    subattributes,
+    unparse,
+    unparse_abbreviated,
+)
+from repro.exceptions import NotASubattributeError
+
+
+class TestUnparse:
+    def test_null(self):
+        assert unparse(NULL) == "λ"
+
+    def test_flat(self):
+        assert unparse(p("Beer")) == "Beer"
+
+    def test_record_and_list(self):
+        assert unparse(p("Visit[Drink(Beer, Pub)]")) == "Visit[Drink(Beer, Pub)]"
+
+    def test_explicit_lambdas_preserved(self):
+        root = p("L1(A, B, L2[L3(C, D)])")
+        sub = parse_subattribute("L1(A, L2[λ])", root)
+        assert unparse(sub) == "L1(A, λ, L2[L3(λ, λ)])"
+
+
+class TestUnparseAbbreviated:
+    def test_paper_section_3_3_example(self):
+        # L1(A, λ, L2[L3(λ, λ)]) is abbreviated L1(A, L2[λ]).
+        root = p("L1(A, B, L2[L3(C, D)])")
+        sub = parse_subattribute("L1(A, λ, L2[L3(λ, λ)])", root)
+        assert unparse_abbreviated(sub, root) == "L1(A, L2[λ])"
+
+    def test_record_of_bottoms_is_lambda(self):
+        root = p("R(A, B)")
+        sub = parse_subattribute("R(λ, λ)", root)
+        assert unparse_abbreviated(sub, root) == "λ"
+
+    def test_duplicate_heads_not_abbreviated(self):
+        # The paper: L(A, λ) of L(A, A) cannot be abbreviated by L(A).
+        root = p("L(A, A)")
+        sub = parse_subattribute("L(A, λ)", root)
+        assert unparse_abbreviated(sub, root) == "L(A, λ)"
+        other = parse_subattribute("L(λ, A)", root)
+        assert unparse_abbreviated(other, root) == "L(λ, A)"
+
+    def test_rejects_non_subattribute(self):
+        with pytest.raises(NotASubattributeError):
+            unparse_abbreviated(p("A"), p("L[A]"))
+
+    def test_roundtrip_for_all_small_roots(self, small_roots):
+        for root in small_roots:
+            for element in subattributes(root):
+                shown = unparse_abbreviated(element, root)
+                assert parse_subattribute(shown, root) == element
+
+    def test_root_displays_as_itself(self, small_roots):
+        for root in small_roots:
+            assert unparse_abbreviated(root, root) == unparse(root)
+
+    def test_nested_record_abbreviation(self):
+        root = p("A(B, C[D(E, F[G])])")
+        sub = parse_subattribute("A(C[D(F[λ])])", root)
+        assert unparse_abbreviated(sub, root) == "A(C[D(F[λ])])"

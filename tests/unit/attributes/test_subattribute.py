@@ -1,0 +1,158 @@
+"""Unit tests for the subattribute relation ``≤`` (Definition 3.4)."""
+
+import pytest
+
+from repro.attributes import (
+    NULL,
+    bottom,
+    count_subattributes,
+    covers,
+    is_bottom,
+    is_subattribute,
+    parse_attribute as p,
+    proper_subattributes,
+    subattributes,
+)
+
+
+class TestDefinitionRules:
+    """One test per bullet of Definition 3.4."""
+
+    def test_reflexive_on_every_constructor(self):
+        for text in ("λ", "A", "L[A]", "R(A, B)", "L[R(A, L2[B])]"):
+            n = p(text)
+            assert is_subattribute(n, n)
+
+    def test_null_below_flat(self):
+        assert is_subattribute(NULL, p("A"))
+
+    def test_null_below_list(self):
+        assert is_subattribute(NULL, p("L[A]"))
+        assert is_subattribute(NULL, p("L[R(A, B)]"))
+
+    def test_null_not_below_record(self):
+        # λ ≤ record does NOT hold; the record's bottom is L(λ,...,λ).
+        assert not is_subattribute(NULL, p("R(A, B)"))
+
+    def test_record_componentwise(self):
+        assert is_subattribute(p("R(A, λ)"), p("R(A, B)"))
+        assert is_subattribute(p("R(λ, λ)"), p("R(A, B)"))
+        assert not is_subattribute(p("R(A, B)"), p("R(A, λ)"))
+
+    def test_record_requires_same_label_and_arity(self):
+        assert not is_subattribute(p("S(A, B)"), p("R(A, B)"))
+        assert not is_subattribute(p("R(A)"), p("R(A, B)"))
+
+    def test_list_elementwise(self):
+        assert is_subattribute(p("L[R(A, λ)]"), p("L[R(A, B)]"))
+        assert not is_subattribute(p("L[R(A, B)]"), p("L[R(A, λ)]"))
+
+    def test_list_requires_same_label(self):
+        assert not is_subattribute(p("M[A]"), p("L[A]"))
+
+    def test_unrelated_constructors(self):
+        assert not is_subattribute(p("A"), p("L[A]"))
+        assert not is_subattribute(p("L[A]"), p("A"))
+        assert not is_subattribute(p("A"), p("B"))
+
+    def test_paper_example_from_section_3_3(self):
+        root = p("L1(A, B, L2[L3(C, D)])")
+        sub = p("L1(A, λ, L2[L3(λ, λ)])")
+        assert is_subattribute(sub, root)
+
+
+class TestPartialOrderLaws:
+    """Lemma 3.5 on a concrete spread of attributes."""
+
+    def test_antisymmetry(self, small_roots):
+        for root in small_roots:
+            elements = list(subattributes(root))
+            for x in elements:
+                for y in elements:
+                    if is_subattribute(x, y) and is_subattribute(y, x):
+                        assert x == y
+
+    def test_transitivity(self, small_roots):
+        for root in small_roots:
+            elements = list(subattributes(root))
+            for x in elements:
+                for y in elements:
+                    if not is_subattribute(x, y):
+                        continue
+                    for z in elements:
+                        if is_subattribute(y, z):
+                            assert is_subattribute(x, z)
+
+
+class TestBottom:
+    def test_bottom_of_flat_and_list_is_null(self):
+        assert bottom(p("A")) == NULL
+        assert bottom(p("L[A]")) == NULL
+        assert bottom(NULL) == NULL
+
+    def test_bottom_of_record_is_record_of_bottoms(self):
+        assert bottom(p("R(A, L[B])")) == p("R(λ, λ)")
+        assert bottom(p("R(A, S(B, C))")) == p("R(λ, S(λ, λ))")
+
+    def test_bottom_is_least(self, small_roots):
+        for root in small_roots:
+            least = bottom(root)
+            for element in subattributes(root):
+                assert is_subattribute(least, element)
+
+    def test_is_bottom(self):
+        root = p("R(A, B)")
+        assert is_bottom(p("R(λ, λ)"), root)
+        assert not is_bottom(p("R(A, λ)"), root)
+
+
+class TestEnumeration:
+    def test_sub_of_null(self):
+        assert list(subattributes(NULL)) == [NULL]
+
+    def test_sub_of_flat(self):
+        assert list(subattributes(p("A"))) == [NULL, p("A")]
+
+    def test_sub_of_list_is_lifted_plus_minimum(self):
+        subs = list(subattributes(p("L[A]")))
+        assert subs == [NULL, p("L[λ]"), p("L[A]")]
+
+    def test_sub_of_record_is_product(self):
+        subs = set(subattributes(p("R(A, B)")))
+        assert subs == {p("R(λ, λ)"), p("R(A, λ)"), p("R(λ, B)"), p("R(A, B)")}
+
+    def test_count_matches_enumeration(self, small_roots):
+        for root in small_roots:
+            assert count_subattributes(root) == len(list(subattributes(root)))
+
+    def test_count_formula(self):
+        # |Sub| formulas: flat=2, list=1+inner, record=product.
+        assert count_subattributes(p("R(A, B, C)")) == 8
+        assert count_subattributes(p("L[R(A, B)]")) == 5
+        assert count_subattributes(p("J[K(A, L[M(B, C)])]")) == 11  # Figure 1
+
+    def test_enumeration_is_deterministic(self):
+        root = p("R(A, L[B])")
+        assert list(subattributes(root)) == list(subattributes(root))
+
+    def test_all_enumerated_are_subattributes(self, small_roots):
+        for root in small_roots:
+            for element in subattributes(root):
+                assert is_subattribute(element, root)
+
+    def test_proper_subattributes_excludes_root(self):
+        root = p("R(A, B)")
+        assert root not in set(proper_subattributes(root))
+        assert len(list(proper_subattributes(root))) == 3
+
+
+class TestCovers:
+    def test_cover_in_chain(self):
+        root = p("L[A]")
+        assert covers(root, NULL, p("L[λ]"))
+        assert covers(root, p("L[λ]"), p("L[A]"))
+        assert not covers(root, NULL, p("L[A]"))  # L[λ] lies between
+
+    def test_not_cover_when_incomparable(self):
+        root = p("R(A, B)")
+        assert not covers(root, p("R(A, λ)"), p("R(λ, B)"))

@@ -1,0 +1,81 @@
+"""Unit tests for universes and domains (Definition 3.1)."""
+
+import random
+
+import pytest
+
+from repro.attributes import EnumeratedDomain, Flat, IntegerDomain, Universe
+from repro.attributes import parse_attribute as p
+
+
+class TestIntegerDomain:
+    def test_membership(self):
+        domain = IntegerDomain()
+        assert 7 in domain
+        assert "x" not in domain
+        assert True not in domain  # bools are not data constants
+
+    def test_sample_within_width(self):
+        domain = IntegerDomain(width=3)
+        rng = random.Random(0)
+        assert all(domain.sample(rng) in range(3) for _ in range(50))
+
+    def test_fresh_is_unbounded_and_distinct(self):
+        supply = IntegerDomain().fresh()
+        drawn = [next(supply) for _ in range(100)]
+        assert len(set(drawn)) == 100
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            IntegerDomain(width=0)
+
+
+class TestEnumeratedDomain:
+    def test_membership_and_len(self):
+        domain = EnumeratedDomain(["Lübzer", "Kindl"])
+        assert "Kindl" in domain
+        assert "Guiness" not in domain
+        assert len(domain) == 2
+
+    def test_dedupes_preserving_order(self):
+        domain = EnumeratedDomain(["a", "b", "a"])
+        assert domain.values == ("a", "b")
+
+    def test_fresh_exhausts(self):
+        supply = EnumeratedDomain(["x", "y"]).fresh()
+        assert next(supply) == "x"
+        assert next(supply) == "y"
+        with pytest.raises(ValueError):
+            next(supply)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EnumeratedDomain([])
+
+    def test_sample(self):
+        domain = EnumeratedDomain(["only"])
+        assert domain.sample(random.Random(0)) == "only"
+
+
+class TestUniverse:
+    def test_registered_domain_lookup(self):
+        beers = EnumeratedDomain(["Lübzer"])
+        universe = Universe({"Beer": beers})
+        assert universe.domain_of("Beer") is beers
+        assert universe.domain_of(Flat("Beer")) is beers
+
+    def test_unregistered_falls_back_to_integers(self):
+        universe = Universe()
+        assert isinstance(universe.domain_of("Anything"), IntegerDomain)
+
+    def test_register(self):
+        universe = Universe()
+        pubs = EnumeratedDomain(["Deanos"])
+        universe.register("Pub", pubs)
+        assert universe.domain_of("Pub") is pubs
+        assert universe.names() == ("Pub",)
+
+    def test_covers(self):
+        universe = Universe({"A": EnumeratedDomain([1]), "B": EnumeratedDomain([2])})
+        assert universe.covers(p("R(A, L[B])"))
+        assert not universe.covers(p("R(A, C)"))

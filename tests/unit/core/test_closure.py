@@ -1,0 +1,157 @@
+"""Unit tests for Algorithm 5.1 (core/closure.py)."""
+
+import pytest
+
+from repro.attributes import BasisEncoding, parse_attribute as p, parse_subattribute
+from repro.core import compute_closure
+from repro.dependencies import DependencySet
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestInitialisation:
+    def test_empty_sigma_returns_reflexive_closure(self):
+        root = p("R(A, B)")
+        enc = BasisEncoding(root)
+        sigma = DependencySet(root)
+        result = compute_closure(enc, s("R(A)", root), sigma)
+        assert result.closure == s("R(A)", root)
+        # DepB with empty Σ: every attribute of X plus the complement block.
+        assert set(result.dependency_basis()) == {
+            s("R(A)", root),
+            s("R(B)", root),
+        }
+
+    def test_closure_of_root_is_root(self):
+        root = p("R(A, L[B])")
+        enc = BasisEncoding(root)
+        result = compute_closure(enc, root, DependencySet(root))
+        assert result.closure == root
+        # X^C = λ is dropped; DB_new = MaxB(X^CC) = the maximal basis
+        # attributes as singleton blocks, all inside the closure.
+        assert result.blocks == frozenset(
+            enc.below[i] for i in range(enc.size) if enc.maximal >> i & 1
+        )
+
+    def test_closure_of_bottom_with_empty_sigma(self):
+        root = p("R(A, B)")
+        enc = BasisEncoding(root)
+        result = compute_closure(enc, s("λ", root), DependencySet(root))
+        assert result.closure == s("λ", root)
+        assert result.blocks == {enc.full}
+
+    def test_accepts_mask_input(self):
+        root = p("R(A, B)")
+        enc = BasisEncoding(root)
+        result = compute_closure(enc, 0, DependencySet(root))
+        assert result.x_mask == 0
+        assert result.x == s("λ", root)
+
+
+class TestClosureProperties:
+    def test_x_below_closure(self):
+        root = p("R(A, B, C)")
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)"])
+        result = compute_closure(enc, s("R(A)", root), sigma)
+        assert result.closure == s("R(A, B)", root)
+
+    def test_transitive_fd_chain(self):
+        root = p("R(A, B, C, D)")
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(
+            root, ["R(A) -> R(B)", "R(B) -> R(C)", "R(C) -> R(D)"]
+        )
+        result = compute_closure(enc, s("R(A)", root), sigma)
+        assert result.closure == root
+
+    def test_closure_is_idempotent(self):
+        root = p("R(A, B, C)")
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)", "R(B) ->> R(C)"])
+        first = compute_closure(enc, s("R(A)", root), sigma)
+        second = compute_closure(enc, first.closure, sigma)
+        assert second.closure == first.closure
+
+    def test_mixed_meet_updates_closure(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(
+            root, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        result = compute_closure(enc, s("Pubcrawl(Person)", root), sigma)
+        assert result.closure == s("Pubcrawl(Person, Visit[λ])", root)
+
+
+class TestBlockStructure:
+    def test_blocks_are_joins_of_maximal_basis_attributes(self, example51,
+                                                          example51_encoding):
+        result = compute_closure(
+            example51_encoding, example51.x(), example51.sigma
+        )
+        for block in result.blocks:
+            assert example51_encoding.double_complement(block) == block
+
+    def test_blocks_partition_maximal_basis(self, example51, example51_encoding):
+        enc = example51_encoding
+        result = compute_closure(enc, example51.x(), example51.sigma)
+        covered = 0
+        for block in result.blocks:
+            top = enc.maximal_of(block)
+            assert not (covered & top), "maximal attributes shared across blocks"
+            covered |= top
+        assert covered == enc.maximal
+
+    def test_pairwise_block_meets_inside_closure(self, example51,
+                                                 example51_encoding):
+        # The §4.2 invariant the witness construction relies on.
+        enc = example51_encoding
+        result = compute_closure(enc, example51.x(), example51.sigma)
+        blocks = sorted(result.blocks)
+        for i, first in enumerate(blocks):
+            for second in blocks[i + 1:]:
+                assert (first & second) & ~result.closure_mask == 0
+
+
+class TestMembershipChecks:
+    @pytest.fixture()
+    def result(self):
+        root = p("R(A, B, C)")
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)"])
+        return enc, compute_closure(enc, s("R(A)", root), sigma)
+
+    def test_fd_rhs(self, result):
+        enc, res = result
+        root = enc.root
+        assert res.implies_fd_rhs(enc.encode(s("R(B)", root)))
+        assert res.implies_fd_rhs(enc.encode(s("R(A, B)", root)))
+        assert not res.implies_fd_rhs(enc.encode(s("R(C)", root)))
+
+    def test_mvd_rhs(self, result):
+        enc, res = result
+        root = enc.root
+        assert res.implies_mvd_rhs(enc.encode(s("R(B)", root)))  # from the FD
+        assert res.implies_mvd_rhs(enc.encode(s("R(C)", root)))  # complementation
+        assert res.implies_mvd_rhs(enc.encode(s("R(B, C)", root)))  # join
+        assert res.implies_mvd_rhs(enc.encode(s("λ", root)))  # empty join
+
+    def test_describe_mentions_all_parts(self, result):
+        _, res = result
+        text = res.describe()
+        assert "X+" in text and "DepB" in text
+
+
+class TestDeterminism:
+    def test_same_input_same_passes(self, example51, example51_encoding):
+        first = compute_closure(example51_encoding, example51.x(), example51.sigma)
+        second = compute_closure(example51_encoding, example51.x(), example51.sigma)
+        assert first.closure_mask == second.closure_mask
+        assert first.blocks == second.blocks
+        assert first.passes == second.passes
+
+    def test_dependency_basis_sorted(self, example51, example51_encoding):
+        result = compute_closure(example51_encoding, example51.x(), example51.sigma)
+        assert list(result.dependency_basis()) == list(result.dependency_basis())

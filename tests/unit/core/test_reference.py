@@ -1,0 +1,55 @@
+"""Unit tests for the structural reference implementation of Algorithm 5.1."""
+
+from repro.attributes import BasisEncoding, parse_attribute as p, parse_subattribute
+from repro.core import compute_closure, reference_closure, reference_dependency_basis
+from repro.dependencies import DependencySet
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestAgreementWithFastImplementation:
+    def test_example_5_1(self, example51, example51_encoding):
+        fast = compute_closure(example51_encoding, example51.x(), example51.sigma)
+        ref_closure, ref_db = reference_closure(
+            example51.root, example51.x(), example51.sigma
+        )
+        assert ref_closure == fast.closure
+        assert ref_db == frozenset(
+            example51_encoding.decode(mask) for mask in fast.blocks
+        )
+
+    def test_reference_dependency_basis(self, example51, example51_encoding):
+        fast = compute_closure(example51_encoding, example51.x(), example51.sigma)
+        ref = reference_dependency_basis(example51.root, example51.x(), example51.sigma)
+        assert ref == frozenset(fast.dependency_basis())
+
+    def test_pubcrawl(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        sigma = pubcrawl_scenario.sigma()
+        x = s("Pubcrawl(Person)", root)
+        enc = BasisEncoding(root)
+        fast = compute_closure(enc, x, sigma)
+        ref_closure, ref_db = reference_closure(root, x, sigma)
+        assert ref_closure == fast.closure
+        assert ref_db == frozenset(enc.decode(mask) for mask in fast.blocks)
+
+    def test_empty_sigma(self):
+        root = p("R(A, L[B])")
+        enc = BasisEncoding(root)
+        sigma = DependencySet(root)
+        x = s("R(A)", root)
+        fast = compute_closure(enc, x, sigma)
+        ref_closure, ref_db = reference_closure(root, x, sigma)
+        assert ref_closure == fast.closure == x
+        assert ref_db == frozenset(enc.decode(mask) for mask in fast.blocks)
+
+    def test_fd_only_chain(self):
+        root = p("R(A, B, C)")
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)", "R(B) -> R(C)"])
+        x = s("R(A)", root)
+        fast = compute_closure(enc, x, sigma)
+        ref_closure, _ = reference_closure(root, x, sigma)
+        assert ref_closure == fast.closure == root

@@ -1,0 +1,87 @@
+"""Unit tests for the Algorithm 5.1 trace recorder (Figures 3/4 support)."""
+
+import pytest
+
+from repro.attributes import BasisEncoding, parse_attribute as p, parse_subattribute
+from repro.core import TraceRecorder, compute_closure
+from repro.dependencies import DependencySet
+
+
+@pytest.fixture()
+def traced_run(example51, example51_encoding):
+    recorder = TraceRecorder()
+    result = compute_closure(
+        example51_encoding, example51.x(), example51.sigma, trace=recorder
+    )
+    return recorder, result
+
+
+class TestRecording:
+    def test_initial_state_recorded(self, traced_run, example51_encoding):
+        recorder, result = traced_run
+        assert recorder.encoding is example51_encoding
+        assert recorder.initial_x == result.x_mask
+        assert len(recorder.initial_db) == 3  # Figure 3: three boxes
+
+    def test_final_state_matches_result(self, traced_run):
+        recorder, result = traced_run
+        assert recorder.final_x == result.closure_mask
+        assert recorder.final_db == result.blocks
+
+    def test_steps_per_pass(self, traced_run, example51):
+        recorder, result = traced_run
+        per_pass = len(list(example51.sigma))
+        assert len(recorder.steps) == per_pass * result.passes
+        assert recorder.passes == result.passes
+
+    def test_fd_steps_precede_mvd_steps_within_pass(self, traced_run):
+        recorder, _ = traced_run
+        first_pass = [step for step in recorder.steps if step.pass_number == 1]
+        kinds = [step.is_fd for step in first_pass]
+        assert kinds == sorted(kinds, reverse=True)  # True(s) first
+
+    def test_changed_steps_subset(self, traced_run):
+        recorder, _ = traced_run
+        changed = recorder.states_after_each_change()
+        assert changed
+        assert all(step.changed for step in changed)
+        # Example 5.1: exactly three state-changing applications.
+        assert len(changed) == 3
+
+    def test_state_after_lookup(self, traced_run, example51):
+        recorder, _ = traced_run
+        fd = example51.sigma.fds()[0]
+        step = recorder.state_after(2, fd)
+        assert step.pass_number == 2
+        with pytest.raises(KeyError):
+            recorder.state_after(99, fd)
+
+
+class TestRendering:
+    def test_render_contains_paper_sections(self, traced_run):
+        recorder, _ = traced_run
+        text = recorder.render()
+        assert "Initialisation:" in text
+        assert "Pass 1 through the REPEAT UNTIL loop:" in text
+        assert "Final state:" in text
+        assert "no changes" in text
+
+    def test_render_uses_abbreviated_notation(self, traced_run):
+        recorder, _ = traced_run
+        assert "L1(L7(F))" in recorder.render()
+
+    def test_empty_trace_renders(self):
+        assert TraceRecorder().render() == "(empty trace)"
+
+    def test_unlabelled_steps_render(self):
+        # Mask-level runs pass no dependency labels.
+        root = p("R(A, B)")
+        enc = BasisEncoding(root)
+        from repro.core.closure import closure_of_masks
+
+        recorder = TraceRecorder()
+        x = enc.encode(parse_subattribute("R(A)", root))
+        v = enc.encode(parse_subattribute("R(B)", root))
+        closure_of_masks(enc, x, [(x, v)], [], trace=recorder)
+        text = recorder.render()
+        assert "dependency" in text

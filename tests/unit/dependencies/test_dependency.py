@@ -1,0 +1,120 @@
+"""Unit tests for FD/MVD objects and parsing (Definition 4.1, Lemma 4.3)."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p, parse_subattribute
+from repro.dependencies import (
+    FD,
+    MVD,
+    FunctionalDependency,
+    MultivaluedDependency,
+    parse_dependency,
+)
+from repro.exceptions import DependencySyntaxError, NotAnElementError
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestParsing:
+    def test_fd_arrow(self):
+        root = p("R(A, B)")
+        dep = parse_dependency("R(A) -> R(B)", root)
+        assert isinstance(dep, FunctionalDependency)
+        assert dep.is_fd and not dep.is_mvd
+
+    def test_mvd_arrow(self):
+        root = p("R(A, B)")
+        dep = parse_dependency("R(A) ->> R(B)", root)
+        assert isinstance(dep, MultivaluedDependency)
+        assert dep.is_mvd and not dep.is_fd
+
+    def test_unicode_arrows(self):
+        root = p("R(A, B)")
+        assert parse_dependency("R(A) → R(B)", root).is_fd
+        assert parse_dependency("R(A) ↠ R(B)", root).is_mvd
+
+    def test_mvd_not_misparsed_as_fd(self):
+        # "->>" contains "->"; the MVD arrow must win.
+        root = p("R(A, B)")
+        assert parse_dependency("R(A)->>R(B)", root).is_mvd
+
+    def test_abbreviated_sides_resolved(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        dep = parse_dependency("Pubcrawl(Person) -> Pubcrawl(Visit[λ])", root)
+        assert dep.lhs == s("Pubcrawl(Person)", root)
+        assert dep.rhs == s("Pubcrawl(Visit[λ])", root)
+
+    def test_missing_arrow(self):
+        with pytest.raises(DependencySyntaxError):
+            parse_dependency("R(A) R(B)", p("R(A, B)"))
+
+    def test_aliases(self):
+        assert FD is FunctionalDependency
+        assert MVD is MultivaluedDependency
+
+
+class TestValidation:
+    def test_validate_accepts_elements(self):
+        root = p("R(A, B)")
+        FD(s("R(A)", root), s("R(B)", root)).validate(root)
+
+    def test_validate_rejects_foreign_sides(self):
+        root = p("R(A, B)")
+        with pytest.raises(NotAnElementError):
+            FD(p("A"), s("R(B)", root)).validate(root)
+        with pytest.raises(NotAnElementError):
+            MVD(s("R(A)", root), p("Z")).validate(root)
+
+
+class TestTrivialityLemma43:
+    def test_fd_trivial_iff_rhs_below_lhs(self):
+        root = p("R(A, B)")
+        assert FD(s("R(A, B)", root), s("R(A)", root)).is_trivial(root)
+        assert FD(s("R(A)", root), s("R(A)", root)).is_trivial(root)
+        assert not FD(s("R(A)", root), s("R(B)", root)).is_trivial(root)
+
+    def test_mvd_trivial_when_rhs_below_lhs(self):
+        root = p("R(A, B)")
+        assert MVD(s("R(A)", root), s("λ", root)).is_trivial(root)
+
+    def test_mvd_trivial_when_join_is_root(self):
+        root = p("R(A, B)")
+        assert MVD(s("R(A)", root), s("R(A, B)", root)).is_trivial(root)
+        assert MVD(s("R(A)", root), s("R(B)", root)).is_trivial(root)
+
+    def test_mvd_nontrivial_case(self):
+        root = p("R(A, B, C)")
+        assert not MVD(s("R(A)", root), s("R(B)", root)).is_trivial(root)
+
+    def test_list_length_mvd_triviality(self):
+        # X ↠ L[λ] with X = λ: join λ ⊔ L[λ] = L[λ] ≠ L[A]: non-trivial.
+        root = p("L[A]")
+        assert not MVD(s("λ", root), s("L[λ]", root)).is_trivial(root)
+
+
+class TestComplementedAndDisplay:
+    def test_complemented(self):
+        root = p("R(A, B, C)")
+        mvd = MVD(s("R(A)", root), s("R(B)", root))
+        assert mvd.complemented(root).rhs == s("R(A, C)", root)
+
+    def test_display_with_root_abbreviates(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        dep = parse_dependency("Pubcrawl(Person) -> Pubcrawl(Visit[λ])", root)
+        assert dep.display(root) == "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+
+    def test_display_without_root_is_explicit(self):
+        root = p("R(A, B)")
+        dep = parse_dependency("R(A) ->> R(B)", root)
+        assert dep.display() == "R(A, λ) ->> R(λ, B)"
+        assert str(dep) == dep.display()
+
+    def test_hashable_and_equal(self):
+        root = p("R(A, B)")
+        first = parse_dependency("R(A) -> R(B)", root)
+        second = parse_dependency("R(A) -> R(B)", root)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != parse_dependency("R(A) ->> R(B)", root)

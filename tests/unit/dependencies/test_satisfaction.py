@@ -1,0 +1,160 @@
+"""Unit tests for satisfaction checking (Definition 4.1, Theorem 4.4)."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p
+from repro.dependencies import (
+    DependencySet,
+    parse_dependency,
+    satisfies,
+    satisfies_all,
+    satisfies_fd,
+    satisfies_mvd,
+    satisfies_mvd_via_join,
+    violating_fd_pair,
+    violating_mvd_pair,
+)
+from repro.values import project
+
+
+class TestPubcrawlVerdicts:
+    """Example 4.2's four stated verdicts, end to end."""
+
+    def test_failing_fds(self, pubcrawl_scenario):
+        for text in pubcrawl_scenario.failing_fd_texts:
+            dep = parse_dependency(text, pubcrawl_scenario.root)
+            assert not satisfies(
+                pubcrawl_scenario.root, pubcrawl_scenario.instance, dep
+            )
+
+    def test_holding_mvd(self, pubcrawl_scenario):
+        dep = parse_dependency(
+            pubcrawl_scenario.holding_mvd_text, pubcrawl_scenario.root
+        )
+        assert satisfies(pubcrawl_scenario.root, pubcrawl_scenario.instance, dep)
+
+    def test_holding_fd(self, pubcrawl_scenario):
+        dep = parse_dependency(
+            pubcrawl_scenario.holding_fd_text, pubcrawl_scenario.root
+        )
+        assert satisfies(pubcrawl_scenario.root, pubcrawl_scenario.instance, dep)
+
+    def test_mvd_checkers_agree_on_pubcrawl(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        for text in (
+            pubcrawl_scenario.holding_mvd_text,
+            "Pubcrawl(Visit[λ]) ->> Pubcrawl(Person)",
+            "λ ->> Pubcrawl(Person)",
+        ):
+            mvd = parse_dependency(text, root)
+            assert satisfies_mvd(root, pubcrawl_scenario.instance, mvd) == (
+                satisfies_mvd_via_join(root, pubcrawl_scenario.instance, mvd)
+            )
+
+
+class TestFDChecking:
+    def test_empty_and_singleton_instances_satisfy_everything(self):
+        root = p("R(A, B)")
+        fd = parse_dependency("R(A) -> R(B)", root)
+        assert satisfies_fd(root, set(), fd)
+        assert satisfies_fd(root, {(1, 2)}, fd)
+
+    def test_violating_pair_is_returned(self):
+        root = p("R(A, B)")
+        fd = parse_dependency("R(A) -> R(B)", root)
+        instance = {(1, 1), (1, 2), (3, 3)}
+        pair = violating_fd_pair(root, instance, fd)
+        assert pair is not None
+        t1, t2 = pair
+        assert project(root, fd.lhs, t1) == project(root, fd.lhs, t2)
+        assert project(root, fd.rhs, t1) != project(root, fd.rhs, t2)
+
+    def test_no_pair_when_satisfied(self):
+        root = p("R(A, B)")
+        fd = parse_dependency("R(A) -> R(B)", root)
+        assert violating_fd_pair(root, {(1, 1), (2, 5)}, fd) is None
+
+    def test_trivial_fd_always_holds(self):
+        root = p("R(A, B)")
+        fd = parse_dependency("R(A, B) -> R(A)", root)
+        assert satisfies_fd(root, {(1, 1), (1, 2), (2, 2)}, fd)
+
+
+class TestMVDChecking:
+    def test_exchange_required(self):
+        root = p("R(A, B, C)")
+        mvd = parse_dependency("R(A) ->> R(B)", root)
+        incomplete = {(1, "b1", "c1"), (1, "b2", "c2")}
+        assert not satisfies_mvd(root, incomplete, mvd)
+        complete = incomplete | {(1, "b1", "c2"), (1, "b2", "c1")}
+        assert satisfies_mvd(root, complete, mvd)
+
+    def test_violating_mvd_pair_identifies_missing_exchange(self):
+        root = p("R(A, B, C)")
+        mvd = parse_dependency("R(A) ->> R(B)", root)
+        instance = {(1, "b1", "c1"), (1, "b2", "c2")}
+        pair = violating_mvd_pair(root, instance, mvd)
+        assert pair is not None
+        t1, t2 = pair
+        assert project(root, mvd.lhs, t1) == project(root, mvd.lhs, t2)
+
+    def test_no_pair_when_satisfied(self):
+        root = p("R(A, B, C)")
+        mvd = parse_dependency("R(A) ->> R(B)", root)
+        assert violating_mvd_pair(root, {(1, "b", "c")}, mvd) is None
+
+    def test_mvd_on_lists_decouples_components(self):
+        root = p("R(L1[A], L2[B])")
+        mvd = parse_dependency("λ ->> R(L1[A])", root)
+        coupled = {((1,), (1,)), ((2, 2), (2, 2))}
+        assert not satisfies_mvd(root, coupled, mvd)
+        decoupled = coupled | {((1,), (2, 2)), ((2, 2), (1,))}
+        assert satisfies_mvd(root, decoupled, mvd)
+
+    def test_mvd_on_bare_length_degenerates_to_fd(self):
+        # Y = R(L1[λ]) has Y ⊓ Y^C = Y, so λ ↠ Y is equivalent to the FD
+        # λ → Y (every tuple shares the L1 length) — the semantic face of
+        # the paper's mixed meet rule.
+        root = p("R(L1[A], L2[B])")
+        mvd = parse_dependency("λ ->> R(L1[λ])", root)
+        same_length = {((1,), (1,)), ((2,), (2, 2))}
+        assert satisfies_mvd(root, same_length, mvd)
+        mixed_lengths = {((1,), (1,)), ((2, 2), (2, 2))}
+        assert not satisfies_mvd(root, mixed_lengths, mvd)
+
+    def test_via_join_checker_same_verdicts(self):
+        root = p("R(A, B, C)")
+        mvd = parse_dependency("R(A) ->> R(B)", root)
+        incomplete = {(1, "b1", "c1"), (1, "b2", "c2")}
+        assert not satisfies_mvd_via_join(root, incomplete, mvd)
+        complete = incomplete | {(1, "b1", "c2"), (1, "b2", "c1")}
+        assert satisfies_mvd_via_join(root, complete, mvd)
+
+
+class TestSatisfiesAll:
+    def test_mixed_set(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        sigma = DependencySet.parse(
+            root,
+            [
+                pubcrawl_scenario.holding_mvd_text,
+                pubcrawl_scenario.holding_fd_text,
+            ],
+        )
+        assert satisfies_all(root, pubcrawl_scenario.instance, sigma)
+
+    def test_fails_on_any_violation(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        sigma = DependencySet.parse(
+            root,
+            [
+                pubcrawl_scenario.holding_mvd_text,
+                pubcrawl_scenario.failing_fd_texts[0],
+            ],
+        )
+        assert not satisfies_all(root, pubcrawl_scenario.instance, sigma)
+
+    def test_plain_iterable_accepted(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        deps = [parse_dependency(pubcrawl_scenario.holding_fd_text, root)]
+        assert satisfies_all(root, pubcrawl_scenario.instance, deps)

@@ -1,0 +1,90 @@
+"""Unit tests for dependency sets ``Σ``."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p
+from repro.dependencies import DependencySet, parse_dependency
+from repro.exceptions import NotAnElementError
+
+
+@pytest.fixture()
+def root():
+    return p("R(A, B, C)")
+
+
+@pytest.fixture()
+def sigma(root):
+    return DependencySet.parse(
+        root,
+        ["R(A) -> R(B)", "R(B) ->> R(C)", "R(A) -> R(B)"],  # duplicate on purpose
+    )
+
+
+class TestConstruction:
+    def test_deduplicates_preserving_order(self, root, sigma):
+        assert len(sigma) == 2
+        assert [d.is_fd for d in sigma] == [True, False]
+
+    def test_validates_members(self, root):
+        foreign = parse_dependency("S(A) -> S(B)", p("S(A, B)"))
+        with pytest.raises(NotAnElementError):
+            DependencySet(root, [foreign])
+
+    def test_parse_classmethod(self, root, sigma):
+        assert sigma.root == root
+
+
+class TestViews:
+    def test_fds_and_mvds(self, sigma, root):
+        assert len(sigma.fds()) == 1
+        assert len(sigma.mvds()) == 1
+        assert sigma.fds()[0] == parse_dependency("R(A) -> R(B)", root)
+
+    def test_contains(self, sigma, root):
+        assert parse_dependency("R(B) ->> R(C)", root) in sigma
+        assert parse_dependency("R(C) -> R(A)", root) not in sigma
+
+    def test_dependencies_tuple(self, sigma):
+        assert isinstance(sigma.dependencies, tuple)
+
+
+class TestSetAlgebra:
+    def test_with_dependency(self, sigma, root):
+        extended = sigma.with_dependency(parse_dependency("R(C) -> R(A)", root))
+        assert len(extended) == 3
+        assert len(sigma) == 2  # original untouched
+
+    def test_with_existing_is_noop(self, sigma, root):
+        assert len(sigma.with_dependency(parse_dependency("R(A) -> R(B)", root))) == 2
+
+    def test_without(self, sigma, root):
+        reduced = sigma.without(parse_dependency("R(A) -> R(B)", root))
+        assert len(reduced) == 1
+
+    def test_union(self, sigma, root):
+        other = DependencySet.parse(root, ["R(C) -> R(A)"])
+        merged = sigma.union(other)
+        assert len(merged) == 3
+
+    def test_union_requires_same_root(self, sigma):
+        other = DependencySet.parse(p("S(A, B)"), ["S(A) -> S(B)"])
+        with pytest.raises(ValueError):
+            sigma.union(other)
+
+
+class TestEqualityAndDisplay:
+    def test_equality_is_order_insensitive(self, root):
+        first = DependencySet.parse(root, ["R(A) -> R(B)", "R(B) ->> R(C)"])
+        second = DependencySet.parse(root, ["R(B) ->> R(C)", "R(A) -> R(B)"])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_display(self, sigma):
+        text = sigma.display()
+        assert "->" in text and "->>" in text
+
+    def test_display_empty(self, root):
+        assert DependencySet(root).display() == "(empty)"
+
+    def test_repr(self, sigma):
+        assert "n_fds=1" in repr(sigma) and "n_mvds=1" in repr(sigma)

@@ -1,0 +1,254 @@
+"""The §7 set/multiset demonstrations: where the list-type theory breaks.
+
+The paper's conclusion makes two claims about richer type systems, proven
+in companion work but only *stated* here; these tests make both
+executable:
+
+1. "the extension rule is no longer valid in the presence of sets" — an
+   instance over a set-typed attribute satisfies ``X → Y`` but violates
+   ``X → X ⊔ Y``.
+2. MVDs "deviate from binary join dependencies" / Theorem 4.4 fails for
+   sets — with deduplicating projections, reconstructability and the
+   exchange property come apart even more readily than for lists.
+
+The module also covers the extension substrate itself (domains,
+projections, multisets) and checks that the core algorithm refuses
+set-typed inputs instead of answering unsoundly.
+"""
+
+import pytest
+
+from repro.attributes import NULL, Flat, Record, parse_attribute as p
+from repro.exceptions import InvalidValueError, NotASubattributeError
+from repro.extensions.settypes import (
+    Multiset,
+    MultisetAttr,
+    SetAttr,
+    contains_set_types,
+    set_is_subattribute,
+    set_project,
+    set_satisfies_fd,
+    set_validate_value,
+)
+from repro.values import OK
+
+
+@pytest.fixture()
+def pair_set_root():
+    """``W(S{P(A, B)})`` — a record wrapping a set of pairs."""
+    return Record("W", (SetAttr("S", Record("P", (Flat("A"), Flat("B")))),))
+
+
+class TestConstructors:
+    def test_set_attr_basics(self):
+        s = SetAttr("S", Flat("A"))
+        assert s.head() == "S"
+        assert s.depth() == 1
+        assert s.children() == (Flat("A"),)
+        assert str(s) == "S{A}"
+
+    def test_multiset_attr_basics(self):
+        m = MultisetAttr("M", Flat("A"))
+        assert str(m) == "M<A>"
+        assert m != SetAttr("M", Flat("A"))
+
+    def test_equality_and_hash(self):
+        assert SetAttr("S", Flat("A")) == SetAttr("S", Flat("A"))
+        assert hash(SetAttr("S", Flat("A"))) == hash(SetAttr("S", Flat("A")))
+        assert SetAttr("S", Flat("A")) != SetAttr("S", Flat("B"))
+
+    def test_immutability(self):
+        s = SetAttr("S", Flat("A"))
+        with pytest.raises(AttributeError):
+            s.label = "T"
+
+    def test_contains_set_types(self, pair_set_root):
+        assert contains_set_types(pair_set_root)
+        assert not contains_set_types(p("R(A, L[B])"))
+
+
+class TestMultisetValue:
+    def test_counts_and_len(self):
+        m = Multiset([1, 1, 2])
+        assert len(m) == 3
+        assert m.counts() == frozenset({(1, 2), (2, 1)})
+
+    def test_order_insensitive_equality(self):
+        assert Multiset([1, 2, 1]) == Multiset([1, 1, 2])
+        assert hash(Multiset([1, 2, 1])) == hash(Multiset([2, 1, 1]))
+
+    def test_multiplicity_matters(self):
+        assert Multiset([1, 1]) != Multiset([1])
+
+    def test_elements_iterates_with_multiplicity(self):
+        assert sorted(Multiset([2, 1, 1]).elements()) == [1, 1, 2]
+
+    def test_immutable(self):
+        m = Multiset([1])
+        with pytest.raises(AttributeError):
+            m._items = frozenset()
+
+
+class TestSubattributeExtension:
+    def test_lambda_below_set_and_multiset(self):
+        assert set_is_subattribute(NULL, SetAttr("S", Flat("A")))
+        assert set_is_subattribute(NULL, MultisetAttr("M", Flat("A")))
+
+    def test_monotone_in_element(self, pair_set_root):
+        smaller = Record("W", (SetAttr("S", Record("P", (Flat("A"), NULL))),))
+        assert set_is_subattribute(smaller, pair_set_root)
+        assert not set_is_subattribute(pair_set_root, smaller)
+
+    def test_set_never_below_list(self):
+        assert not set_is_subattribute(SetAttr("L", Flat("A")), p("L[A]"))
+        assert not set_is_subattribute(p("L[A]"), SetAttr("L", Flat("A")))
+
+    def test_pure_list_cases_delegate_to_core(self):
+        assert set_is_subattribute(p("R(A, λ)"), p("R(A, B)"))
+
+
+class TestValuesAndProjection:
+    def test_set_values_are_frozensets(self):
+        attribute = SetAttr("S", Flat("A"))
+        set_validate_value(attribute, frozenset({1, 2}))
+        with pytest.raises(InvalidValueError):
+            set_validate_value(attribute, (1, 2))
+
+    def test_multiset_values(self):
+        attribute = MultisetAttr("M", Flat("A"))
+        set_validate_value(attribute, Multiset([1, 1]))
+        with pytest.raises(InvalidValueError):
+            set_validate_value(attribute, frozenset({1}))
+
+    def test_set_projection_deduplicates(self, pair_set_root):
+        target = Record("W", (SetAttr("S", Record("P", (Flat("A"), NULL))),))
+        value = (frozenset({(1, "x"), (1, "y"), (2, "z")}),)
+        projected = set_project(pair_set_root, target, value)
+        # (1,x) and (1,y) collapse: cardinality shrinks from 3 to 2.
+        assert projected == (frozenset({(1, OK), (2, OK)}),)
+
+    def test_multiset_projection_preserves_cardinality(self):
+        root = MultisetAttr("M", Record("P", (Flat("A"), Flat("B"))))
+        target = MultisetAttr("M", Record("P", (Flat("A"), NULL)))
+        value = Multiset([(1, "x"), (1, "y")])
+        projected = set_project(root, target, value)
+        assert projected == Multiset([(1, OK), (1, OK)])
+        assert len(projected) == 2  # multiplicity kept, unlike the set
+
+    def test_projection_rejects_non_subattribute(self):
+        with pytest.raises(NotASubattributeError):
+            set_project(SetAttr("S", Flat("A")), Flat("A"), frozenset())
+
+
+class TestExtensionRuleFailsForSets:
+    """§7 claim 1: X → Y ⊬ X → X ⊔ Y over set types."""
+
+    def test_counterexample(self, pair_set_root):
+        x = Record("W", (SetAttr("S", Record("P", (Flat("A"), NULL))),))
+        y = Record("W", (SetAttr("S", Record("P", (NULL, Flat("B")))),))
+        xy = pair_set_root  # X ⊔ Y is the full attribute
+
+        # Two distinct sets whose A-projections agree AND B-projections
+        # agree — impossible for lists (positions pin the pairing), easy
+        # for sets (deduplicated, unordered).
+        t1 = (frozenset({(1, "x"), (2, "y")}),)
+        t2 = (frozenset({(1, "y"), (2, "x")}),)
+        instance = [t1, t2]
+
+        assert set_project(pair_set_root, x, t1) == set_project(pair_set_root, x, t2)
+        assert set_project(pair_set_root, y, t1) == set_project(pair_set_root, y, t2)
+        assert t1 != t2
+
+        # X → Y holds (vacuously strong: all tuples agree on both sides)…
+        assert set_satisfies_fd(pair_set_root, instance, x, y)
+        # …but the extension-rule conclusion X → X ⊔ Y fails.
+        assert not set_satisfies_fd(pair_set_root, instance, x, xy)
+
+    def test_lists_do_not_admit_the_counterexample(self):
+        # The same data as ordered lists: the positionwise projections
+        # differ, so the premise already fails — extension stays sound.
+        from repro.values import project
+        from repro.dependencies import FD, satisfies
+
+        root = p("W(L[P(A, B)])")
+        x = p("W(L[P(A, λ)])")
+        t1 = (((1, "x"), (2, "y")),)
+        t2 = (((1, "y"), (2, "x")),)
+        assert project(root, x, t1) == project(root, x, t2)
+        y = p("W(L[P(λ, B)])")
+        assert project(root, y, t1) != project(root, y, t2)  # order shows
+
+
+class TestMVDsDeviateFromBinaryJoins:
+    """§7 claim 2: with sets, Theorem 4.4's equivalence collapses."""
+
+    def test_reconstructable_but_exchange_fails(self, pair_set_root):
+        # X = λ-ish bottom, Y = the A-side.  The two tuples of the
+        # extension-rule counterexample agree on BOTH decomposition
+        # attributes (X⊔Y and X⊔Y^C would be the A-side and B-side sets),
+        # so the binary projections cannot distinguish them at all: the
+        # join of the projections is a single reconstruction candidate
+        # while the instance holds two distinct tuples — the instance is
+        # NOT the join of its projections even though every exchange
+        # requirement among the projections is trivially met.
+        a_side = Record("W", (SetAttr("S", Record("P", (Flat("A"), NULL))),))
+        b_side = Record("W", (SetAttr("S", Record("P", (NULL, Flat("B")))),))
+        t1 = (frozenset({(1, "x"), (2, "y")}),)
+        t2 = (frozenset({(1, "y"), (2, "x")}),)
+        instance = {t1, t2}
+
+        projections_a = {set_project(pair_set_root, a_side, t) for t in instance}
+        projections_b = {set_project(pair_set_root, b_side, t) for t in instance}
+        # Both projections are singletons: the binary decomposition keeps
+        # ONE row of information for TWO distinct tuples — lossy, with no
+        # violated exchange anywhere to blame.  For lists, the pair of
+        # projections uniquely determines the tuple (the fact the MVD
+        # cross-product checker relies on); for sets it does not.
+        assert len(projections_a) == 1
+        assert len(projections_b) == 1
+        assert len(instance) == 2
+
+
+class TestCoreRefusesSetTypes:
+    def test_basis_machinery_rejects(self, pair_set_root):
+        from repro.attributes import basis
+
+        with pytest.raises(TypeError):
+            basis(pair_set_root)
+
+    def test_encoding_rejects(self, pair_set_root):
+        from repro.attributes import BasisEncoding
+
+        with pytest.raises(TypeError):
+            BasisEncoding(pair_set_root)
+
+
+class TestMultisetsAlsoBreakExtensionRule:
+    """Multiplicities alone cannot restore the pairing either."""
+
+    def test_counterexample_with_multisets(self):
+        root = Record(
+            "W", (MultisetAttr("M", Record("P", (Flat("A"), Flat("B")))),)
+        )
+        x = Record("W", (MultisetAttr("M", Record("P", (Flat("A"), NULL))),))
+        y = Record("W", (MultisetAttr("M", Record("P", (NULL, Flat("B")))),))
+
+        t1 = (Multiset([(1, "x"), (2, "y")]),)
+        t2 = (Multiset([(1, "y"), (2, "x")]),)
+        instance = [t1, t2]
+
+        assert set_project(root, x, t1) == set_project(root, x, t2)
+        assert set_project(root, y, t1) == set_project(root, y, t2)
+        assert t1 != t2
+        assert set_satisfies_fd(root, instance, x, y)
+        assert not set_satisfies_fd(root, instance, x, root)
+
+    def test_multisets_do_distinguish_multiplicities(self):
+        # Where sets lose information, multisets keep it: {a, a} vs {a}.
+        attribute = MultisetAttr("M", Record("P", (Flat("A"), Flat("B"))))
+        target = MultisetAttr("M", Record("P", (Flat("A"), NULL)))
+        doubled = Multiset([(1, "x"), (1, "y")])
+        single = Multiset([(1, "x")])
+        assert set_project(attribute, target, doubled) != set_project(
+            attribute, target, single
+        )

@@ -1,0 +1,108 @@
+"""Unit tests for the naive derivation engine (the §5 baseline)."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p
+from repro.dependencies import DependencySet, parse_dependency
+from repro.exceptions import DerivationLimitExceeded
+from repro.inference import derive_closure, derives, explain
+
+
+@pytest.fixture()
+def root():
+    return p("R(A, B, C)")
+
+
+@pytest.fixture()
+def sigma(root):
+    return DependencySet.parse(root, ["R(A) -> R(B)", "R(B) -> R(C)"])
+
+
+class TestDeriveClosure:
+    def test_premises_always_present(self, sigma):
+        result = derive_closure(sigma)
+        for dependency in sigma:
+            assert dependency in result
+
+    def test_fd_transitivity_found(self, root, sigma):
+        result = derive_closure(sigma)
+        assert parse_dependency("R(A) -> R(C)", root) in result
+
+    def test_trivial_fds_from_reflexivity(self, root, sigma):
+        result = derive_closure(sigma)
+        assert parse_dependency("R(A, B) -> R(A)", root) in result
+
+    def test_complementation_found(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        result = derive_closure(sigma)
+        assert parse_dependency("R(A) ->> R(A, C)", root) in result
+        assert parse_dependency("R(A) ->> R(C)", root) in result
+
+    def test_mixed_meet_consequence_on_lists(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        sigma = DependencySet.parse(
+            root, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        target = parse_dependency("Pubcrawl(Person) -> Pubcrawl(Visit[λ])", root)
+        assert derives(sigma, target)
+
+    def test_exhausted_flag_on_small_root(self, sigma):
+        result = derive_closure(sigma)
+        assert result.exhausted
+
+    def test_budget_truncation(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)", "R(B) ->> R(C)"])
+        result = derive_closure(sigma, max_rounds=1)
+        assert not result.exhausted
+
+    def test_strict_budget_raises(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)", "R(B) ->> R(C)"])
+        with pytest.raises(DerivationLimitExceeded):
+            derive_closure(sigma, max_rounds=1, strict=True)
+
+    def test_early_exit_on_target(self, root, sigma):
+        target = parse_dependency("R(A) -> R(B)", root)  # a premise
+        result = derive_closure(sigma, target=target)
+        assert result.rounds == 0
+
+
+class TestDerives:
+    def test_positive(self, root, sigma):
+        assert derives(sigma, parse_dependency("R(A) -> R(C)", root))
+
+    def test_negative(self, root, sigma):
+        assert not derives(sigma, parse_dependency("R(C) -> R(A)", root))
+
+
+class TestProofsAndExplain:
+    def test_proof_is_topologically_ordered(self, root, sigma):
+        result = derive_closure(sigma)
+        target = parse_dependency("R(A) -> R(C)", root)
+        steps = result.proof(target)
+        seen = set()
+        for step in steps:
+            assert all(premise in seen for premise in step.premises)
+            seen.add(step.dependency)
+        assert steps[-1].dependency == target
+
+    def test_proof_of_underived_raises(self, root, sigma):
+        result = derive_closure(sigma)
+        with pytest.raises(KeyError):
+            result.proof(parse_dependency("R(C) -> R(A)", root))
+
+    def test_explain_renders_numbered_lines(self, root, sigma):
+        result = derive_closure(sigma)
+        target = parse_dependency("R(A) -> R(C)", root)
+        text = explain(result, target)
+        assert "[premise]" in text
+        assert "FD transitivity" in text
+        assert text.splitlines()[-1].endswith("]")
+
+    def test_explain_mixed_meet(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        sigma = DependencySet.parse(
+            root, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        target = parse_dependency("Pubcrawl(Person) -> Pubcrawl(Visit[λ])", root)
+        result = derive_closure(sigma, target=target)
+        assert "mixed meet" in explain(result, target)

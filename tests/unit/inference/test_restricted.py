@@ -1,0 +1,123 @@
+"""Unit tests for restricted derivability and rule ablation (§7)."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p
+from repro.dependencies import DependencySet, parse_dependency
+from repro.inference import (
+    ALL_RULES,
+    Derivability,
+    derives_without_complementation,
+    restricted_closure,
+    rule_ablation,
+    rules_without,
+)
+
+
+@pytest.fixture()
+def root():
+    return p("R(A, B, C)")
+
+
+class TestRulesWithout:
+    def test_removes_named_rule(self):
+        reduced = rules_without("MVD complementation")
+        assert len(reduced) == len(ALL_RULES) - 1
+        assert all(rule.name != "MVD complementation" for rule in reduced)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            rules_without("nonexistent rule")
+
+    def test_multiple_removals(self):
+        reduced = rules_without("mixed meet", "multi-valued join")
+        assert len(reduced) == len(ALL_RULES) - 2
+
+
+class TestComplementationFree:
+    def test_direct_mvd_derivable(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        target = parse_dependency("R(A) ->> R(B)", root)
+        assert derives_without_complementation(sigma, target)
+
+    def test_complement_side_not_derivable(self, root):
+        # Biskup's observation, generalised: A ↠ C from A ↠ B *requires*
+        # the complementation rule in R(A, B, C).
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        target = parse_dependency("R(A) ->> R(C)", root)
+        verdict = derives_without_complementation(sigma, target)
+        assert verdict is Derivability.NOT_DERIVABLE
+        assert not verdict
+
+    def test_fd_consequences_unaffected(self, root):
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)", "R(B) -> R(C)"])
+        target = parse_dependency("R(A) -> R(C)", root)
+        assert derives_without_complementation(sigma, target)
+
+    def test_unknown_on_truncation(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)", "R(B) ->> R(C)"])
+        target = parse_dependency("R(C) ->> R(A)", root)  # not derivable
+        verdict = derives_without_complementation(sigma, target, max_rounds=1)
+        assert verdict is Derivability.UNKNOWN
+
+    def test_enum_truthiness(self):
+        assert bool(Derivability.DERIVABLE)
+        assert not bool(Derivability.NOT_DERIVABLE)
+        assert not bool(Derivability.UNKNOWN)
+
+
+class TestRestrictedClosure:
+    def test_reduced_closure_is_subset(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        full = restricted_closure(sigma, ())
+        reduced = restricted_closure(sigma, ("MVD complementation",))
+        assert reduced.dependencies <= full.dependencies
+        assert parse_dependency("R(A) ->> R(C)", root) not in reduced
+
+
+class TestRuleAblation:
+    def test_reports_cover_all_rules(self, root):
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)"])
+        reports = rule_ablation(sigma)
+        assert {report.rule for report in reports} == {
+            rule.name for rule in ALL_RULES
+        }
+
+    def test_complementation_is_load_bearing(self, root):
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        reports = {report.rule: report for report in rule_ablation(sigma)}
+        assert not reports["MVD complementation"].redundant_here
+        assert parse_dependency("R(A) ->> R(C)", root) in reports[
+            "MVD complementation"
+        ].lost
+
+    def test_mixed_meet_redundant_relationally_but_not_on_lists(self):
+        flat_root = p("R(A, B, C)")
+        flat_sigma = DependencySet.parse(flat_root, ["R(A) ->> R(B)"])
+        flat = {r.rule: r for r in rule_ablation(flat_sigma)}
+        # On a flat record the mixed meet rule only yields trivial FDs.
+        assert flat["mixed meet"].redundant_here
+
+        listy_root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        listy_sigma = DependencySet.parse(
+            listy_root, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        listy = {r.rule: r for r in rule_ablation(listy_sigma)}
+        assert not listy["mixed meet"].redundant_here
+        lost = listy["mixed meet"].lost
+        visit_count_fd = parse_dependency(
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])", listy_root
+        )
+        assert visit_count_fd in lost
+
+    def test_derived_mvd_rules_redundant_here(self, root):
+        # Join/meet/pseudo-difference never change this closure — they are
+        # the redundancy candidates the paper's conclusion anticipates.
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)", "R(B) -> R(C)"])
+        reports = {report.rule: report for report in rule_ablation(sigma)}
+        for name in (
+            "multi-valued join",
+            "multi-valued meet",
+            "multi-valued pseudo-difference",
+        ):
+            assert reports[name].redundant_here, name

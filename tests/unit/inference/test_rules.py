@@ -1,0 +1,171 @@
+"""Unit tests for the Theorem 4.6 inference rules."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p, parse_subattribute, subattributes
+from repro.dependencies import FD, MVD, parse_dependency
+from repro.inference import (
+    ALL_RULES,
+    FD_RULES,
+    MIXED_RULES,
+    MVD_RULES,
+    rule_by_name,
+)
+from repro.inference.rules import (
+    FD_EXTENSION,
+    FD_REFLEXIVITY,
+    FD_TRANSITIVITY,
+    IMPLICATION,
+    MIXED_MEET,
+    MIXED_PSEUDO_TRANSITIVITY,
+    MVD_AUGMENTATION,
+    MVD_COMPLEMENTATION,
+    MVD_JOIN,
+    MVD_MEET,
+    MVD_PSEUDO_DIFFERENCE,
+    MVD_PSEUDO_TRANSITIVITY,
+    MVD_REFLEXIVITY,
+)
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+def conclusions(rule, root, premises, elements=()):
+    return set(rule.conclusions(root, premises, elements))
+
+
+class TestRuleInventory:
+    def test_thirteen_rules(self):
+        assert len(ALL_RULES) == 13
+        assert len(FD_RULES) == 3
+        assert len(MVD_RULES) == 7
+        assert len(MIXED_RULES) == 3
+
+    def test_lookup_by_name(self):
+        assert rule_by_name("mixed meet") is MIXED_MEET
+        with pytest.raises(KeyError):
+            rule_by_name("modus ponens")
+
+    def test_names_unique(self):
+        names = [rule.name for rule in ALL_RULES]
+        assert len(set(names)) == len(names)
+
+
+class TestFDRules:
+    def test_reflexivity_generates_only_downward(self):
+        root = p("R(A, B)")
+        generated = conclusions(FD_REFLEXIVITY, root, (), subattributes(root))
+        assert FD(s("R(A, B)", root), s("R(A)", root)) in generated
+        assert FD(s("R(A)", root), s("R(B)", root)) not in generated
+
+    def test_extension(self):
+        root = p("R(A, B, C)")
+        premise = parse_dependency("R(A) -> R(B)", root)
+        generated = conclusions(FD_EXTENSION, root, (premise,))
+        assert generated == {FD(s("R(A)", root), s("R(A, B)", root))}
+
+    def test_extension_ignores_mvds(self):
+        root = p("R(A, B)")
+        premise = parse_dependency("R(A) ->> R(B)", root)
+        assert not conclusions(FD_EXTENSION, root, (premise,))
+
+    def test_transitivity_requires_exact_middle(self):
+        root = p("R(A, B, C)")
+        first = parse_dependency("R(A) -> R(B)", root)
+        second = parse_dependency("R(B) -> R(C)", root)
+        generated = conclusions(FD_TRANSITIVITY, root, (first, second))
+        assert generated == {FD(s("R(A)", root), s("R(C)", root))}
+        assert not conclusions(FD_TRANSITIVITY, root, (second, first))
+
+
+class TestMVDRules:
+    def test_complementation(self):
+        root = p("R(A, B, C)")
+        premise = parse_dependency("R(A) ->> R(B)", root)
+        generated = conclusions(MVD_COMPLEMENTATION, root, (premise,))
+        assert generated == {MVD(s("R(A)", root), s("R(A, C)", root))}
+
+    def test_complementation_on_lists_keeps_shared_length(self):
+        root = p("L[R(A, B)]")
+        premise = parse_dependency("λ ->> L[R(A)]", root)
+        generated = conclusions(MVD_COMPLEMENTATION, root, (premise,))
+        # complement of L[R(A)] keeps the length: L[R(B)] ⊔ L[λ] = L[R(B)].
+        assert generated == {MVD(s("λ", root), s("L[R(B)]", root))}
+
+    def test_reflexivity(self):
+        root = p("R(A, B)")
+        generated = conclusions(MVD_REFLEXIVITY, root, (), subattributes(root))
+        assert MVD(s("R(A)", root), s("λ", root)) in generated
+
+    def test_augmentation(self):
+        root = p("R(A, B, C)")
+        premise = parse_dependency("R(A) ->> R(B)", root)
+        elements = [s("R(C)", root), s("λ", root)]
+        generated = conclusions(MVD_AUGMENTATION, root, (premise,), elements)
+        assert MVD(s("R(A, C)", root), s("R(B, C)", root)) in generated  # V = W
+        assert MVD(s("R(A, C)", root), s("R(B)", root)) in generated  # V = λ
+
+    def test_pseudo_transitivity(self):
+        root = p("R(A, B, C)")
+        first = parse_dependency("R(A) ->> R(B)", root)
+        second = parse_dependency("R(B) ->> R(C)", root)
+        generated = conclusions(MVD_PSEUDO_TRANSITIVITY, root, (first, second))
+        assert generated == {MVD(s("R(A)", root), s("R(C)", root))}
+
+    def test_join_meet_difference_share_lhs(self):
+        root = p("R(A, B, C)")
+        first = parse_dependency("R(A) ->> R(B)", root)
+        second = parse_dependency("R(A) ->> R(B, C)", root)
+        assert conclusions(MVD_JOIN, root, (first, second)) == {
+            MVD(s("R(A)", root), s("R(B, C)", root))
+        }
+        assert conclusions(MVD_MEET, root, (first, second)) == {
+            MVD(s("R(A)", root), s("R(B)", root))
+        }
+        assert conclusions(MVD_PSEUDO_DIFFERENCE, root, (second, first)) == {
+            MVD(s("R(A)", root), s("R(C)", root))
+        }
+
+    def test_lhs_mismatch_produces_nothing(self):
+        root = p("R(A, B, C)")
+        first = parse_dependency("R(A) ->> R(B)", root)
+        second = parse_dependency("R(C) ->> R(B)", root)
+        assert not conclusions(MVD_JOIN, root, (first, second))
+
+
+class TestMixedRules:
+    def test_implication(self):
+        root = p("R(A, B)")
+        premise = parse_dependency("R(A) -> R(B)", root)
+        generated = conclusions(IMPLICATION, root, (premise,))
+        assert generated == {MVD(s("R(A)", root), s("R(B)", root))}
+
+    def test_mixed_pseudo_transitivity(self):
+        root = p("R(A, B, C)")
+        first = parse_dependency("R(A) ->> R(B)", root)
+        second = parse_dependency("R(B) -> R(C)", root)
+        generated = conclusions(MIXED_PSEUDO_TRANSITIVITY, root, (first, second))
+        assert generated == {FD(s("R(A)", root), s("R(C)", root))}
+
+    def test_mixed_meet_is_trivial_relationally(self):
+        # In a flat record Y ⊓ Y^C = λ: the mixed meet rule only derives
+        # the trivial X → λ — exactly the paper's remark.
+        root = p("R(A, B, C)")
+        premise = parse_dependency("R(A) ->> R(B)", root)
+        (conclusion,) = conclusions(MIXED_MEET, root, (premise,))
+        assert conclusion == FD(s("R(A)", root), s("λ", root))
+        assert conclusion.is_trivial(root)
+
+    def test_mixed_meet_nontrivial_on_lists(self):
+        # Over lists the meet keeps the list length: a genuinely new FD.
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        premise = parse_dependency(
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])", root
+        )
+        (conclusion,) = conclusions(MIXED_MEET, root, (premise,))
+        assert conclusion == FD(
+            s("Pubcrawl(Person)", root), s("Pubcrawl(Visit[λ])", root)
+        )
+        assert not conclusion.is_trivial(root)

@@ -1,0 +1,118 @@
+"""Unit tests for the lossless 4NF-style decomposition."""
+
+import random
+
+import pytest
+
+from repro.attributes import join_all, parse_attribute as p, parse_subattribute
+from repro.dependencies import DependencySet
+from repro.normalization import decompose_4nf
+from repro.values import ValueGenerator, generalised_join, project_instance
+from repro.witness import build_witness
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+def join_back(root, components, instance):
+    """Project onto every component and re-join pairwise."""
+    projections = [
+        (component, project_instance(root, component, instance))
+        for component in components
+    ]
+    current_attr, current = projections[0]
+    for component, projection in projections[1:]:
+        current = generalised_join(root, current_attr, component, current, projection)
+        from repro.attributes import join as attr_join
+
+        current_attr = attr_join(root, current_attr, component)
+    return current_attr, current
+
+
+class TestPubcrawlDecomposition:
+    def test_components_match_example_4_5(self, pubcrawl_scenario):
+        decomposition = decompose_4nf(pubcrawl_scenario.sigma())
+        expected = {
+            s(text, pubcrawl_scenario.root)
+            for text in pubcrawl_scenario.decomposition_texts
+        }
+        assert set(decomposition.components) == expected
+
+    def test_split_history_recorded(self, pubcrawl_scenario):
+        decomposition = decompose_4nf(pubcrawl_scenario.sigma())
+        assert len(decomposition.steps) == 1
+        step = decomposition.steps[0]
+        assert step.component == pubcrawl_scenario.root
+
+    def test_lossless_on_paper_instance(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        decomposition = decompose_4nf(pubcrawl_scenario.sigma())
+        joined_attr, joined = join_back(
+            root, list(decomposition.components), pubcrawl_scenario.instance
+        )
+        assert joined_attr == root
+        assert joined == pubcrawl_scenario.instance
+
+    def test_describe(self, pubcrawl_scenario):
+        decomposition = decompose_4nf(pubcrawl_scenario.sigma())
+        text = decomposition.describe()
+        assert "components:" in text and "splits:" in text
+
+
+class TestGeneralBehaviour:
+    def test_clean_schema_stays_whole(self):
+        root = p("R(A, B)")
+        decomposition = decompose_4nf(DependencySet(root))
+        assert decomposition.components == (root,)
+        assert decomposition.steps == ()
+
+    def test_relational_mvd_decomposition(self):
+        root = p("R(A, B, C)")
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        decomposition = decompose_4nf(sigma)
+        assert set(decomposition.components) == {
+            s("R(A, B)", root),
+            s("R(A, C)", root),
+        }
+
+    def test_fd_chain_decomposition_components_cover_root(self):
+        root = p("R(A, B, C, D)")
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)", "R(B) -> R(C)"])
+        decomposition = decompose_4nf(sigma)
+        assert join_all(root, decomposition.components) == root
+        assert len(decomposition.components) >= 2
+
+    def test_exhaustive_mode_on_small_schema(self):
+        root = p("R(A, B, C)")
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        exhaustive = decompose_4nf(sigma, exhaustive=True)
+        assert set(exhaustive.components) == {
+            s("R(A, B)", root),
+            s("R(A, C)", root),
+        }
+
+    def test_lossless_on_sigma_satisfying_instances(self):
+        # Witness instances satisfy Σ by construction; the decomposition
+        # must re-join them losslessly.
+        cases = [
+            ("R(A, B, C)", ["R(A) ->> R(B)"], "R(A)"),
+            ("R(A, L[D(B, C)])", ["R(A) ->> R(L[D(B)])"], "R(A)"),
+            ("R(A, B, C, D)", ["R(A) -> R(B)", "R(B) ->> R(C)"], "R(A)"),
+        ]
+        for root_text, sigma_texts, x_text in cases:
+            root = p(root_text)
+            sigma = DependencySet.parse(root, sigma_texts)
+            witness = build_witness(sigma, s(x_text, root))
+            decomposition = decompose_4nf(sigma)
+            joined_attr, joined = join_back(
+                root, list(decomposition.components), witness.instance
+            )
+            assert joined_attr == root
+            assert joined == witness.instance, root_text
+
+    def test_component_budget(self):
+        root = p("R(A, B, C)")
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)"])
+        with pytest.raises(RuntimeError):
+            decompose_4nf(sigma, max_components=1)

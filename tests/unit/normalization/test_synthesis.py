@@ -1,0 +1,123 @@
+"""Unit tests for the lifted Bernstein synthesis."""
+
+import pytest
+
+from repro.attributes import is_subattribute, join_all, parse_attribute as p, parse_subattribute
+from repro.core import implies
+from repro.dependencies import DependencySet
+from repro.normalization import is_superkey
+from repro.normalization.synthesis import SynthesisResult, synthesize
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestClassicalCases:
+    def test_textbook_example(self):
+        root = p("R(A, B, C, D)")
+        sigma = DependencySet.parse(
+            root, ["R(A) -> R(B)", "R(B) -> R(A)", "R(A) -> R(C)"]
+        )
+        result = synthesize(sigma)
+        components = set(result.components)
+        # A ≡ B merge with C into one component; D needs the key component.
+        assert s("R(A, B, C)", root) in components
+        assert len(components) == 2
+        assert is_superkey(sigma, result.key_component)
+
+    def test_single_fd(self):
+        root = p("R(A, B)")
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)"])
+        result = synthesize(sigma)
+        assert result.components == (root,)  # A->B: AB is already a key
+
+    def test_no_fds_yields_key_only(self):
+        root = p("R(A, B)")
+        result = synthesize(DependencySet(root))
+        assert result.components == (root,)
+        assert result.key_component == root
+
+    def test_subsumed_components_dropped(self):
+        root = p("R(A, B, C)")
+        sigma = DependencySet.parse(
+            root, ["R(A) -> R(B)", "R(A, B) -> R(C)"]  # same closure group
+        )
+        result = synthesize(sigma)
+        assert result.components == (root,)
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize(
+        "root_text,sigma_texts",
+        [
+            ("R(A, B, C, D)", ["R(A) -> R(B)", "R(C) -> R(D)"]),
+            ("R(A, B, C)", ["R(A) -> R(B)", "R(B) -> R(C)"]),
+            ("R(A, L[D(B, C)], E)", ["R(A) -> R(L[D(B, C)])", "R(E) -> R(A)"]),
+            ("Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+             ["Pubcrawl(Person) -> Pubcrawl(Visit[λ])"]),
+        ],
+    )
+    def test_dependency_preservation_and_coverage(self, root_text, sigma_texts):
+        root = p(root_text)
+        sigma = DependencySet.parse(root, sigma_texts)
+        result = synthesize(sigma)
+        # Every cover FD fits inside one component.
+        for dependency in result.cover.fds():
+            both = join_all(root, [dependency.lhs, dependency.rhs])
+            assert any(
+                is_subattribute(both, component)
+                for component in result.components
+            ), dependency.display(root)
+        # The components jointly cover the root.
+        assert join_all(root, result.components) == root
+        # The key component is a superkey.
+        assert is_superkey(sigma, result.key_component)
+        # Components are pairwise incomparable.
+        for first in result.components:
+            for second in result.components:
+                if first != second:
+                    assert not is_subattribute(first, second)
+
+    def test_lossless_on_witness_instances(self):
+        from repro.attributes import BasisEncoding, join as attr_join
+        from repro.values import generalised_join, project_instance
+        from repro.witness import build_witness
+
+        root = p("R(A, B, C, D)")
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)", "R(C) -> R(D)"])
+        enc = BasisEncoding(root)
+        witness = build_witness(sigma, s("R(A)", root), encoding=enc)
+        result = synthesize(sigma, encoding=enc)
+
+        components = list(result.components)
+        # Join the key component last against the accumulated rest.
+        components.sort(key=lambda c: c == result.key_component)
+        current_attr = components[0]
+        current = project_instance(root, current_attr, witness.instance)
+        for component in components[1:]:
+            projection = project_instance(root, component, witness.instance)
+            current = generalised_join(
+                root, current_attr, component, current, projection
+            )
+            current_attr = attr_join(root, current_attr, component)
+        assert current_attr == root
+        assert current == witness.instance
+
+    def test_describe(self):
+        root = p("R(A, B, C)")
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)"])
+        result = synthesize(sigma)
+        text = result.describe()
+        assert "synthesized components:" in text
+        assert "(key)" in text
+
+    def test_mvds_inform_closures_but_do_not_split(self):
+        # The MVD strengthens Person's closure (mixed meet) but only FDs
+        # make components.
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        sigma = DependencySet.parse(
+            root, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        result = synthesize(sigma)
+        assert result.components == (root,)  # no FDs: key component only

@@ -1,0 +1,109 @@
+"""Unit tests for the classical Beeri membership algorithm ([6])."""
+
+import pytest
+
+from repro.relational import (
+    RelFD,
+    RelMVD,
+    RelationSchema,
+    mvd_counterpart,
+    relational_closure,
+    relational_dependency_basis,
+    relational_implies,
+)
+
+
+def blocks(basis):
+    return sorted(sorted(block) for block in basis)
+
+
+class TestMvdCounterpart:
+    def test_fds_split_into_singletons(self):
+        result = mvd_counterpart([RelFD({"A"}, {"B", "C"})])
+        assert set(result) == {RelMVD({"A"}, {"B"}), RelMVD({"A"}, {"C"})}
+
+    def test_mvds_pass_through(self):
+        mvd = RelMVD({"A"}, {"B", "C"})
+        assert mvd_counterpart([mvd]) == [mvd]
+
+
+class TestDependencyBasis:
+    def test_no_dependencies(self):
+        schema = RelationSchema("ABC")
+        basis = relational_dependency_basis(schema, {"A"}, [])
+        assert blocks(basis) == [["A"], ["B", "C"]]
+
+    def test_simple_split(self):
+        schema = RelationSchema("ABCD")
+        basis = relational_dependency_basis(schema, {"A"}, [RelMVD({"A"}, {"B"})])
+        assert blocks(basis) == [["A"], ["B"], ["C", "D"]]
+
+    def test_transitive_refinement(self):
+        # A ->> B and B ->> C refine DEP(A) to singletons B, C.
+        schema = RelationSchema("ABCD")
+        sigma = [RelMVD({"A"}, {"B"}), RelMVD({"B"}, {"C"})]
+        basis = relational_dependency_basis(schema, {"A"}, sigma)
+        assert blocks(basis) == [["A"], ["B"], ["C"], ["D"]]
+
+    def test_lhs_overlapping_block_does_not_split(self):
+        # The W ∩ B = ∅ side-condition.
+        schema = RelationSchema("ABC")
+        sigma = [RelMVD({"B"}, {"C"})]
+        basis = relational_dependency_basis(schema, {"A"}, sigma)
+        assert blocks(basis) == [["A"], ["B", "C"]]
+
+    def test_basis_of_full_schema(self):
+        schema = RelationSchema("AB")
+        basis = relational_dependency_basis(schema, {"A", "B"}, [])
+        assert blocks(basis) == [["A"], ["B"]]
+
+
+class TestClosure:
+    def test_fd_only_closure(self):
+        schema = RelationSchema("ABCD")
+        sigma = [RelFD({"A"}, {"B"}), RelFD({"B"}, {"C"})]
+        assert relational_closure(schema, {"A"}, sigma) == frozenset("ABC")
+
+    def test_mvd_alone_adds_nothing(self):
+        schema = RelationSchema("ABC")
+        sigma = [RelMVD({"A"}, {"B"})]
+        assert relational_closure(schema, {"A"}, sigma) == frozenset("A")
+
+    def test_coalescence_interaction(self):
+        # C ->> A plus D -> A forces C -> A (see Beeri's criterion); the
+        # exchange tuple would otherwise violate D -> A.
+        schema = RelationSchema("ABCD")
+        sigma = [RelMVD({"C"}, {"A"}), RelFD({"D"}, {"A"})]
+        assert "A" in relational_closure(schema, {"C"}, sigma)
+
+    def test_singleton_block_without_fd_support_excluded(self):
+        schema = RelationSchema("ABC")
+        sigma = [RelFD({"A"}, {"B"})]
+        closure = relational_closure(schema, {"A"}, sigma)
+        assert closure == frozenset("AB")  # C is a singleton block, no FD
+
+
+class TestImplies:
+    def test_fd_membership(self):
+        schema = RelationSchema("ABC")
+        sigma = [RelFD({"A"}, {"B"}), RelFD({"B"}, {"C"})]
+        assert relational_implies(schema, sigma, RelFD({"A"}, {"C"}))
+        assert not relational_implies(schema, sigma, RelFD({"C"}, {"A"}))
+
+    def test_mvd_membership(self):
+        schema = RelationSchema("ABCD")
+        sigma = [RelMVD({"A"}, {"B"})]
+        assert relational_implies(schema, sigma, RelMVD({"A"}, {"B"}))
+        assert relational_implies(schema, sigma, RelMVD({"A"}, {"C", "D"}))
+        assert relational_implies(schema, sigma, RelMVD({"A"}, {"B", "C", "D"}))
+        assert not relational_implies(schema, sigma, RelMVD({"A"}, {"C"}))
+
+    def test_trivial_mvds(self):
+        schema = RelationSchema("AB")
+        assert relational_implies(schema, [], RelMVD({"A"}, {"A"}))
+        assert relational_implies(schema, [], RelMVD({"A"}, {"B"}))
+
+    def test_fd_implies_mvd(self):
+        schema = RelationSchema("ABC")
+        sigma = [RelFD({"A"}, {"B"})]
+        assert relational_implies(schema, sigma, RelMVD({"A"}, {"B"}))

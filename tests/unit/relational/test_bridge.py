@@ -1,0 +1,83 @@
+"""Unit tests for the flat-schema / nested-attribute bridge."""
+
+import pytest
+
+from repro.attributes import Flat, NULL, Record
+from repro.relational import (
+    RelFD,
+    RelMVD,
+    RelationSchema,
+    dependency_to_nested,
+    dependency_to_relational,
+    schema_to_attribute,
+    sigma_to_nested,
+    subattribute_to_subset,
+    subset_to_subattribute,
+)
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("CAB")  # deliberately unsorted input
+
+
+class TestSchemaMapping:
+    def test_attributes_sorted(self, schema):
+        attribute = schema_to_attribute(schema)
+        assert attribute == Record("R", (Flat("A"), Flat("B"), Flat("C")))
+
+    def test_subset_roundtrip(self, schema):
+        for subset in ({"A"}, {"B", "C"}, set(), {"A", "B", "C"}):
+            element = subset_to_subattribute(schema, subset)
+            assert subattribute_to_subset(schema, element) == frozenset(subset)
+
+    def test_subset_positions(self, schema):
+        element = subset_to_subattribute(schema, {"B"})
+        assert element == Record("R", (NULL, Flat("B"), NULL))
+
+    def test_subset_validation(self, schema):
+        with pytest.raises(ValueError):
+            subset_to_subattribute(schema, {"Z"})
+
+    def test_subattribute_to_subset_rejects_foreign(self, schema):
+        with pytest.raises(ValueError):
+            subattribute_to_subset(schema, Flat("A"))
+        with pytest.raises(ValueError):
+            subattribute_to_subset(schema, Record("R", (Flat("A"),)))
+
+
+class TestDependencyMapping:
+    def test_fd_roundtrip(self, schema):
+        fd = RelFD({"A"}, {"B", "C"})
+        nested = dependency_to_nested(schema, fd)
+        assert nested.is_fd
+        assert dependency_to_relational(schema, nested) == fd
+
+    def test_mvd_roundtrip(self, schema):
+        mvd = RelMVD({"A", "B"}, {"C"})
+        nested = dependency_to_nested(schema, mvd)
+        assert nested.is_mvd
+        assert dependency_to_relational(schema, nested) == mvd
+
+    def test_sigma_to_nested(self, schema):
+        sigma = sigma_to_nested(schema, [RelFD({"A"}, {"B"}), RelMVD({"B"}, {"C"})])
+        assert len(sigma) == 2
+        assert sigma.root == schema_to_attribute(schema)
+
+
+class TestSemanticsPreserved:
+    def test_implication_agrees_across_bridge(self, schema):
+        from repro.core import implies
+        from repro.relational import relational_implies
+
+        sigma_rel = [RelFD({"A"}, {"B"}), RelMVD({"B"}, {"C"})]
+        sigma_nested = sigma_to_nested(schema, sigma_rel)
+        for target in (
+            RelFD({"A"}, {"B"}),
+            RelFD({"A"}, {"C"}),
+            RelMVD({"A"}, {"C"}),
+            RelMVD({"C"}, {"A"}),
+        ):
+            assert relational_implies(schema, sigma_rel, target) == implies(
+                sigma_nested, dependency_to_nested(schema, target)
+            )

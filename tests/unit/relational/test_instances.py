@@ -1,0 +1,110 @@
+"""Unit tests for classical relational instance satisfaction."""
+
+import random
+
+import pytest
+
+from repro.relational import (
+    RelFD,
+    RelMVD,
+    RelationSchema,
+    freeze_rows,
+    rel_satisfies,
+    rel_satisfies_fd,
+    rel_satisfies_mvd,
+)
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("ABC")
+
+
+class TestFreezeRows:
+    def test_valid_rows(self, schema):
+        instance = freeze_rows(schema, [{"A": 1, "B": 2, "C": 3}])
+        assert len(instance) == 1
+
+    def test_deduplicates(self, schema):
+        instance = freeze_rows(
+            schema, [{"A": 1, "B": 2, "C": 3}, {"C": 3, "B": 2, "A": 1}]
+        )
+        assert len(instance) == 1
+
+    def test_missing_attribute_rejected(self, schema):
+        with pytest.raises(ValueError):
+            freeze_rows(schema, [{"A": 1, "B": 2}])
+
+    def test_stray_attribute_rejected(self, schema):
+        with pytest.raises(ValueError):
+            freeze_rows(schema, [{"A": 1, "B": 2, "C": 3, "Z": 4}])
+
+
+class TestFDs:
+    def test_satisfied(self, schema):
+        instance = freeze_rows(
+            schema, [{"A": 1, "B": 2, "C": 3}, {"A": 1, "B": 2, "C": 4}]
+        )
+        assert rel_satisfies_fd(schema, instance, RelFD({"A"}, {"B"}))
+
+    def test_violated(self, schema):
+        instance = freeze_rows(
+            schema, [{"A": 1, "B": 2, "C": 3}, {"A": 1, "B": 9, "C": 3}]
+        )
+        assert not rel_satisfies_fd(schema, instance, RelFD({"A"}, {"B"}))
+
+
+class TestMVDs:
+    def test_requires_cross_product(self, schema):
+        incomplete = freeze_rows(
+            schema,
+            [{"A": 1, "B": "b1", "C": "c1"}, {"A": 1, "B": "b2", "C": "c2"}],
+        )
+        mvd = RelMVD({"A"}, {"B"})
+        assert not rel_satisfies_mvd(schema, incomplete, mvd)
+        complete = incomplete | freeze_rows(
+            schema,
+            [{"A": 1, "B": "b1", "C": "c2"}, {"A": 1, "B": "b2", "C": "c1"}],
+        )
+        assert rel_satisfies_mvd(schema, complete, mvd)
+
+    def test_trivial_mvd_always_holds(self, schema):
+        instance = freeze_rows(
+            schema, [{"A": 1, "B": 2, "C": 3}, {"A": 4, "B": 5, "C": 6}]
+        )
+        assert rel_satisfies_mvd(schema, instance, RelMVD({"A"}, {"B", "C"}))
+
+    def test_dispatch(self, schema):
+        instance = freeze_rows(schema, [{"A": 1, "B": 2, "C": 3}])
+        assert rel_satisfies(schema, instance, RelFD({"A"}, {"B"}))
+        assert rel_satisfies(schema, instance, RelMVD({"A"}, {"B"}))
+
+
+class TestAgreementWithNestedSemantics:
+    def test_random_cross_check(self):
+        # The classical checkers and the nested Definition 4.1 checkers
+        # must agree through the bridge on random flat instances.
+        from repro.dependencies import satisfies as nested_satisfies
+        from repro.relational import dependency_to_nested, schema_to_attribute
+
+        rng = random.Random(5)
+        names = ["A", "B", "C", "D"]
+        schema = RelationSchema(names)
+        root = schema_to_attribute(schema)
+        for _ in range(60):
+            rows = [
+                {name: rng.randrange(3) for name in names}
+                for _ in range(rng.randint(0, 6))
+            ]
+            instance = freeze_rows(schema, rows)
+            nested_instance = frozenset(
+                tuple(value for _, value in row) for row in instance
+            )
+            lhs = set(rng.sample(names, rng.randint(0, 3)))
+            rhs = set(rng.sample(names, rng.randint(0, 4)))
+            for dependency in (RelFD(lhs, rhs), RelMVD(lhs, rhs)):
+                classical = rel_satisfies(schema, instance, dependency)
+                nested = nested_satisfies(
+                    root, nested_instance, dependency_to_nested(schema, dependency)
+                )
+                assert classical == nested, str(dependency)

@@ -1,0 +1,52 @@
+"""Unit tests for classical relation schemas and dependencies."""
+
+import pytest
+
+from repro.relational import RelFD, RelMVD, RelationSchema
+
+
+class TestRelationSchema:
+    def test_attributes_frozen(self):
+        schema = RelationSchema(["A", "B", "A"])
+        assert schema.attributes == frozenset({"A", "B"})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RelationSchema([])
+
+    def test_validate_subset(self):
+        schema = RelationSchema("ABC")
+        assert schema.validate_subset({"A"}) == frozenset({"A"})
+        with pytest.raises(ValueError):
+            schema.validate_subset({"Z"})
+
+    def test_complement(self):
+        schema = RelationSchema("ABC")
+        assert schema.complement({"A"}) == frozenset({"B", "C"})
+
+    def test_equality_and_hash(self):
+        assert RelationSchema("AB") == RelationSchema(["B", "A"])
+        assert hash(RelationSchema("AB")) == hash(RelationSchema("BA"))
+        assert RelationSchema("AB", name="S") != RelationSchema("AB")
+
+    def test_repr(self):
+        assert "['A', 'B']" in repr(RelationSchema("BA"))
+
+
+class TestRelDependencies:
+    def test_fd_flag(self):
+        assert RelFD({"A"}, {"B"}).is_fd
+        assert not RelMVD({"A"}, {"B"}).is_fd
+
+    def test_frozen_sides(self):
+        fd = RelFD(["A", "A"], ["B"])
+        assert fd.lhs == frozenset({"A"})
+        assert isinstance(fd.lhs, frozenset)
+
+    def test_equality(self):
+        assert RelFD({"A"}, {"B"}) == RelFD(["A"], ["B"])
+        assert RelFD({"A"}, {"B"}) != RelMVD({"A"}, {"B"})
+
+    def test_str(self):
+        assert str(RelFD({"A"}, {"B", "C"})) == "{A} -> {B, C}"
+        assert str(RelMVD({"A"}, {"B"})) == "{A} ->> {B}"

@@ -1,0 +1,140 @@
+"""Unit tests for the nested-MVD chase."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p
+from repro.chase import ChaseFailure, ChaseResult, chase
+from repro.dependencies import DependencySet, parse_dependency, satisfies_all
+from repro.exceptions import ReproError
+
+
+@pytest.fixture()
+def flat_root():
+    return p("R(A, B, C)")
+
+
+@pytest.fixture()
+def flat_sigma(flat_root):
+    return DependencySet.parse(flat_root, ["R(A) ->> R(B)"])
+
+
+class TestBasicChase:
+    def test_completes_missing_exchange_tuples(self, flat_root, flat_sigma):
+        result = chase(flat_root, {(1, "b1", "c1"), (1, "b2", "c2")}, flat_sigma)
+        assert result.instance == {
+            (1, "b1", "c1"), (1, "b2", "c2"), (1, "b1", "c2"), (1, "b2", "c1"),
+        }
+        assert len(result.added) == 2
+        assert not result.was_satisfied
+
+    def test_satisfied_instance_unchanged(self, flat_root, flat_sigma):
+        instance = {(1, "b", "c"), (2, "b", "c")}
+        result = chase(flat_root, instance, flat_sigma)
+        assert result.instance == instance
+        assert result.was_satisfied
+
+    def test_result_satisfies_sigma(self, flat_root, flat_sigma):
+        result = chase(flat_root, {(1, "b1", "c1"), (1, "b2", "c2")}, flat_sigma)
+        assert satisfies_all(flat_root, result.instance, flat_sigma)
+
+    def test_idempotent(self, flat_root, flat_sigma):
+        first = chase(flat_root, {(1, "b1", "c1"), (1, "b2", "c2")}, flat_sigma)
+        second = chase(flat_root, first.instance, flat_sigma)
+        assert second.instance == first.instance
+        assert second.was_satisfied
+
+    def test_cascading_mvds(self, flat_root):
+        sigma = DependencySet.parse(
+            flat_root, ["R(A) ->> R(B)", "λ ->> R(A)"]
+        )
+        seed = {(1, "b1", "c1"), (1, "b2", "c2"), (2, "b3", "c3")}
+        result = chase(flat_root, seed, sigma)
+        assert satisfies_all(flat_root, result.instance, sigma)
+        assert result.rounds >= 2  # the second MVD re-triggers the first
+
+
+class TestListChase:
+    def test_pubcrawl_partial_instance_completed(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        sigma = pubcrawl_scenario.sigma()
+        # Drop one of Klaus-Dieter's four combination tuples: the other
+        # three still witness both beer orders and both pub orders, so
+        # the chase must regenerate exactly the dropped combination.
+        # (Dropping a SVEN tuple would leave a singleton group, which
+        # satisfies the MVD trivially — no chase obligation.)
+        partial = set(pubcrawl_scenario.instance)
+        partial.remove(
+            (
+                "Klaus-Dieter",
+                (("Kölsch", "Highflyers"), ("Bönnsch", "Deanos"), ("Guiness", "3Bar")),
+            )
+        )
+        result = chase(root, partial, sigma)
+        assert result.instance == pubcrawl_scenario.instance
+        assert len(result.added) == 1
+
+    def test_length_conflict_is_an_fd_failure(self):
+        # The erratum instance: {[], [3]} with λ ↠ L[λ] cannot be chased —
+        # the exchange tuple does not exist in dom(L[A]).
+        root = p("L[A]")
+        sigma = DependencySet.parse(root, ["λ ->> L[λ]"])
+        with pytest.raises(ChaseFailure) as excinfo:
+            chase(root, {(), (3,)}, sigma)
+        assert excinfo.value.dependency.lhs == p("λ")
+
+    def test_equal_lengths_chase_fine(self):
+        root = p("L[R(A, B)]")
+        sigma = DependencySet.parse(root, ["λ ->> L[R(A)]"])
+        seed = {((1, "x"),), ((2, "y"),)}
+        result = chase(root, seed, sigma)
+        assert satisfies_all(root, result.instance, sigma)
+        assert ((1, "y"),) in result.instance
+        assert ((2, "x"),) in result.instance
+
+
+class TestFDHandling:
+    def test_initial_fd_violation_reported(self, flat_root):
+        sigma = DependencySet.parse(flat_root, ["R(A) -> R(B)"])
+        with pytest.raises(ChaseFailure) as excinfo:
+            chase(flat_root, {(1, "b1", "c"), (1, "b2", "c")}, sigma)
+        assert excinfo.value.dependency == parse_dependency(
+            "R(A) -> R(B)", flat_root
+        )
+        assert len(excinfo.value.pair) == 2
+
+    def test_chase_exposed_fd_violation(self, flat_root):
+        # The MVD exchange creates tuples that break C -> B.
+        sigma = DependencySet.parse(
+            flat_root, ["R(A) ->> R(B)", "R(C) -> R(B)"]
+        )
+        seed = {(1, "b1", "c1"), (1, "b2", "c2")}
+        with pytest.raises(ChaseFailure):
+            chase(flat_root, seed, sigma)
+
+    def test_compatible_fd_passes(self, flat_root):
+        sigma = DependencySet.parse(
+            flat_root, ["R(A) ->> R(B)", "R(A) -> R(C)"]
+        )
+        seed = {(1, "b1", "c"), (1, "b2", "c")}
+        result = chase(flat_root, seed, sigma)
+        assert satisfies_all(flat_root, result.instance, sigma)
+
+
+class TestBudgetsAndStructure:
+    def test_max_tuples_guard(self, flat_root):
+        sigma = DependencySet.parse(flat_root, ["R(A) ->> R(B)"])
+        seed = {(1, f"b{i}", f"c{i}") for i in range(10)}
+        with pytest.raises(ReproError):
+            chase(flat_root, seed, sigma, max_tuples=20)
+
+    def test_result_type(self, flat_root, flat_sigma):
+        result = chase(flat_root, set(), flat_sigma)
+        assert isinstance(result, ChaseResult)
+        assert result.instance == frozenset()
+        assert result.rounds == 1
+
+    def test_added_disjoint_from_input(self, flat_root, flat_sigma):
+        seed = frozenset({(1, "b1", "c1"), (1, "b2", "c2")})
+        result = chase(flat_root, seed, flat_sigma)
+        assert not (result.added & seed)
+        assert result.instance == seed | result.added

@@ -1,0 +1,114 @@
+"""Unit tests for the exception hierarchy — the error-handling contract.
+
+Downstream code catches :class:`ReproError` to own every library
+failure; these tests pin the hierarchy and that each error is raised by
+the operation documented to raise it.
+"""
+
+import pytest
+
+from repro import exceptions as exc
+from repro.attributes import BasisEncoding, parse_attribute as p, parse_subattribute
+
+
+ALL_ERRORS = (
+    exc.AttributeSyntaxError,
+    exc.AmbiguousAbbreviationError,
+    exc.NotASubattributeError,
+    exc.NotAnElementError,
+    exc.InvalidValueError,
+    exc.IncompatibleValuesError,
+    exc.DependencySyntaxError,
+    exc.WitnessConstructionError,
+    exc.DerivationLimitExceeded,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, exc.ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        for error in (
+            exc.AttributeSyntaxError,
+            exc.NotASubattributeError,
+            exc.NotAnElementError,
+            exc.InvalidValueError,
+            exc.IncompatibleValuesError,
+            exc.DependencySyntaxError,
+        ):
+            assert issubclass(error, ValueError)
+
+    def test_ambiguity_is_a_syntax_error(self):
+        assert issubclass(exc.AmbiguousAbbreviationError, exc.AttributeSyntaxError)
+
+    def test_runtime_errors(self):
+        assert issubclass(exc.WitnessConstructionError, RuntimeError)
+        assert issubclass(exc.DerivationLimitExceeded, RuntimeError)
+
+
+class TestRaisedWhereDocumented:
+    def test_attribute_syntax(self):
+        with pytest.raises(exc.AttributeSyntaxError):
+            p("R(")
+
+    def test_ambiguous_abbreviation(self):
+        with pytest.raises(exc.AmbiguousAbbreviationError):
+            parse_subattribute("L(A)", p("L(A, A)"))
+
+    def test_not_a_subattribute(self):
+        from repro.values import project
+
+        with pytest.raises(exc.NotASubattributeError):
+            project(p("A"), p("B"), 1)
+
+    def test_not_an_element(self):
+        with pytest.raises(exc.NotAnElementError):
+            BasisEncoding(p("R(A, B)")).encode(p("A"))
+
+    def test_invalid_value(self):
+        from repro.values import validate_value
+
+        with pytest.raises(exc.InvalidValueError):
+            validate_value(p("L[A]"), 3)
+
+    def test_incompatible_values(self):
+        from repro.values import OK, amalgamate
+
+        root = p("R(A, B, C)")
+        with pytest.raises(exc.IncompatibleValuesError):
+            amalgamate(
+                root,
+                parse_subattribute("R(A, B)", root),
+                parse_subattribute("R(B, C)", root),
+                (1, 2, OK),
+                (OK, 9, 3),  # disagrees on the shared B component
+            )
+
+    def test_dependency_syntax(self):
+        from repro.dependencies import parse_dependency
+
+        with pytest.raises(exc.DependencySyntaxError):
+            parse_dependency("no arrow here", p("R(A, B)"))
+
+    def test_derivation_limit(self):
+        from repro.dependencies import DependencySet
+        from repro.inference import derive_closure
+
+        root = p("R(A, B, C)")
+        sigma = DependencySet.parse(root, ["R(A) ->> R(B)", "R(B) ->> R(C)"])
+        with pytest.raises(exc.DerivationLimitExceeded):
+            derive_closure(sigma, max_rounds=1, strict=True)
+
+    def test_one_except_clause_catches_everything(self):
+        caught = 0
+        for trigger in (
+            lambda: p("(("),
+            lambda: BasisEncoding(p("A")).encode(p("B")),
+        ):
+            try:
+                trigger()
+            except exc.ReproError:
+                caught += 1
+        assert caught == 2

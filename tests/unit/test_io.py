@@ -1,0 +1,149 @@
+"""Unit tests for the JSON interchange module."""
+
+import json
+
+import pytest
+
+from repro import Schema
+from repro.attributes import parse_attribute as p, parse_subattribute
+from repro.exceptions import InvalidValueError
+from repro.io import (
+    Problem,
+    dump_problem,
+    instance_from_json,
+    instance_to_json,
+    load_problem,
+    value_from_json,
+    value_to_json,
+)
+from repro.values import OK, project
+
+
+class TestValueRoundtrip:
+    def test_record_as_object(self):
+        root = p("Drink(Beer, Pub)")
+        data = value_to_json(root, ("Lübzer", "Deanos"))
+        assert data == {"Beer": "Lübzer", "Pub": "Deanos"}
+        assert value_from_json(root, data) == ("Lübzer", "Deanos")
+
+    def test_nested_lists(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        value = ("Sven", (("Lübzer", "Deanos"), ("Kindl", "Highflyers")))
+        data = value_to_json(root, value)
+        assert data == {
+            "Person": "Sven",
+            "Visit": [
+                {"Beer": "Lübzer", "Pub": "Deanos"},
+                {"Beer": "Kindl", "Pub": "Highflyers"},
+            ],
+        }
+        assert value_from_json(root, data) == value
+
+    def test_empty_list(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        value = ("Sebastian", ())
+        assert value_from_json(root, value_to_json(root, value)) == value
+
+    def test_duplicate_heads_use_arrays(self):
+        root = p("L(A, A)")
+        data = value_to_json(root, (1, 2))
+        assert data == [1, 2]
+        assert value_from_json(root, data) == (1, 2)
+
+    def test_projected_values_with_ok_slots(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        target = parse_subattribute("Pubcrawl(Person, Visit[Drink(Pub)])", root)
+        value = ("Sven", (("Lübzer", "Deanos"),))
+        projected = project(root, target, value)
+        data = value_to_json(target, projected)
+        # ok placeholders disappear from the JSON...
+        assert data == {"Person": "Sven", "Visit": [{"Pub": "Deanos"}]}
+        # ...and come back on load.
+        assert value_from_json(target, data) == projected
+
+    def test_json_serialisable(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        for value in pubcrawl_scenario.instance:
+            json.dumps(value_to_json(root, value))
+
+
+class TestValueFromJsonErrors:
+    def test_wrong_arity_array(self):
+        with pytest.raises(InvalidValueError):
+            value_from_json(p("R(A, B)"), [1])
+
+    def test_unknown_key(self):
+        with pytest.raises(InvalidValueError):
+            value_from_json(p("R(A, B)"), {"A": 1, "Z": 2})
+
+    def test_scalar_where_list_expected(self):
+        with pytest.raises(InvalidValueError):
+            value_from_json(p("L[A]"), 7)
+
+    def test_structure_where_scalar_expected(self):
+        with pytest.raises(InvalidValueError):
+            value_from_json(p("A"), {"x": 1})
+
+    def test_object_for_ambiguous_record(self):
+        with pytest.raises(InvalidValueError):
+            value_from_json(p("L(A, A)"), {"A": 1})
+
+    def test_null_for_lambda(self):
+        assert value_from_json(p("λ"), None) == OK
+        with pytest.raises(InvalidValueError):
+            value_from_json(p("λ"), 1)
+
+
+class TestInstanceRoundtrip:
+    def test_pubcrawl_instance(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        data = instance_to_json(root, pubcrawl_scenario.instance)
+        assert len(data) == 7
+        assert instance_from_json(root, data) == pubcrawl_scenario.instance
+
+    def test_output_is_sorted_and_stable(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        first = instance_to_json(root, pubcrawl_scenario.instance)
+        second = instance_to_json(root, set(pubcrawl_scenario.instance))
+        assert first == second
+
+
+class TestProblemFiles:
+    def test_roundtrip(self, tmp_path, pubcrawl_scenario):
+        schema = Schema(pubcrawl_scenario.root)
+        sigma = schema.dependencies(pubcrawl_scenario.holding_mvd_text)
+        problem = Problem(schema, sigma, pubcrawl_scenario.instance)
+        path = tmp_path / "pubcrawl.json"
+        dump_problem(path, problem)
+
+        loaded = load_problem(path)
+        assert loaded.schema.root == pubcrawl_scenario.root
+        assert set(loaded.sigma) == set(sigma)
+        assert loaded.instance == pubcrawl_scenario.instance
+
+    def test_problem_without_instance(self, tmp_path):
+        schema = Schema("R(A, B)")
+        problem = Problem(schema, schema.dependencies("R(A) -> R(B)"))
+        path = tmp_path / "problem.json"
+        dump_problem(path, problem)
+        loaded = load_problem(path)
+        assert loaded.instance is None
+        assert len(loaded.sigma) == 1
+
+    def test_loaded_problem_is_usable(self, tmp_path, pubcrawl_scenario):
+        schema = Schema(pubcrawl_scenario.root)
+        sigma = schema.dependencies(pubcrawl_scenario.holding_mvd_text)
+        path = tmp_path / "problem.json"
+        dump_problem(path, Problem(schema, sigma, pubcrawl_scenario.instance))
+        loaded = load_problem(path)
+        assert loaded.schema.satisfies_all(loaded.instance, loaded.sigma)
+        assert loaded.schema.implies(
+            loaded.sigma, "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+        )
+
+    def test_file_is_human_readable_json(self, tmp_path):
+        schema = Schema("R(A, B)")
+        path = tmp_path / "problem.json"
+        dump_problem(path, Problem(schema, schema.dependencies()))
+        text = path.read_text(encoding="utf-8")
+        assert '"schema": "R(A, B)"' in text

@@ -1,0 +1,91 @@
+"""Unit tests for the query-caching Reasoner."""
+
+import pytest
+
+from repro import Schema
+from repro.core import implies
+from repro.reasoner import Reasoner
+
+
+@pytest.fixture()
+def schema():
+    return Schema("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+
+
+@pytest.fixture()
+def reasoner(schema):
+    sigma = schema.dependencies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])")
+    return Reasoner(schema, sigma)
+
+
+class TestConstruction:
+    def test_accepts_schema_text(self):
+        reasoner = Reasoner("R(A, B)", ["R(A) -> R(B)"])
+        assert reasoner.implies("R(A) -> R(B)")
+
+    def test_accepts_dependency_texts(self, schema):
+        reasoner = Reasoner(
+            schema, ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"]
+        )
+        assert len(reasoner.sigma) == 1
+
+
+class TestQueries:
+    def test_agrees_with_stateless_api(self, reasoner, schema):
+        queries = [
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+            "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])",
+            "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])",
+            "Pubcrawl(Visit[λ]) ->> Pubcrawl(Person)",
+        ]
+        for text in queries:
+            dependency = schema.dependency(text)
+            assert reasoner.implies(dependency) == implies(
+                reasoner.sigma, dependency, encoding=schema.encoding
+            ), text
+
+    def test_closure_and_basis(self, reasoner, schema):
+        closure = reasoner.closure("Pubcrawl(Person)")
+        assert schema.show(closure) == "Pubcrawl(Person, Visit[λ])"
+        basis = reasoner.dependency_basis("Pubcrawl(Person)")
+        assert len(basis) == 4
+
+    def test_is_superkey(self, reasoner):
+        assert reasoner.is_superkey("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        assert not reasoner.is_superkey("Pubcrawl(Person)")
+
+    def test_implied_mvd_rhs_masks_join_closed(self, reasoner, schema):
+        # Dep(X) is closed under joins of its generators (Prop. 4.10).
+        masks = reasoner.implied_mvd_rhs_masks("Pubcrawl(Person)")
+        union = 0
+        for mask in masks:
+            union |= mask
+        assert union == schema.encoding.full
+
+
+class TestCaching:
+    def test_repeated_lhs_hits_cache(self, reasoner):
+        reasoner.implies("Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+        reasoner.implies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])")
+        reasoner.closure("Pubcrawl(Person)")
+        computed, hits = reasoner.cache_info()
+        assert computed == 1
+        assert hits == 2
+
+    def test_distinct_lhs_computed_separately(self, reasoner):
+        reasoner.closure("Pubcrawl(Person)")
+        reasoner.closure("Pubcrawl(Visit[λ])")
+        computed, _ = reasoner.cache_info()
+        assert computed == 2
+
+    def test_equivalent_lhs_texts_share_entries(self, reasoner):
+        # Different spellings of the same subattribute hit one entry.
+        reasoner.closure("Pubcrawl(Person)")
+        reasoner.closure("Pubcrawl(Person, Visit[Drink(λ, λ)])".replace(
+            ", Visit[Drink(λ, λ)]", ""))
+        computed, hits = reasoner.cache_info()
+        assert (computed, hits) == (1, 1)
+
+    def test_repr(self, reasoner):
+        reasoner.closure("Pubcrawl(Person)")
+        assert "cached=1" in repr(reasoner)

@@ -1,0 +1,135 @@
+"""Unit tests for the interactive reasoning shell."""
+
+import io
+
+import pytest
+
+from repro.shell import ReasoningShell, run_shell
+
+SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
+MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+
+
+def drive(*lines):
+    output = io.StringIO()
+    run_shell(lines, output)
+    return output.getvalue()
+
+
+class TestSessionFlow:
+    def test_full_session(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "sigma",
+            "implies Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+            "closure Pubcrawl(Person)",
+            "basis Pubcrawl(Person)",
+            "keys",
+            "check4nf",
+            "decompose",
+            "quit",
+        )
+        assert "schema set (|N| = 4)" in out
+        assert "Σ now has 1 dependency" in out
+        assert "implied" in out
+        assert "Pubcrawl(Person, Visit[λ])" in out
+        assert "Pubcrawl(Visit[Drink(Beer)])" in out
+        assert "NOT in 4NF" in out
+        assert "components:" in out
+
+    def test_add_and_drop(self):
+        out = drive(
+            "schema R(A, B, C)",
+            "add R(A) -> R(B)",
+            "add R(B) -> R(C)",
+            "sigma",
+            "drop 0",
+            "sigma",
+            "implies R(A) -> R(C)",
+        )
+        assert "Σ now has 2 dependencies" in out
+        assert "dropped R(A) -> R(B)" in out
+        assert out.count("[0]") == 2  # listed before and after the drop
+        assert "not implied" in out
+
+    def test_trace_and_cover(self):
+        out = drive(
+            "schema R(A, B, C)",
+            "add R(A) -> R(B)",
+            "add R(B) -> R(C)",
+            "add R(A) -> R(C)",
+            "cover",
+            "trace R(A)",
+        )
+        assert out.count("->") >= 2
+        assert "Initialisation:" in out
+
+    def test_schema_reset_clears_sigma(self):
+        out = drive(
+            "schema R(A, B)",
+            "add R(A) -> R(B)",
+            "schema S(A, B)",
+            "sigma",
+        )
+        assert "(Σ is empty)" in out
+
+
+class TestRobustness:
+    def test_commands_before_schema(self):
+        out = drive("implies x -> y", "sigma", "keys")
+        assert out.count("no schema set") == 3
+
+    def test_parse_errors_are_messages_not_crashes(self):
+        out = drive("schema R(A, B)", "add garbage", "implies also garbage")
+        assert out.count("error:") == 2
+
+    def test_unknown_command(self):
+        out = drive("schema R(A, B)", "frobnicate")
+        assert "unknown command 'frobnicate'" in out
+
+    def test_unknown_command_without_schema_asks_for_one(self):
+        # Before a schema exists, anything non-global prompts for one.
+        out = drive("frobnicate")
+        assert "no schema set" in out
+
+    def test_blank_lines_and_comments_ignored(self):
+        out = drive("", "   ", "# a comment", "quit")
+        assert "error" not in out
+
+    def test_drop_out_of_range(self):
+        out = drive("schema R(A, B)", "drop 7")
+        assert "no dependency #7" in out
+
+    def test_help_and_exit(self):
+        out = drive("help", "exit")
+        assert "commands:" in out
+
+    def test_handle_returns_false_on_quit(self):
+        shell = ReasoningShell(io.StringIO())
+        assert shell.handle("help")
+        assert not shell.handle("quit")
+
+
+class TestDesignCommands:
+    def test_witness(self):
+        out = drive(
+            "schema R(A, B, C)",
+            "add R(A) ->> R(B)",
+            "witness R(A)",
+        )
+        assert "tuples over" in out
+        assert "{" in out
+
+    def test_synthesize(self):
+        out = drive(
+            "schema R(A, B, C)",
+            "add R(A) -> R(B)",
+            "synthesize",
+        )
+        assert "synthesized components:" in out
+        assert "(key)" in out
+
+    def test_drop_with_garbage_argument(self):
+        out = drive("schema R(A, B)", "drop nonsense")
+        assert "no dependency #nonsense" in out

@@ -1,0 +1,124 @@
+"""Unit tests for the XML front-end."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import Schema
+from repro.attributes import parse_attribute as p, parse_subattribute
+from repro.exceptions import InvalidValueError
+from repro.values import OK, project
+from repro.xmlfront import (
+    instance_from_xml,
+    instance_to_xml,
+    value_from_xml,
+    value_to_xml,
+)
+
+PUBCRAWL_DOC = (
+    "<Pubcrawl><Person>Sven</Person>"
+    "<Visit><Drink><Beer>Lübzer</Beer><Pub>Deanos</Pub></Drink>"
+    "<Drink><Beer>Kindl</Beer><Pub>Highflyers</Pub></Drink></Visit>"
+    "</Pubcrawl>"
+)
+
+
+class TestDecode:
+    def test_pubcrawl_document(self, pubcrawl_scenario):
+        value = value_from_xml(pubcrawl_scenario.root, PUBCRAWL_DOC)
+        assert value == ("Sven", (("Lübzer", "Deanos"), ("Kindl", "Highflyers")))
+
+    def test_empty_list(self, pubcrawl_scenario):
+        document = "<Pubcrawl><Person>Sebastian</Person><Visit/></Pubcrawl>"
+        value = value_from_xml(pubcrawl_scenario.root, document)
+        assert value == ("Sebastian", ())
+
+    def test_children_matched_by_name_not_order(self):
+        root = p("R(A, B)")
+        value = value_from_xml(root, "<R><B>two</B><A>one</A></R>")
+        assert value == ("one", "two")
+
+    def test_missing_component_is_bottom(self):
+        root = p("R(A, L[B])")
+        value = value_from_xml(root, "<R><A>x</A></R>")
+        assert value == ("x", OK)
+
+    def test_missing_record_component_is_record_of_bottoms(self):
+        root = p("R(A, S(B, C))")
+        value = value_from_xml(root, "<R><A>x</A></R>")
+        assert value == ("x", (OK, OK))
+
+    def test_accepts_element_objects(self, pubcrawl_scenario):
+        element = ET.fromstring(PUBCRAWL_DOC)
+        assert value_from_xml(pubcrawl_scenario.root, element)[0] == "Sven"
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(InvalidValueError):
+            value_from_xml(p("R(A)"), "<S><A>x</A></S>")
+
+    def test_stray_children(self):
+        with pytest.raises(InvalidValueError):
+            value_from_xml(p("R(A)"), "<R><A>x</A><Z>y</Z></R>")
+
+    def test_duplicate_component(self):
+        with pytest.raises(InvalidValueError):
+            value_from_xml(p("R(A)"), "<R><A>x</A><A>y</A></R>")
+
+    def test_wrong_list_child_tag(self):
+        with pytest.raises(InvalidValueError):
+            value_from_xml(p("L[A]"), "<L><B>x</B></L>")
+
+    def test_flat_with_children_rejected(self):
+        with pytest.raises(InvalidValueError):
+            value_from_xml(p("A"), "<A><X/></A>")
+
+    def test_ambiguous_record_heads_rejected(self):
+        with pytest.raises(InvalidValueError):
+            value_from_xml(p("R(A, A)"), "<R><A>1</A><A>2</A></R>")
+
+    def test_list_of_lambda_counts_children(self):
+        root = p("L[λ]")
+        assert value_from_xml(root, "<L><x/><y/><z/></L>") == (OK, OK, OK)
+
+
+class TestEncodeAndRoundtrip:
+    def test_roundtrip_pubcrawl_instance(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        for value in pubcrawl_scenario.instance:
+            element = value_to_xml(root, value)
+            assert value_from_xml(root, element) == value
+
+    def test_projected_values_omit_ok(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        target = parse_subattribute("Pubcrawl(Person, Visit[Drink(Pub)])", root)
+        value = ("Sven", (("Lübzer", "Deanos"),))
+        projected = project(root, target, value)
+        element = value_to_xml(target, projected)
+        text = ET.tostring(element, encoding="unicode")
+        assert "<Beer>" not in text
+        assert "<Pub>Deanos</Pub>" in text
+        assert value_from_xml(target, element) == projected
+
+    def test_instance_container(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        container = instance_to_xml(root, pubcrawl_scenario.instance)
+        assert container.tag == "instance"
+        assert len(container) == 7
+        decoded = instance_from_xml(root, list(container))
+        assert decoded == pubcrawl_scenario.instance
+
+    def test_lambda_alone_has_no_element(self):
+        with pytest.raises(InvalidValueError):
+            value_to_xml(p("λ"), OK)
+
+
+class TestEndToEndReasoning:
+    def test_documents_checked_against_dependencies(self, pubcrawl_scenario):
+        schema = Schema(pubcrawl_scenario.root)
+        sigma = schema.dependencies(pubcrawl_scenario.holding_mvd_text)
+        container = instance_to_xml(schema.root, pubcrawl_scenario.instance)
+        decoded = instance_from_xml(schema.root, list(container))
+        assert schema.satisfies_all(decoded, sigma)
+        assert not schema.satisfies(
+            decoded, pubcrawl_scenario.failing_fd_texts[0]
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for amalgamation and the generalised join (Theorem 4.4)."""
+
+import pytest
+
+from repro.attributes import parse_attribute as p, parse_subattribute
+from repro.exceptions import IncompatibleValuesError, NotAnElementError
+from repro.values import (
+    OK,
+    amalgamate,
+    compatible,
+    generalised_join,
+    generalized_join,
+    project,
+    project_instance,
+)
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestCompatible:
+    def test_record_components_disjoint_always_compatible(self):
+        root = p("R(A, B)")
+        assert compatible(root, s("R(A)", root), s("R(B)", root), (1, OK), (OK, 2))
+
+    def test_lists_with_different_lengths_incompatible(self):
+        root = p("L[R(A, B)]")
+        left_attr = s("L[R(A)]", root)
+        right_attr = s("L[R(B)]", root)
+        left = ((1, OK),)
+        right = ((OK, 2), (OK, 3))
+        assert not compatible(root, left_attr, right_attr, left, right)
+
+    def test_overlapping_attributes_must_agree(self):
+        root = p("R(A, B, C)")
+        left_attr = s("R(A, B)", root)
+        right_attr = s("R(B, C)", root)
+        assert compatible(root, left_attr, right_attr, (1, 2, OK), (OK, 2, 3))
+        assert not compatible(root, left_attr, right_attr, (1, 2, OK), (OK, 9, 3))
+
+
+class TestAmalgamate:
+    def test_record(self):
+        root = p("R(A, B)")
+        combined = amalgamate(root, s("R(A)", root), s("R(B)", root), (1, OK), (OK, 2))
+        assert combined == (1, 2)
+
+    def test_list_pointwise(self):
+        root = p("L[R(A, B)]")
+        combined = amalgamate(
+            root,
+            s("L[R(A)]", root),
+            s("L[R(B)]", root),
+            ((1, OK), (2, OK)),
+            ((OK, "x"), (OK, "y")),
+        )
+        assert combined == ((1, "x"), (2, "y"))
+
+    def test_subsumed_side_returns_other(self):
+        root = p("R(A, B)")
+        full = (1, 2)
+        assert amalgamate(root, root, s("R(A)", root), full, (1, OK)) == full
+
+    def test_incompatible_raises(self):
+        root = p("R(A, B, C)")
+        with pytest.raises(IncompatibleValuesError):
+            amalgamate(
+                root, s("R(A, B)", root), s("R(B, C)", root), (1, 2, OK), (OK, 9, 3)
+            )
+
+    def test_foreign_attribute_raises(self):
+        with pytest.raises(NotAnElementError):
+            amalgamate(p("R(A, B)"), p("A"), p("R(B)"), 1, (OK, 2))
+
+    def test_projections_of_amalgam_recover_parts(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        left_attr = s("Pubcrawl(Person, Visit[Drink(Beer)])", root)
+        right_attr = s("Pubcrawl(Person, Visit[Drink(Pub)])", root)
+        left = ("Sven", (("Lübzer", OK),))
+        right = ("Sven", ((OK, "Deanos"),))
+        combined = amalgamate(root, left_attr, right_attr, left, right)
+        assert project(root, left_attr, combined) == left
+        assert project(root, right_attr, combined) == right
+
+
+class TestGeneralisedJoin:
+    def test_paper_remark_after_theorem_4_4(self):
+        # N = L(A, B), r = {(a, b1), (a, b2)}: r equals {a} ⋈ {b1, b2}
+        # even though L(A) → L(B) fails.
+        root = p("L(A, B)")
+        a_side = s("L(A)", root)
+        b_side = s("L(B)", root)
+        r1 = {("a", OK)}
+        r2 = {(OK, "b1"), (OK, "b2")}
+        joined = generalised_join(root, a_side, b_side, r1, r2)
+        assert joined == frozenset({("a", "b1"), ("a", "b2")})
+
+    def test_join_filters_incompatible_pairs(self):
+        root = p("L[A]")
+        length = s("L[λ]", root)
+        joined = generalised_join(root, root, length, {(1,)}, {(OK, OK)})
+        assert joined == frozenset()  # lengths 1 vs 2 cannot combine
+
+    def test_join_of_projections_contains_instance(self, pubcrawl_scenario):
+        # r ⊆ π_{X⊔Y}(r) ⋈ π_{X⊔Y^C}(r) always holds.
+        root = pubcrawl_scenario.root
+        left_attr = s("Pubcrawl(Person, Visit[Drink(Beer)])", root)
+        right_attr = s("Pubcrawl(Person, Visit[Drink(Pub)])", root)
+        r = pubcrawl_scenario.instance
+        joined = generalised_join(
+            root,
+            left_attr,
+            right_attr,
+            project_instance(root, left_attr, r),
+            project_instance(root, right_attr, r),
+        )
+        assert r <= joined
+
+    def test_alias(self):
+        assert generalized_join is generalised_join

@@ -1,0 +1,108 @@
+"""Unit tests for projection functions ``π^N_M`` (Definition 3.6)."""
+
+import pytest
+
+from repro.attributes import (
+    bottom,
+    is_subattribute,
+    parse_attribute as p,
+    parse_subattribute,
+    subattributes,
+)
+from repro.exceptions import NotASubattributeError
+from repro.values import OK, ValueGenerator, agreement_holds, project, project_instance
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestBaseCases:
+    def test_identity(self):
+        root = p("R(A, B)")
+        assert project(root, root, (1, 2)) == (1, 2)
+
+    def test_constant_ok(self):
+        assert project(p("A"), p("λ"), 42) == OK
+        assert project(p("L[A]"), p("λ"), (1, 2)) == OK
+
+    def test_rejects_non_subattribute(self):
+        with pytest.raises(NotASubattributeError):
+            project(p("A"), p("B"), 1)
+
+
+class TestRecordProjection:
+    def test_componentwise(self):
+        root = p("R(A, B)")
+        assert project(root, s("R(A)", root), (1, 2)) == (1, OK)
+        assert project(root, s("R(B)", root), (1, 2)) == (OK, 2)
+
+    def test_bottom_projection(self):
+        root = p("R(A, B)")
+        assert project(root, bottom(root), (1, 2)) == (OK, OK)
+
+
+class TestListProjection:
+    def test_preserves_order_and_length(self):
+        root = p("Visit[Drink(Beer, Pub)]")
+        value = (("Lübzer", "Deanos"), ("Kindl", "Highflyers"))
+        projected = project(root, s("Visit[Drink(Pub)]", root), value)
+        assert projected == ((OK, "Deanos"), (OK, "Highflyers"))
+
+    def test_projection_to_bare_length(self):
+        # π onto L[λ] keeps exactly the length — the paper's key point.
+        root = p("L[A]")
+        assert project(root, s("L[λ]", root), (7, 8, 9)) == (OK, OK, OK)
+        assert project(root, s("L[λ]", root), ()) == ()
+
+    def test_lists_of_different_lengths_never_agree_above_bottom(self):
+        root = p("L[A]")
+        length_attr = s("L[λ]", root)
+        assert not agreement_holds(root, length_attr, (1,), (1, 2))
+
+
+class TestCompositionLaw:
+    def test_projection_composes(self, small_roots):
+        # π^M_K ∘ π^N_M = π^N_K for K ≤ M ≤ N.
+        generator = ValueGenerator()
+        for root in small_roots:
+            elements = list(subattributes(root))
+            values = [generator.value(root) for _ in range(3)]
+            for middle in elements:
+                for target in elements:
+                    if not is_subattribute(target, middle):
+                        continue
+                    for value in values:
+                        via_middle = project(
+                            middle, target, project(root, middle, value)
+                        )
+                        direct = project(root, target, value)
+                        assert via_middle == direct
+
+
+class TestInstanceProjection:
+    def test_deduplicates(self):
+        root = p("R(A, B)")
+        instance = {(1, 1), (1, 2)}
+        projected = project_instance(root, s("R(A)", root), instance)
+        assert projected == frozenset({(1, OK)})
+
+    def test_empty_instance(self):
+        root = p("R(A, B)")
+        assert project_instance(root, s("R(A)", root), set()) == frozenset()
+
+    def test_pubcrawl_projection_from_example_4_5(self, pubcrawl_scenario):
+        # The beers-only projection of the paper's Example 4.5.
+        root = pubcrawl_scenario.root
+        beers = s("Pubcrawl(Person, Visit[Drink(Beer)])", root)
+        projected = project_instance(root, beers, pubcrawl_scenario.instance)
+        expected = frozenset(
+            {
+                ("Sven", (("Lübzer", OK), ("Kindl", OK))),
+                ("Sven", (("Kindl", OK), ("Lübzer", OK))),
+                ("Klaus-Dieter", (("Guiness", OK), ("Speights", OK), ("Guiness", OK))),
+                ("Klaus-Dieter", (("Kölsch", OK), ("Bönnsch", OK), ("Guiness", OK))),
+                ("Sebastian", ()),
+            }
+        )
+        assert projected == expected

@@ -1,0 +1,110 @@
+"""Unit tests for the value model ``dom(N)`` (Definition 3.3)."""
+
+import pytest
+
+from repro.attributes import EnumeratedDomain, Universe, parse_attribute as p
+from repro.exceptions import InvalidValueError
+from repro.values import (
+    OK,
+    Ok,
+    format_instance,
+    format_value,
+    is_valid_value,
+    validate_instance,
+    validate_value,
+)
+
+
+class TestOk:
+    def test_singleton(self):
+        assert Ok() is OK
+
+    def test_equality_and_hash(self):
+        assert OK == Ok()
+        assert hash(OK) == hash(Ok())
+        assert OK != 0
+
+    def test_repr(self):
+        assert repr(OK) == "ok"
+
+
+class TestValidation:
+    def test_null_accepts_only_ok(self):
+        validate_value(p("λ"), OK)
+        with pytest.raises(InvalidValueError):
+            validate_value(p("λ"), 1)
+
+    def test_flat_accepts_hashable_constants(self):
+        validate_value(p("A"), 7)
+        validate_value(p("A"), "Sven")
+        with pytest.raises(InvalidValueError):
+            validate_value(p("A"), [1, 2])  # unhashable
+        with pytest.raises(InvalidValueError):
+            validate_value(p("A"), (1, 2))  # structured values are not flat
+        with pytest.raises(InvalidValueError):
+            validate_value(p("A"), OK)
+
+    def test_record_arity_checked(self):
+        root = p("R(A, B)")
+        validate_value(root, (1, 2))
+        with pytest.raises(InvalidValueError):
+            validate_value(root, (1,))
+        with pytest.raises(InvalidValueError):
+            validate_value(root, 1)
+
+    def test_list_values_are_tuples(self):
+        root = p("L[A]")
+        validate_value(root, ())
+        validate_value(root, (1, 2, 3))
+        with pytest.raises(InvalidValueError):
+            validate_value(root, [1, 2])
+        with pytest.raises(InvalidValueError):
+            validate_value(root, ((1, 2),))  # element must be flat
+
+    def test_nested_structure(self):
+        root = p("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+        validate_value(root, ("Sven", (("Lübzer", "Deanos"),)))
+        validate_value(root, ("Sebastian", ()))  # empty list is fine
+        with pytest.raises(InvalidValueError):
+            validate_value(root, ("Sven", (("Lübzer",),)))  # inner arity
+
+    def test_universe_membership_enforced(self):
+        universe = Universe({"Beer": EnumeratedDomain(["Lübzer"])})
+        validate_value(p("Beer"), "Lübzer", universe)
+        with pytest.raises(InvalidValueError):
+            validate_value(p("Beer"), "Coke", universe)
+
+    def test_is_valid_value(self):
+        assert is_valid_value(p("L[A]"), (1,))
+        assert not is_valid_value(p("L[A]"), 1)
+
+    def test_validate_instance(self):
+        root = p("R(A, B)")
+        checked = validate_instance(root, [(1, 2), (1, 2), (3, 4)])
+        assert checked == frozenset({(1, 2), (3, 4)})
+        with pytest.raises(InvalidValueError):
+            validate_instance(root, [(1,)])
+
+
+class TestFormatting:
+    def test_format_value_paper_notation(self, pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        value = ("Sven", (("Lübzer", "Deanos"), ("Kindl", "Highflyers")))
+        assert format_value(root, value) == (
+            "(Sven, [(Lübzer, Deanos), (Kindl, Highflyers)])"
+        )
+
+    def test_format_ok(self):
+        assert format_value(p("λ"), OK) == "ok"
+
+    def test_format_empty_list(self):
+        assert format_value(p("L[A]"), ()) == "[]"
+
+    def test_format_instance_sorted_and_braced(self):
+        root = p("R(A, B)")
+        text = format_instance(root, {(2, 2), (1, 1)})
+        assert text.index("(1, 1)") < text.index("(2, 2)")
+        assert text.startswith("{") and text.endswith("}")
+
+    def test_format_empty_instance(self):
+        assert format_instance(p("A"), []) == "{}"

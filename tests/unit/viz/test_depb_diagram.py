@@ -1,0 +1,64 @@
+"""Unit tests for the Figure-3/4-style state diagrams."""
+
+import pytest
+
+from repro import Schema
+from repro.core import TraceRecorder, compute_closure
+from repro.viz import render_result, render_state, render_trace_states
+
+
+@pytest.fixture()
+def run(example51, example51_encoding):
+    recorder = TraceRecorder()
+    result = compute_closure(
+        example51_encoding, example51.x(), example51.sigma, trace=recorder
+    )
+    return example51_encoding, recorder, result
+
+
+class TestRenderState:
+    def test_final_state_matches_figure_4(self, run):
+        encoding, _, result = run
+        text = render_result(result)
+        # Figure 4: three boxes — {L4(B)}, {L6(D)}, {L4(C), L6(E)}.
+        # (attribute syntax uses "[x" with no space; boxes open with "[ ")
+        assert text.count("[ ") == 3
+        assert "[ L1(L2[L3[L4(B)]]) ]" in text
+        assert "[ L1(L5[L6(D)]) ]" in text
+        assert "[ L1(L2[L3[L4(C)]])  L1(L5[L6(E)]) ]" in text
+        # ... and the determined attributes are circled.
+        assert "(L1(L7(F)))" in text
+
+    def test_initial_state_matches_figure_3(self, run):
+        encoding, recorder, _ = run
+        text = render_state(encoding, recorder.initial_x, recorder.initial_db)
+        # Figure 3: one big complement box (X's own blocks are circled).
+        assert text.count("[ ") == 1
+        assert "L1(L7(L8[L9(G)]))" in text
+
+    def test_empty_blocks_render(self):
+        schema = Schema("R(A, B)")
+        result = compute_closure(
+            schema.encoding, schema.encoding.full, schema.dependencies()
+        )
+        text = render_result(result)
+        assert "blocks:     (none)" in text
+
+    def test_bottom_state_has_no_circles(self):
+        schema = Schema("R(A, B)")
+        result = compute_closure(schema.encoding, 0, schema.dependencies())
+        text = render_result(result)
+        assert "determined: (none)" in text
+
+
+class TestRenderTraceStates:
+    def test_full_trace_rendering(self, run):
+        _, recorder, _ = run
+        text = render_trace_states(recorder)
+        assert "Initial state (Figure 3 view):" in text
+        assert "Final state (Figure 4 view):" in text
+        # The three effective steps of Example 5.1 appear.
+        assert text.count("After ") == 3
+
+    def test_empty_recorder(self):
+        assert render_trace_states(TraceRecorder()) == "(empty trace)"

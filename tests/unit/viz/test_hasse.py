@@ -1,0 +1,76 @@
+"""Unit tests for the Hasse-diagram builders (Figures 1 and 2)."""
+
+import pytest
+
+from repro.attributes import count_subattributes, parse_attribute as p
+from repro.viz import ascii_levels, basis_graph, figure_1, figure_2, figures_3_and_4, hasse_graph, to_dot
+from repro.workloads import FIGURE_1_ELEMENTS, figure_1_root
+
+
+class TestHasseGraph:
+    def test_figure_1_node_count(self):
+        graph = hasse_graph(figure_1_root())
+        assert graph.number_of_nodes() == 11 == count_subattributes(figure_1_root())
+
+    def test_figure_1_labels(self):
+        graph = hasse_graph(figure_1_root())
+        labels = {data["label"] for _, data in graph.nodes(data=True)}
+        assert labels == set(FIGURE_1_ELEMENTS)
+
+    def test_root_and_bottom_flagged(self):
+        graph = hasse_graph(p("L[A]"))
+        flags = {
+            data["label"]: (data["is_root"], data["is_bottom"])
+            for _, data in graph.nodes(data=True)
+        }
+        assert flags["L[A]"] == (True, False)
+        assert flags["λ"] == (False, True)
+
+    def test_edges_are_covers_only(self):
+        graph = hasse_graph(p("L[A]"))
+        labels = {node: data["label"] for node, data in graph.nodes(data=True)}
+        edges = {(labels[u], labels[v]) for u, v in graph.edges()}
+        assert edges == {("λ", "L[λ]"), ("L[λ]", "L[A]")}
+
+    def test_acyclic(self):
+        import networkx as nx
+
+        graph = hasse_graph(p("R(A, L[B])"))
+        assert nx.is_directed_acyclic_graph(graph)
+
+
+class TestBasisGraph:
+    def test_figure_2_nodes_and_maximal_flags(self):
+        root = p("K[L(M[N(A, B)], C)]")
+        graph = basis_graph(root)
+        flagged = {
+            data["label"]: data["maximal"] for _, data in graph.nodes(data=True)
+        }
+        assert flagged == {
+            "K[λ]": False,
+            "K[L(M[λ])]": False,
+            "K[L(M[N(A)])]": True,
+            "K[L(M[N(B)])]": True,
+            "K[L(C)]": True,
+        }
+
+
+class TestRendering:
+    def test_to_dot_contains_nodes_and_edges(self):
+        graph = hasse_graph(p("L[A]"))
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "->" in dot
+        assert "L[λ]" in dot
+
+    def test_ascii_levels_bottom_first(self):
+        text = ascii_levels(hasse_graph(p("L[A]")))
+        lines = text.splitlines()
+        assert lines[0] == "level 0:  λ"
+        assert lines[-1] == "level 2:  L[A]"
+
+    def test_figure_functions_render(self):
+        assert "level 0" in figure_1()
+        assert "digraph" in figure_1(fmt="dot")
+        assert "K[L(M[λ])]" in figure_2()
+        assert "Final state:" in figures_3_and_4()

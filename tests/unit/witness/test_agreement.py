@@ -1,0 +1,112 @@
+"""Unit tests for exact-agreement pair realisation (Section 4.2)."""
+
+import pytest
+
+from repro.attributes import (
+    EnumeratedDomain,
+    Universe,
+    parse_attribute as p,
+    subattributes,
+    is_subattribute,
+)
+from repro.exceptions import NotASubattributeError
+from repro.values import is_valid_value, project
+from repro.witness import PairRealizer
+
+
+def agreement_set(root, first, second):
+    return {
+        element
+        for element in subattributes(root)
+        if project(root, element, first) == project(root, element, second)
+    }
+
+
+def ideal(root, c):
+    return {element for element in subattributes(root) if is_subattribute(element, c)}
+
+
+class TestRealizeExactness:
+    def test_every_agreement_element_realisable(self, small_roots):
+        # For every root and every C ∈ Sub(root): the realised pair agrees
+        # on exactly the principal ideal of C.
+        realizer = PairRealizer()
+        for root in small_roots:
+            for c in subattributes(root):
+                first, second = realizer.realize(root, c)
+                assert is_valid_value(root, first)
+                assert is_valid_value(root, second)
+                assert agreement_set(root, first, second) == ideal(root, c), (
+                    str(root),
+                    str(c),
+                )
+
+    def test_total_agreement_gives_equal_values(self):
+        realizer = PairRealizer()
+        root = p("R(A, L[B])")
+        first, second = realizer.realize(root, root)
+        assert first == second
+
+    def test_bottom_agreement_gives_fully_different_values(self):
+        realizer = PairRealizer()
+        root = p("R(A, B)")
+        first, second = realizer.realize(root, p("R(λ, λ)"))
+        assert first[0] != second[0]
+        assert first[1] != second[1]
+
+    def test_list_length_agreement(self):
+        # C = L[λ]: same length, different content.
+        realizer = PairRealizer()
+        root = p("L[A]")
+        first, second = realizer.realize(root, p("L[λ]"))
+        assert len(first) == len(second)
+        assert first != second
+
+    def test_list_disagreement_via_lengths(self):
+        realizer = PairRealizer()
+        root = p("L[A]")
+        first, second = realizer.realize(root, p("λ"))
+        assert len(first) != len(second)
+
+    def test_rejects_non_subattribute(self):
+        with pytest.raises(NotASubattributeError):
+            PairRealizer().realize(p("L[A]"), p("A"))
+
+
+class TestConstants:
+    def test_fresh_constants_never_repeat(self):
+        realizer = PairRealizer()
+        a = p("A")
+        drawn = [realizer.fresh(a) for _ in range(20)]
+        assert len(set(drawn)) == 20
+
+    def test_universe_supplies_constants(self):
+        universe = Universe({"Beer": EnumeratedDomain(["Lübzer", "Kindl"])})
+        realizer = PairRealizer(universe)
+        beer = p("Beer")
+        assert realizer.fresh(beer) == "Lübzer"
+        assert realizer.fresh(beer) == "Kindl"
+
+    def test_exhausted_universe_fails_loudly(self):
+        universe = Universe({"Beer": EnumeratedDomain(["only"])})
+        realizer = PairRealizer(universe)
+        realizer.fresh(p("Beer"))
+        with pytest.raises(ValueError):
+            realizer.fresh(p("Beer"))
+
+    def test_make_produces_valid_values(self, small_roots):
+        realizer = PairRealizer()
+        for root in small_roots:
+            assert is_valid_value(root, realizer.make(root))
+
+    def test_longer_lists_preserve_exactness(self):
+        realizer = PairRealizer(list_length=3)
+        root = p("L[R(A, B)]")
+        c = p("L[R(A, λ)]")
+        first, second = realizer.realize(root, c)
+        assert len(first) == len(second) == 3
+        assert agreement_set(root, first, second) == ideal(root, c)
+
+    def test_list_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PairRealizer(list_length=0)

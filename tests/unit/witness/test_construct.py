@@ -1,0 +1,112 @@
+"""Unit tests for the block-combination witness construction (§4.2)."""
+
+import pytest
+
+from repro.attributes import (
+    BasisEncoding,
+    parse_attribute as p,
+    parse_subattribute,
+    subattributes,
+)
+from repro.core import implies
+from repro.dependencies import FD, MVD, DependencySet, satisfies, satisfies_all
+from repro.values import project
+from repro.witness import build_witness
+
+
+def s(text, root):
+    return parse_subattribute(text, root)
+
+
+class TestPubcrawlWitness:
+    @pytest.fixture()
+    def witness(self, pubcrawl_scenario):
+        return build_witness(
+            pubcrawl_scenario.sigma(),
+            s("Pubcrawl(Person)", pubcrawl_scenario.root),
+        )
+
+    def test_satisfies_sigma(self, witness, pubcrawl_scenario):
+        assert satisfies_all(
+            pubcrawl_scenario.root, witness.instance, pubcrawl_scenario.sigma()
+        )
+
+    def test_two_free_blocks_give_four_tuples(self, witness):
+        assert len(witness.free_blocks) == 2
+        assert len(witness.instance) == 4
+
+    def test_violates_non_implied_fds(self, witness, pubcrawl_scenario):
+        from repro.dependencies import parse_dependency
+
+        for text in pubcrawl_scenario.failing_fd_texts:
+            dep = parse_dependency(text, pubcrawl_scenario.root)
+            assert witness.violates(dep)
+
+    def test_seed_tuples_in_instance_agree_on_closure(self, witness,
+                                                      pubcrawl_scenario):
+        root = pubcrawl_scenario.root
+        closure = witness.closure_result.closure
+        assert project(root, closure, witness.t1) == project(
+            root, closure, witness.t2
+        )
+
+
+class TestArmstrongProperty:
+    """The witness decides every dependency with its left-hand side."""
+
+    @pytest.mark.parametrize(
+        "root_text,sigma_texts,x_text",
+        [
+            ("R(A, B)", [], "R(A)"),
+            ("R(A, L[B])", ["R(A) ->> R(L[λ])"], "R(A)"),
+            ("R(A, B, C)", ["R(A) ->> R(B)"], "R(A)"),
+            ("R(A, B, C)", ["R(A) -> R(B)"], "R(A)"),
+            ("L[R(A, B)]", [], "L[λ]"),
+            ("R(A, L[D(B, C)])", ["R(A) ->> R(L[D(B)])"], "R(A)"),
+            ("R(L1[A], L2[B])", ["λ ->> R(L1[A])"], "λ"),
+        ],
+    )
+    def test_semantic_equals_syntactic(self, root_text, sigma_texts, x_text):
+        root = p(root_text)
+        enc = BasisEncoding(root)
+        sigma = DependencySet.parse(root, sigma_texts)
+        x = s(x_text, root)
+        witness = build_witness(sigma, x, encoding=enc)
+        for y in subattributes(root):
+            for dep in (FD(x, y), MVD(x, y)):
+                semantic = satisfies(root, witness.instance, dep)
+                syntactic = implies(sigma, dep, encoding=enc)
+                assert semantic == syntactic, dep.display(root)
+
+
+class TestStructure:
+    def test_superkey_lhs_gives_singleton_instance(self):
+        root = p("R(A, B)")
+        sigma = DependencySet.parse(root, ["R(A) -> R(B)"])
+        witness = build_witness(sigma, s("R(A)", root))
+        assert witness.free_blocks == ()
+        assert len(witness.instance) == 1
+
+    def test_all_tuples_are_valid_values(self, pubcrawl_scenario):
+        from repro.values import is_valid_value
+
+        witness = build_witness(
+            pubcrawl_scenario.sigma(), s("Pubcrawl(Person)", pubcrawl_scenario.root)
+        )
+        assert all(
+            is_valid_value(pubcrawl_scenario.root, value)
+            for value in witness.instance
+        )
+
+    def test_root_property(self, pubcrawl_scenario):
+        witness = build_witness(
+            pubcrawl_scenario.sigma(), s("Pubcrawl(Person)", pubcrawl_scenario.root)
+        )
+        assert witness.root == pubcrawl_scenario.root
+
+    def test_instance_size_is_power_of_two(self):
+        root = p("R(A, B, C, D)")
+        sigma = DependencySet(root)
+        witness = build_witness(sigma, s("R(A)", root))
+        assert len(witness.free_blocks) == 1  # single complement block
+        assert len(witness.instance) == 2

@@ -1,0 +1,139 @@
+"""Unit tests for the workload generators and paper fixtures."""
+
+import random
+
+import pytest
+
+from repro.attributes import BasisEncoding, basis_size, is_subattribute
+from repro.workloads import (
+    deep_list_chain,
+    example_4_12,
+    example_5_1,
+    figure_1_root,
+    flat_record,
+    mixed_family,
+    pubcrawl,
+    random_attribute,
+    random_dependency,
+    random_element_mask,
+    random_sigma,
+    record_of_lists,
+)
+
+
+class TestSizedFamilies:
+    @pytest.mark.parametrize("width", [1, 3, 8])
+    def test_flat_record_size(self, width):
+        assert basis_size(flat_record(width)) == width
+
+    @pytest.mark.parametrize("width", [1, 4])
+    def test_record_of_lists_size(self, width):
+        assert basis_size(record_of_lists(width)) == 2 * width
+
+    @pytest.mark.parametrize("depth", [0, 1, 5])
+    def test_deep_list_chain_size(self, depth):
+        assert basis_size(deep_list_chain(depth)) == depth + 1
+
+    @pytest.mark.parametrize("scale", [1, 3])
+    def test_mixed_family_size(self, scale):
+        assert basis_size(mixed_family(scale)) == 4 * scale
+
+    def test_families_reject_bad_parameters(self):
+        with pytest.raises(ValueError):
+            flat_record(0)
+        with pytest.raises(ValueError):
+            record_of_lists(0)
+        with pytest.raises(ValueError):
+            deep_list_chain(-1)
+        with pytest.raises(ValueError):
+            mixed_family(0)
+
+
+class TestRandomGenerators:
+    def test_random_attribute_deterministic(self):
+        first = random_attribute(random.Random(9))
+        second = random_attribute(random.Random(9))
+        assert first == second
+
+    def test_random_attribute_never_null(self):
+        for seed in range(30):
+            attribute = random_attribute(random.Random(seed))
+            assert not attribute.is_null
+
+    def test_allow_flat_root_false(self):
+        for seed in range(30):
+            attribute = random_attribute(random.Random(seed), allow_flat_root=False)
+            assert not attribute.is_flat
+
+    def test_random_element_mask_is_element(self):
+        encoding = BasisEncoding(mixed_family(2))
+        rng = random.Random(4)
+        for _ in range(50):
+            mask = random_element_mask(rng, encoding)
+            assert encoding.is_downclosed(mask)
+
+    def test_random_dependency_sides_are_elements(self):
+        encoding = BasisEncoding(record_of_lists(3))
+        rng = random.Random(2)
+        for _ in range(20):
+            dependency = random_dependency(rng, encoding)
+            assert is_subattribute(dependency.lhs, encoding.root)
+            assert is_subattribute(dependency.rhs, encoding.root)
+
+    def test_random_sigma_size_and_root(self):
+        encoding = BasisEncoding(flat_record(4))
+        sigma = random_sigma(random.Random(0), encoding, 5)
+        assert len(sigma) <= 5
+        assert sigma.root == encoding.root
+
+
+class TestScenarios:
+    def test_pubcrawl_has_seven_tuples(self):
+        assert len(pubcrawl().instance) == 7
+
+    def test_pubcrawl_sigma(self):
+        scenario = pubcrawl()
+        assert len(scenario.sigma()) == 1
+
+    def test_example_5_1_resolves(self):
+        fixture = example_5_1()
+        assert len(list(fixture.sigma)) == 3
+        assert len(fixture.resolve(fixture.dependency_basis_texts)) == 13
+
+    def test_example_4_12_possession_fixture(self):
+        root, x, possessed, not_possessed = example_4_12()
+        assert is_subattribute(x, root)
+        assert is_subattribute(possessed, x)
+        assert is_subattribute(not_possessed, x)
+
+    def test_figure_1_root_size(self):
+        from repro.attributes import count_subattributes
+
+        assert count_subattributes(figure_1_root()) == 11
+
+
+class TestPubcrawlWorkload:
+    def test_satisfies_its_sigma_by_construction(self):
+        from repro.dependencies import satisfies_all
+        from repro.workloads import pubcrawl_workload
+
+        workload = pubcrawl_workload(30)
+        assert satisfies_all(workload.root, workload.instance, workload.sigma)
+        assert len(workload.instance) >= 30  # ≈ 4 per person minus collisions
+
+    def test_deterministic(self):
+        from repro.workloads import pubcrawl_workload
+
+        assert pubcrawl_workload(10).instance == pubcrawl_workload(10).instance
+
+    def test_dropped_combinations_violate_and_chase_back(self):
+        from repro.chase import chase
+        from repro.dependencies import satisfies_all
+        from repro.workloads import pubcrawl_workload
+
+        workload = pubcrawl_workload(12)
+        broken = workload.with_dropped_combinations()
+        assert broken < workload.instance
+        assert not satisfies_all(workload.root, broken, workload.sigma)
+        repaired = chase(workload.root, broken, workload.sigma)
+        assert repaired.instance == workload.instance
