@@ -41,7 +41,15 @@ from .nested import NestedAttribute
 from .subattribute import bottom, is_subattribute, subattributes
 from ..exceptions import NotAnElementError
 
-__all__ = ["BasisEncoding", "iter_bits"]
+__all__ = ["BasisEncoding", "EncodingCacheInfo", "iter_bits"]
+
+#: Default bound for the pairwise ``pseudo_difference`` cache.  Pairs are
+#: evicted FIFO once the bound is hit, so a long-lived encoding (shell
+#: sessions, servers) cannot grow without limit.
+PAIR_CACHE_MAXSIZE = 8192
+
+#: Default bound for the unary ``complement``/``double_complement`` caches.
+UNARY_CACHE_MAXSIZE = 16384
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -50,6 +58,20 @@ def iter_bits(mask: int) -> Iterator[int]:
         low = mask & -mask
         yield low.bit_length() - 1
         mask ^= low
+
+
+class EncodingCacheInfo(dict):
+    """Per-operation cache statistics, ``{op: (hits, misses, size, maxsize)}``.
+
+    A plain dict subclass so callers can both index it and print it; the
+    ``hit_rate`` helper summarises across operations.
+    """
+
+    def hit_rate(self) -> float:
+        hits = sum(entry[0] for entry in self.values())
+        misses = sum(entry[1] for entry in self.values())
+        total = hits + misses
+        return hits / total if total else 0.0
 
 
 class BasisEncoding:
@@ -90,6 +112,14 @@ class BasisEncoding:
         "_encode_cache",
         "_decode_cache",
         "_possessed_cache",
+        "_down_tables",
+        "_complement_cache",
+        "_dc_cache",
+        "_pd_cache",
+        "_pd_maxsize",
+        "_unary_maxsize",
+        "_hits",
+        "_misses",
     )
 
     def __init__(self, root: NestedAttribute) -> None:
@@ -122,6 +152,40 @@ class BasisEncoding:
             0: bottom(root),
         }
         self._possessed_cache: dict[int, int] = {}
+
+        # Byte-chunked down-closure tables: ``_down_tables[c][b]`` is the
+        # union of ``below[8c + j]`` over the set bits ``j`` of the byte
+        # ``b`` — so a down-closure is one table-OR per non-zero byte of
+        # the generator mask instead of a re-entrant per-bit loop.
+        tables: list[list[int]] = []
+        for chunk_start in range(0, self.size, 8):
+            table = [0] * 256
+            for byte in range(1, 256):
+                low = byte & -byte
+                index = chunk_start + low.bit_length() - 1
+                prev = table[byte ^ low]
+                table[byte] = prev | (
+                    self.below[index] if index < self.size else 0
+                )
+            tables.append(table)
+        self._down_tables = tuple(tables)
+
+        # Bounded memo caches for the Brouwerian operations (§6 hot path).
+        self._complement_cache: dict[int, int] = {}
+        self._dc_cache: dict[int, int] = {}
+        self._pd_cache: dict[tuple[int, int], int] = {}
+        self._pd_maxsize = PAIR_CACHE_MAXSIZE
+        self._unary_maxsize = UNARY_CACHE_MAXSIZE
+        self._hits = {"complement": 0, "double_complement": 0,
+                      "pseudo_difference": 0, "possessed": 0}
+        self._misses = {"complement": 0, "double_complement": 0,
+                        "pseudo_difference": 0, "possessed": 0}
+
+    def __reduce__(self):
+        # Rebuild from the root on unpickling: the tables are derived
+        # data, and the memo caches are per-process state.  This is what
+        # lets a process-pool worker receive one encoding cheaply.
+        return (type(self), (self.root,))
 
     # -- conversions -----------------------------------------------------
 
@@ -182,13 +246,22 @@ class BasisEncoding:
     # -- mask structure ----------------------------------------------------
 
     def down_close(self, generator_mask: int) -> int:
-        """Down-closure: union of ``below[i]`` over the set bits."""
+        """Down-closure: union of ``below[i]`` over the set bits.
+
+        Implemented as one precomputed-table OR per non-zero byte of the
+        generator mask (see ``_down_tables``), so the cost is
+        ``O(size/8)`` table lookups rather than a per-bit loop that
+        re-tests coverage after every union.
+        """
         result = 0
-        remaining = generator_mask & ~result
-        while remaining:
-            low = remaining & -remaining
-            result |= self.below[low.bit_length() - 1]
-            remaining = generator_mask & ~result
+        tables = self._down_tables
+        chunk = 0
+        while generator_mask:
+            byte = generator_mask & 0xFF
+            if byte:
+                result |= tables[chunk][byte]
+            generator_mask >>= 8
+            chunk += 1
         return result
 
     def is_downclosed(self, mask: int) -> bool:
@@ -229,13 +302,39 @@ class BasisEncoding:
         """``X ∸ Y`` — the paper's §6 quadratic-time set recipe.
 
         Remove ``SubB(Y)`` from ``SubB(X)``, then down-close the survivors
-        (every ``A`` kept pulls all of ``SubB(A)`` back in).
+        (every ``A`` kept pulls all of ``SubB(A)`` back in).  Memoised
+        with a bounded pair cache: Algorithm 5.1 recomputes the same
+        ``(W, Ṽ)`` differences on every REPEAT pass.
         """
-        return self.down_close(left & ~right)
+        key = (left, right)
+        cache = self._pd_cache
+        cached = cache.get(key)
+        if cached is not None:
+            self._hits["pseudo_difference"] += 1
+            return cached
+        self._misses["pseudo_difference"] += 1
+        result = self.down_close(left & ~right)
+        if len(cache) >= self._pd_maxsize:
+            # FIFO eviction: drop the oldest entry (dict preserves
+            # insertion order); the working set of one closure run is far
+            # below the bound, so this only trims cross-run leftovers.
+            del cache[next(iter(cache))]
+        cache[key] = result
+        return result
 
     def complement(self, mask: int) -> int:
-        """``X^C = N ∸ X``."""
-        return self.down_close(self.full & ~mask)
+        """``X^C = N ∸ X`` (memoised)."""
+        cache = self._complement_cache
+        cached = cache.get(mask)
+        if cached is not None:
+            self._hits["complement"] += 1
+            return cached
+        self._misses["complement"] += 1
+        result = self.down_close(self.full & ~mask)
+        if len(cache) >= self._unary_maxsize:
+            del cache[next(iter(cache))]
+        cache[mask] = result
+        return result
 
     def double_complement(self, mask: int) -> int:
         """``X^CC`` — down-closure of the basis attributes possessed by X.
@@ -243,8 +342,19 @@ class BasisEncoding:
         A basis attribute is possessed by ``X`` iff everything above it is
         in ``SubB(X)``; the double complement keeps exactly the possessed
         part, which equals the join of the maximal basis attributes of X.
+        Memoised like :meth:`complement`.
         """
-        return self.down_close(self.possessed(mask))
+        cache = self._dc_cache
+        cached = cache.get(mask)
+        if cached is not None:
+            self._hits["double_complement"] += 1
+            return cached
+        self._misses["double_complement"] += 1
+        result = self.down_close(self.possessed(mask))
+        if len(cache) >= self._unary_maxsize:
+            del cache[next(iter(cache))]
+        cache[mask] = result
+        return result
 
     def possessed(self, mask: int) -> int:
         """Mask of the basis attributes *possessed* by the element ``mask``.
@@ -255,13 +365,48 @@ class BasisEncoding:
         """
         cached = self._possessed_cache.get(mask)
         if cached is not None:
+            self._hits["possessed"] += 1
             return cached
+        self._misses["possessed"] += 1
         result = 0
         for i in iter_bits(mask):
             if self.above[i] & ~mask == 0:
                 result |= 1 << i
+        if len(self._possessed_cache) >= self._unary_maxsize:
+            del self._possessed_cache[next(iter(self._possessed_cache))]
         self._possessed_cache[mask] = result
         return result
+
+    # -- cache management --------------------------------------------------
+
+    def cache_info(self) -> EncodingCacheInfo:
+        """``{op: (hits, misses, current size, maxsize)}`` for the memo
+        caches of the Brouwerian operations."""
+        sizes = {
+            "complement": (len(self._complement_cache), self._unary_maxsize),
+            "double_complement": (len(self._dc_cache), self._unary_maxsize),
+            "pseudo_difference": (len(self._pd_cache), self._pd_maxsize),
+            "possessed": (len(self._possessed_cache), self._unary_maxsize),
+        }
+        return EncodingCacheInfo(
+            (op, (self._hits[op], self._misses[op]) + sizes[op])
+            for op in sizes
+        )
+
+    def cache_clear(self) -> None:
+        """Drop the operation memo caches and reset their counters.
+
+        The structural tables (``below``/``above``/down-closure tables)
+        and the encode/decode caches are kept — they are derived from the
+        root, not from the query stream.
+        """
+        self._complement_cache.clear()
+        self._dc_cache.clear()
+        self._pd_cache.clear()
+        self._possessed_cache.clear()
+        for counter in (self._hits, self._misses):
+            for op in counter:
+                counter[op] = 0
 
     def maximal_of(self, mask: int) -> int:
         """``MaxB(X)``: the maximal-in-N basis attributes below ``X``."""

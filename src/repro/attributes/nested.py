@@ -166,6 +166,9 @@ class Null(NestedAttribute):
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        return (Null, ())
+
 
 #: The unique null attribute ``λ``.
 NULL = Null()
@@ -209,6 +212,11 @@ class Flat(NestedAttribute):
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Reconstruct through the constructor: slot-based unpickling would
+        # trip over the immutability guard in ``__setattr__``.
+        return (Flat, (self.name,))
 
 
 class Record(NestedAttribute):
@@ -275,6 +283,9 @@ class Record(NestedAttribute):
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        return (Record, (self.label, self.components))
+
 
 class ListAttr(NestedAttribute):
     """A list-valued attribute ``L[N]`` (Definition 3.2).
@@ -326,6 +337,9 @@ class ListAttr(NestedAttribute):
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (ListAttr, (self.label, self.element))
 
 
 # -- convenience constructors ---------------------------------------------

@@ -1,0 +1,203 @@
+"""Batch membership: answer many ``Σ ⊨ σ`` queries in one sweep.
+
+Algorithm 5.1's cost is per *left-hand side*, not per query — one run
+yields ``(X⁺, DepB(X))`` and settles every ``X → Y`` / ``X ↠ Y`` for
+that ``X``.  :class:`BulkReasoner` exploits this for batches known up
+front:
+
+1. parse and validate every query,
+2. group them by LHS mask and compute each distinct, not-yet-cached
+   closure exactly once (the per-LHS results land in an embedded
+   :class:`~repro.reasoner.Reasoner` cache, so later batches and ad-hoc
+   queries reuse them), and
+3. answer each query from its group's result.
+
+For large batches over big schemas the distinct LHS closures are
+independent, so step 2 can optionally fan out over a
+``concurrent.futures`` process pool: each worker receives the pickled
+``(N, Σ)`` once (via the pool initializer — the encoding's structural
+tables are rebuilt worker-side, queries travel as plain ``int`` masks)
+and streams back ``(mask, X⁺, blocks, passes)`` triples.  Workers pay
+process start-up and pickling costs, so the parallel path is opt-in and
+only engaged when the batch leaves enough distinct closures to matter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .attributes.encoding import BasisEncoding
+from .attributes.nested import NestedAttribute
+from .core.closure import ClosureResult, _as_mask_sigma
+from .core.engine import closure_of_masks_fast
+from .dependencies.dependency import Dependency, FunctionalDependency
+from .dependencies.sigma import DependencySet
+from .reasoner import Reasoner
+from .schema import Schema
+
+__all__ = ["BulkReasoner", "implies_all"]
+
+# Minimum number of distinct uncached left-hand sides before a process
+# pool is worth its start-up cost.
+_MIN_PARALLEL_LHS = 4
+
+# Worker-side state, installed once per worker process by _init_worker.
+_WORKER_STATE: tuple[BasisEncoding, list, list] | None = None
+
+
+def _init_worker(root: NestedAttribute, sigma: DependencySet) -> None:
+    """Pool initializer: unpickle ``(N, Σ)`` once, build tables worker-side."""
+    global _WORKER_STATE
+    encoding = BasisEncoding(root)
+    fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
+    _WORKER_STATE = (encoding, fd_masks, mvd_masks)
+
+
+def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int]:
+    """Run the worklist kernel for one LHS mask in a worker process."""
+    encoding, fd_masks, mvd_masks = _WORKER_STATE
+    closure_mask, blocks, passes = closure_of_masks_fast(
+        encoding, mask, fd_masks, mvd_masks
+    )
+    return mask, closure_mask, blocks, passes
+
+
+class BulkReasoner:
+    """Grouped batch evaluation on top of a :class:`Reasoner` cache.
+
+    Parameters
+    ----------
+    schema / sigma / maxsize:
+        As for :class:`~repro.reasoner.Reasoner`; an existing reasoner
+        can be wrapped instead by passing it as ``schema`` (its cache is
+        shared, not copied).
+    workers:
+        Default process-pool width for :meth:`implies_all`.  ``None``
+        or ``0`` evaluates in-process; ``workers > 1`` fans distinct
+        uncached left-hand sides out over that many worker processes
+        (batches with fewer than four such LHSs stay in-process — the
+        pool would cost more than it saves).
+    """
+
+    def __init__(self, schema: Schema | Reasoner | NestedAttribute | str,
+                 sigma: DependencySet | Iterable = (), *,
+                 maxsize: int | None = None,
+                 workers: int | None = None) -> None:
+        if isinstance(schema, Reasoner):
+            self.reasoner = schema
+        else:
+            self.reasoner = Reasoner(schema, sigma, maxsize=maxsize)
+        self.workers = workers
+
+    @property
+    def schema(self) -> Schema:
+        return self.reasoner.schema
+
+    @property
+    def sigma(self) -> DependencySet:
+        return self.reasoner.sigma
+
+    # -- batch evaluation --------------------------------------------------
+
+    def implies_all(self, dependencies: Iterable[Dependency | str], *,
+                    workers: int | None = None) -> list[bool]:
+        """Decide ``Σ ⊨ σ`` for every query; one closure per distinct LHS.
+
+        Returns the verdicts in query order.  ``workers`` overrides the
+        instance default for this batch.
+        """
+        schema = self.schema
+        encoding = schema.encoding
+        queries: list[tuple[Dependency, int, int]] = []
+        for dependency in dependencies:
+            dependency = schema.dependency(dependency)
+            dependency.validate(schema.root)
+            queries.append((
+                dependency,
+                encoding.encode(dependency.lhs),
+                encoding.encode(dependency.rhs),
+            ))
+
+        if workers is None:
+            workers = self.workers
+        self._prefetch([lhs for _, lhs, _ in queries], workers)
+
+        verdicts: list[bool] = []
+        for dependency, lhs_mask, rhs_mask in queries:
+            result = self.reasoner.result_for_mask(lhs_mask)
+            if isinstance(dependency, FunctionalDependency):
+                verdicts.append(result.implies_fd_rhs(rhs_mask))
+            else:
+                verdicts.append(result.implies_mvd_rhs(rhs_mask))
+        return verdicts
+
+    def closures_for(self, lhs_list: Iterable[NestedAttribute | str], *,
+                     workers: int | None = None) -> list[ClosureResult]:
+        """Batch :meth:`Reasoner.result_for` over many left-hand sides."""
+        schema = self.schema
+        masks = [schema.encoding.encode(schema.attribute(x)) for x in lhs_list]
+        if workers is None:
+            workers = self.workers
+        self._prefetch(masks, workers)
+        return [self.reasoner.result_for_mask(mask) for mask in masks]
+
+    # -- internals ---------------------------------------------------------
+
+    def _prefetch(self, lhs_masks: Sequence[int], workers: int | None) -> None:
+        """Compute distinct uncached LHS closures, fanning out if asked."""
+        pending: list[int] = []
+        seen: set[int] = set()
+        for mask in lhs_masks:
+            if mask not in seen and mask not in self.reasoner._results:
+                seen.add(mask)
+                pending.append(mask)
+        if not pending:
+            return
+        if not workers or workers <= 1 or len(pending) < _MIN_PARALLEL_LHS:
+            return  # result_for_mask computes serially on demand
+
+        import concurrent.futures
+
+        encoding = self.schema.encoding
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(self.schema.root, self.sigma),
+        ) as pool:
+            for mask, closure_mask, blocks, passes in pool.map(
+                _solve_mask, pending, chunksize=max(1, len(pending) // workers)
+            ):
+                self.reasoner._store(
+                    mask,
+                    ClosureResult(encoding, mask, closure_mask, blocks, passes),
+                )
+
+    # -- conveniences ------------------------------------------------------
+
+    def implies(self, dependency: Dependency | str) -> bool:
+        """Single-query passthrough to the embedded reasoner."""
+        return self.reasoner.implies(dependency)
+
+    def cache_info(self):
+        return self.reasoner.cache_info()
+
+    def cache_clear(self, **kwargs) -> None:
+        self.reasoner.cache_clear(**kwargs)
+
+    def __repr__(self) -> str:
+        computed, hits = self.reasoner.cache_info()
+        return (
+            f"BulkReasoner(root={self.schema.root}, |Σ|={len(self.sigma)}, "
+            f"cached={computed}, hits={hits}, workers={self.workers})"
+        )
+
+
+def implies_all(schema: Schema | NestedAttribute | str,
+                sigma: DependencySet | Iterable,
+                dependencies: Iterable[Dependency | str], *,
+                workers: int | None = None) -> list[bool]:
+    """One-shot batch membership: ``[Σ ⊨ σ for σ in dependencies]``.
+
+    Functional face of :class:`BulkReasoner` for callers without state.
+    """
+    return BulkReasoner(schema, sigma, workers=workers).implies_all(dependencies)

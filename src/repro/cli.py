@@ -54,6 +54,11 @@ def _add_common(parser: argparse.ArgumentParser, *, with_sigma: bool = True) -> 
             "--sigma-file", metavar="PATH",
             help="file with one dependency per line ('#' comments allowed)",
         )
+        parser.add_argument(
+            "--stats", action="store_true",
+            help="print kernel/cache instrumentation counters to stderr "
+            "(implies/closure/basis)",
+        )
 
 
 def _load_sigma(schema: Schema, args: argparse.Namespace):
@@ -171,6 +176,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         schema = Schema(args.schema)
         sigma = _load_sigma(schema, args)
 
+        if args.command in ("implies", "closure", "basis") and args.stats:
+            return _run_with_stats(schema, sigma, args)
+
         if args.command == "implies":
             implied = schema.implies(sigma, args.query)
             print("implied" if implied else "not implied")
@@ -219,6 +227,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _run_with_stats(schema: Schema, sigma, args: argparse.Namespace) -> int:
+    """The membership commands via a Reasoner, with counters on stderr."""
+    from .reasoner import Reasoner
+
+    reasoner = Reasoner(schema, sigma)
+    try:
+        if args.command == "implies":
+            implied = reasoner.implies(args.query)
+            print("implied" if implied else "not implied")
+            return 0 if implied else 1
+        if args.command == "closure":
+            print(schema.show(reasoner.closure(args.x)))
+            return 0
+        for member in reasoner.dependency_basis(args.x):
+            print(schema.show(member))
+        return 0
+    finally:
+        print(reasoner.describe_stats(), file=sys.stderr)
 
 
 def _run_problem_command(args: argparse.Namespace) -> int:

@@ -1,6 +1,7 @@
 """The paper's primary contribution: Algorithm 5.1 and the membership API."""
 
 from .closure import ClosureResult, closure_of_masks, compute_closure
+from .engine import KernelStats, closure_of_masks_fast
 from .membership import (
     analyse,
     closure,
@@ -16,6 +17,7 @@ from .trace import TraceRecorder, TraceStep
 
 __all__ = [
     "ClosureResult", "compute_closure", "closure_of_masks",
+    "KernelStats", "closure_of_masks_fast",
     "closure", "dependency_basis", "analyse", "implies", "implies_all",
     "equivalent", "is_redundant", "minimal_cover",
     "reference_closure", "reference_dependency_basis",

@@ -53,6 +53,7 @@ from ..attributes.encoding import BasisEncoding, iter_bits
 from ..attributes.nested import NestedAttribute
 from ..dependencies.dependency import Dependency, FunctionalDependency
 from ..dependencies.sigma import DependencySet
+from .engine import KernelStats, closure_of_masks_fast
 from .trace import TraceRecorder
 
 __all__ = ["ClosureResult", "compute_closure", "closure_of_masks"]
@@ -102,11 +103,22 @@ class ClosureResult:
         Each basis attribute of ``X⁺`` contributes its principal ideal;
         duplicates between the two parts collapse (a block fully inside
         ``X⁺`` may coincide with a principal ideal).
+
+        The frozenset is computed once and cached on the result: the 4NF
+        checker, the decomposer and ``implies_mvd_rhs`` all re-query it
+        for the same result object.
         """
+        cached = self.__dict__.get("_depb_masks")
+        if cached is not None:
+            return cached
         members = set(self.blocks)
         for index in iter_bits(self.closure_mask):
             members.add(self.encoding.below[index])
-        return frozenset(members)
+        masks = frozenset(members)
+        # Direct __dict__ store: the dataclass is frozen, but caching a
+        # derived value does not change its identity or equality.
+        self.__dict__["_depb_masks"] = masks
+        return masks
 
     def dependency_basis(self) -> tuple[NestedAttribute, ...]:
         """The dependency basis as attributes, deterministically ordered."""
@@ -165,6 +177,8 @@ def compute_closure(
     sigma: DependencySet | Iterable[Dependency],
     *,
     trace: TraceRecorder | None = None,
+    kernel: str = "auto",
+    stats: KernelStats | None = None,
 ) -> ClosureResult:
     """Run Algorithm 5.1 for ``X`` with respect to ``Σ``.
 
@@ -180,10 +194,32 @@ def compute_closure(
         loops and making traces reproducible.
     trace:
         Optional recorder capturing every state transition (used to
-        reproduce Figures 3 and 4).
+        reproduce Figures 3 and 4).  Tracing forces the naive kernel,
+        whose passes are the paper's REPEAT passes.
+    kernel:
+        ``"auto"`` (worklist kernel unless tracing), ``"worklist"``, or
+        ``"naive"``.  Both kernels return bit-identical ``(X⁺, DB)``;
+        the worklist kernel only re-fires dependencies whose inputs may
+        have changed (see :mod:`repro.core.engine`).
+    stats:
+        Optional :class:`~repro.core.engine.KernelStats` accumulating
+        instrumentation counters across runs (worklist kernel only).
     """
     x_mask = x if isinstance(x, int) else encoding.encode(x)
     fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
+
+    if kernel not in ("auto", "worklist", "naive"):
+        raise ValueError(f"unknown kernel {kernel!r}")
+    use_worklist = kernel == "worklist" or (kernel == "auto" and trace is None)
+    if use_worklist and trace is not None:
+        raise ValueError("tracing requires the naive kernel (kernel='naive')")
+
+    if use_worklist:
+        closure_mask, blocks, passes = closure_of_masks_fast(
+            encoding, x_mask, fd_masks, mvd_masks, stats=stats,
+        )
+        return ClosureResult(encoding, x_mask, closure_mask, blocks, passes)
+
     dependencies = list(sigma)
     fd_dependencies = [d for d in dependencies if isinstance(d, FunctionalDependency)]
     mvd_dependencies = [d for d in dependencies if not isinstance(d, FunctionalDependency)]
@@ -246,8 +282,11 @@ def closure_of_masks(
     passes = 0
     while True:
         passes += 1
-        x_old = x_new
-        db_old = frozenset(db)
+        # State changes are monotone (X_new only grows, DB only refines),
+        # so per-step change flags are an exact substitute for the
+        # pseudocode's ``X_new = X_old AND DB_new = DB_old`` — without
+        # snapshotting ``frozenset(db)`` twice per pass.
+        pass_changed = False
 
         # -- FD loop -----------------------------------------------------
         for position, (u_mask, v_mask) in enumerate(fd_masks):
@@ -270,6 +309,7 @@ def closure_of_masks(
                 if new_db != db:
                     changed = True
                 db = new_db
+            pass_changed = pass_changed or changed
             if trace is not None:
                 label = fd_labels[position] if fd_labels else None
                 trace.step(passes, label, True, v_tilde, changed, x_new, frozenset(db))
@@ -295,11 +335,12 @@ def closure_of_masks(
                         )
                         if outside:
                             db.add(outside)
+            pass_changed = pass_changed or changed
             if trace is not None:
                 label = mvd_labels[position] if mvd_labels else None
                 trace.step(passes, label, False, v_tilde, changed, x_new, frozenset(db))
 
-        if x_new == x_old and frozenset(db) == db_old:
+        if not pass_changed:
             break
 
     if trace is not None:

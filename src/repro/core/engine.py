@@ -1,0 +1,287 @@
+"""Worklist-driven kernel for Algorithm 5.1 — the performance layer.
+
+The naive transcription in :mod:`repro.core.closure` mirrors the paper's
+REPEAT-UNTIL shape exactly: every pass re-fires *all* of Σ and every
+``Ū`` computation re-scans *all* of ``DB_new``.  That is the right shape
+for reproducing Figures 3–4 step by step, but it wastes exactly the
+structure that change-driven implementations of Beeri-style membership
+algorithms exploit:
+
+* **Owner index.**  ``Ū`` asks which blocks possess a basis attribute of
+  ``U`` that is not yet in ``X_new``.  Possession only changes when a
+  block changes, so the kernel maintains a basis-bit → owning-blocks
+  index and answers ``Ū`` with one lookup per candidate bit
+  (``O(popcount)``) instead of a full ``DB_new`` scan.
+
+* **Dirty-set worklist.**  A dependency's firing is a deterministic
+  function of ``(X_new, DB_new)``; re-firing it can only produce a new
+  state if, since its last firing, either ``X_new`` gained bits of its
+  left-hand side (shrinking ``Ū``'s candidates), or a block owning such
+  bits changed (changing ``Ū``), or a block straddling its last ``Ṽ``
+  appeared (re-violating the split/normalisation condition — such a
+  block always possesses a bit of ``SubB(V)``).  All three are covered
+  by marking, on every state change, the added closure bits and the
+  possessed bits of every removed/added block as *dirty*, and re-queuing
+  exactly the dependencies whose ``SubB(U) ∪ SubB(V)`` meets the dirty
+  bits.  An empty worklist is therefore equivalent to the pseudocode's
+  full no-change pass, and the kernel terminates in the same fixpoint —
+  bit-identical ``(X⁺, DB)`` — while firing each dependency only when
+  its inputs may actually have changed.
+
+The REPEAT structure survives as *generations*: the initial queue (all
+of Σ, FDs first — the paper's order) is generation 1, dependencies
+re-queued during generation ``g`` run in generation ``g + 1``.  The
+generation count is reported as ``passes`` for API compatibility; like
+the naive pass count it is bounded by the number of state changes
+(Theorem 6.3's termination argument).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from ..attributes.encoding import BasisEncoding, iter_bits
+
+__all__ = ["KernelStats", "closure_of_masks_fast"]
+
+
+class KernelStats:
+    """Opt-in instrumentation counters for the closure kernels.
+
+    One instance can be threaded through many runs (e.g. a Reasoner's
+    lifetime); counters accumulate until :meth:`reset`.
+    """
+
+    __slots__ = (
+        "runs",
+        "passes",
+        "firings",
+        "requeues",
+        "skipped_firings",
+        "u_bar_lookups",
+        "block_splits",
+        "db_rewrites",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.runs = 0
+        self.passes = 0
+        self.firings = 0
+        self.requeues = 0
+        self.skipped_firings = 0
+        self.u_bar_lookups = 0
+        self.block_splits = 0
+        self.db_rewrites = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"KernelStats({inner})"
+
+
+def closure_of_masks_fast(
+    encoding: BasisEncoding,
+    x_mask: int,
+    fd_masks: Sequence[tuple[int, int]],
+    mvd_masks: Sequence[tuple[int, int]],
+    *,
+    stats: KernelStats | None = None,
+) -> tuple[int, frozenset[int], int]:
+    """Worklist kernel for Algorithm 5.1; returns ``(X⁺, DB, passes)``.
+
+    Drop-in replacement for the mask-level naive kernel
+    :func:`repro.core.closure.closure_of_masks` (same inputs, same
+    outputs, no trace support — tracing wants the pass-by-pass shape).
+    """
+    pseudo_difference = encoding.pseudo_difference
+    double_complement = encoding.double_complement
+    possessed = encoding.possessed
+    below = encoding.below
+
+    # Dependencies in the paper's firing order: FDs first, then MVDs.
+    deps: list[tuple[int, int, bool]] = [
+        (u, v, True) for (u, v) in fd_masks
+    ] + [(u, v, False) for (u, v) in mvd_masks]
+    # Relevance mask per dependency: dirty bits meeting it trigger a re-fire.
+    relevance = [u | v for (u, v, _) in deps]
+
+    x_new = x_mask
+
+    # DB_new := MaxB(X^CC) ∪ {X^C}, with the owner index built alongside.
+    # A basis bit can be possessed by several blocks at once (blocks are
+    # down-closed and overlap in lower elements; a shared bit whose whole
+    # up-set lies inside each of them is possessed by all), so the index
+    # maps each bit to a *set* of owning blocks.  The aggregate ``owned``
+    # mask answers the common all-or-nothing cases of ``Ū`` with one AND
+    # before any per-bit work.
+    db: set[int] = set()
+    owners: dict[int, set[int]] = {}
+    owned = 0  # union of the possessed masks of all blocks
+
+    def add_block(w: int) -> int:
+        """Insert block ``w``; returns its possessed mask."""
+        nonlocal owned
+        db.add(w)
+        p = possessed(w)
+        owned |= p
+        for i in iter_bits(p):
+            bucket = owners.get(i)
+            if bucket is None:
+                owners[i] = {w}
+            else:
+                bucket.add(w)
+        return p
+
+    def remove_block(w: int) -> int:
+        """Remove block ``w``; returns its possessed mask."""
+        nonlocal owned
+        db.discard(w)
+        p = possessed(w)
+        for i in iter_bits(p):
+            bucket = owners.get(i)
+            if bucket is not None:
+                bucket.discard(w)
+                if not bucket:
+                    owned &= ~(1 << i)
+        return p
+
+    for index in iter_bits(encoding.maximal_of(double_complement(x_mask))):
+        add_block(below[index])
+    x_complement = encoding.complement(x_mask)
+    if x_complement:
+        add_block(x_complement)
+
+    # Blocks that are possibly *not* CC-closed.  The naive FD step maps
+    # every block through ``(W ∸ Ṽ)^CC``, which is the identity on
+    # CC-closed blocks untouched by ``Ṽ`` but *normalises* the others —
+    # and both the initial blocks (``X^C``, ``MaxB(X^CC)`` singletons)
+    # and the singletons an FD rewrite adds can fail to be CC-closed
+    # (their generator need not be maximal in ``N``).  To stay
+    # bit-identical, the next FD firing must rewrite these suspects even
+    # when no possessed bit of theirs meets ``Ṽ``.
+    suspects: set[int] = {w for w in db if double_complement(w) != w}
+
+    def u_bar(u_mask: int) -> int:
+        candidates = u_mask & ~x_new & owned
+        if not candidates:
+            return 0
+        if stats is not None:
+            stats.u_bar_lookups += 1
+        result = 0
+        get = owners.get
+        for i in iter_bits(candidates):
+            bucket = get(i)
+            if bucket:
+                for w in bucket:
+                    result |= w
+        return result
+
+    # Worklist: initially every dependency, in order; generations mirror
+    # the naive REPEAT passes for reporting purposes.
+    queue: deque[int] = deque(range(len(deps)))
+    queued = [True] * len(deps)
+    passes = 1
+    firings = 0
+    requeues = 0
+    splits = 0
+    rewrites = 0
+    skipped = 0
+    generation_left = len(deps)  # firings left in the current generation
+
+    while queue:
+        if generation_left == 0:
+            passes += 1
+            generation_left = len(queue)
+        generation_left -= 1
+
+        position = queue.popleft()
+        queued[position] = False
+        u_mask, v_mask, is_fd = deps[position]
+        firings += 1
+
+        v_tilde = pseudo_difference(v_mask, u_bar(u_mask))
+        if not v_tilde:
+            skipped += 1
+            continue
+
+        dirty = 0
+        if is_fd:
+            dirty |= v_tilde & ~x_new
+            x_new |= v_tilde
+            # DB_new := {(W ∸ Ṽ)^CC ≠ λ} ∪ MaxB(Ṽ^CC) singletons.  Only
+            # blocks owning a bit of Ṽ can change (an untouched block is
+            # CC-closed with all its possessed bits outside Ṽ, so it is
+            # its own survivor); the rewrite is computed as a set diff so
+            # a block that merely round-trips (removed and re-created,
+            # e.g. a singleton of Ṽ's own maximal) produces no dirt.
+            touched: set[int] = set()
+            for i in iter_bits(v_tilde & owned):
+                bucket = owners.get(i)
+                if bucket:
+                    touched.update(bucket)
+            if suspects:
+                touched.update(w for w in suspects if w in db)
+                suspects.clear()
+            replacement: set[int] = set()
+            for w in touched:
+                survivor = double_complement(pseudo_difference(w, v_tilde))
+                if survivor:
+                    replacement.add(survivor)
+            for index in iter_bits(encoding.maximal_of(double_complement(v_tilde))):
+                singleton = below[index]
+                replacement.add(singleton)
+                if double_complement(singleton) != singleton:
+                    suspects.add(singleton)
+            removed = touched - replacement
+            added_blocks = replacement - db
+            if removed or added_blocks:
+                rewrites += 1
+                for w in removed:
+                    dirty |= remove_block(w)
+                for w in added_blocks:
+                    dirty |= add_block(w)
+        else:
+            # X_new := X_new ⊔ (Ṽ ⊓ Ṽ^C) — the mixed meet rule.
+            overlap = v_tilde & encoding.complement(v_tilde)
+            dirty |= overlap & ~x_new
+            x_new |= overlap
+            # Split exactly the blocks straddling Ṽ; a straddling block
+            # owns a bit of Ṽ, so the owner index locates them all.
+            straddling: set[int] = set()
+            for i in iter_bits(v_tilde & owned):
+                bucket = owners.get(i)
+                if bucket:
+                    straddling.update(bucket)
+            for w in straddling:
+                inside = double_complement(v_tilde & w)
+                if inside and inside != w:
+                    splits += 1
+                    dirty |= remove_block(w)
+                    dirty |= add_block(inside)
+                    outside = double_complement(pseudo_difference(w, v_tilde))
+                    if outside:
+                        dirty |= add_block(outside)
+
+        if dirty:
+            for other, mask in enumerate(relevance):
+                if mask & dirty and not queued[other]:
+                    queued[other] = True
+                    queue.append(other)
+                    requeues += 1
+
+    if stats is not None:
+        stats.runs += 1
+        stats.passes += passes
+        stats.firings += firings
+        stats.requeues += requeues
+        stats.skipped_firings += skipped
+        stats.block_splits += splits
+        stats.db_rewrites += rewrites
+
+    return x_new, frozenset(db), passes

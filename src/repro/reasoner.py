@@ -8,6 +8,11 @@ algorithm per query wastes exactly the structure the paper's approach
 provides. :class:`Reasoner` memoises one :class:`ClosureResult` per
 distinct left-hand side and answers everything else from the cache.
 
+The cache is unbounded by default; pass ``maxsize`` to cap it, in which
+case the least recently used left-hand side is evicted first.  For
+batches of queries known up front, :class:`repro.batch.BulkReasoner`
+adds grouped (optionally multi-process) evaluation on top of this class.
+
 Example
 -------
 >>> from repro import Schema
@@ -21,20 +26,59 @@ True
 >>> reasoner.implies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])")
 True
 >>> reasoner.cache_info()   # one LHS computed, the second query hit it
-(1, 1)
+ReasonerCacheInfo(computed=1, hits=1, evictions=0, maxsize=None)
+>>> reasoner.cache_info() == (1, 1)   # still a two-tuple underneath
+True
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable
 
 from .core.closure import ClosureResult, compute_closure
+from .core.engine import KernelStats
 from .dependencies.dependency import Dependency, FunctionalDependency
 from .dependencies.sigma import DependencySet
 from .attributes.nested import NestedAttribute
 from .schema import Schema
 
-__all__ = ["Reasoner"]
+__all__ = ["Reasoner", "ReasonerCacheInfo"]
+
+
+class ReasonerCacheInfo(tuple):
+    """Cache statistics; compares and unpacks as ``(computed, hits)``.
+
+    The historical two-tuple shape is preserved (``computed, hits =
+    reasoner.cache_info()`` and ``cache_info() == (1, 1)`` keep
+    working); the richer counters ride along as attributes.
+    """
+
+    def __new__(cls, computed: int, hits: int, *, evictions: int = 0,
+                maxsize: int | None = None, encoding=None,
+                kernel: KernelStats | None = None) -> "ReasonerCacheInfo":
+        self = super().__new__(cls, (computed, hits))
+        self.evictions = evictions
+        self.maxsize = maxsize
+        #: The :class:`~repro.attributes.encoding.EncodingCacheInfo`.
+        self.encoding = encoding
+        #: Accumulated :class:`~repro.core.engine.KernelStats`.
+        self.kernel = kernel
+        return self
+
+    @property
+    def computed(self) -> int:
+        return self[0]
+
+    @property
+    def hits(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"ReasonerCacheInfo(computed={self[0]}, hits={self[1]}, "
+            f"evictions={self.evictions}, maxsize={self.maxsize})"
+        )
 
 
 class Reasoner:
@@ -48,31 +92,109 @@ class Reasoner:
     sigma:
         The dependency set ``Σ``, as a :class:`DependencySet` or an
         iterable of dependency texts/objects.
+    maxsize:
+        Optional cap on the number of cached left-hand sides; least
+        recently used results are evicted beyond it.  ``None`` (the
+        default) keeps every result.
     """
 
     def __init__(self, schema: Schema | NestedAttribute | str,
-                 sigma: DependencySet | Iterable) -> None:
+                 sigma: DependencySet | Iterable, *,
+                 maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be None or >= 1, got {maxsize!r}")
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self.sigma = self.schema._sigma(sigma)
-        self._results: dict[int, ClosureResult] = {}
+        self.maxsize = maxsize
+        self.kernel_stats = KernelStats()
+        self._results: OrderedDict[int, ClosureResult] = OrderedDict()
         self._hits = 0
+        self._evictions = 0
 
     # -- cache ---------------------------------------------------------------
 
     def result_for(self, x: NestedAttribute | str) -> ClosureResult:
         """The (cached) Algorithm 5.1 output for left-hand side ``x``."""
         mask = self.schema.encoding.encode(self.schema.attribute(x))
+        return self.result_for_mask(mask)
+
+    def result_for_mask(self, mask: int) -> ClosureResult:
+        """Mask-level :meth:`result_for` (the batch API's entry point)."""
         cached = self._results.get(mask)
         if cached is not None:
             self._hits += 1
+            self._results.move_to_end(mask)
             return cached
-        result = compute_closure(self.schema.encoding, mask, self.sigma)
-        self._results[mask] = result
+        result = compute_closure(self.schema.encoding, mask, self.sigma,
+                                 stats=self.kernel_stats)
+        self._store(mask, result)
         return result
 
-    def cache_info(self) -> tuple[int, int]:
-        """``(distinct left-hand sides computed, cache hits)``."""
-        return (len(self._results), self._hits)
+    def _store(self, mask: int, result: ClosureResult) -> None:
+        self._results[mask] = result
+        self._results.move_to_end(mask)
+        if self.maxsize is not None:
+            while len(self._results) > self.maxsize:
+                self._results.popitem(last=False)
+                self._evictions += 1
+
+    def cache_info(self) -> ReasonerCacheInfo:
+        """``(distinct left-hand sides cached, cache hits)`` plus extras.
+
+        The return value equals and unpacks like the historical
+        two-tuple; ``.evictions``, ``.maxsize``, ``.encoding`` and
+        ``.kernel`` expose the bounded-cache and instrumentation
+        counters added with the worklist kernel.
+        """
+        return ReasonerCacheInfo(
+            len(self._results), self._hits,
+            evictions=self._evictions,
+            maxsize=self.maxsize,
+            encoding=self.schema.encoding.cache_info(),
+            kernel=self.kernel_stats,
+        )
+
+    def cache_clear(self, *, encoding: bool = False) -> None:
+        """Drop all cached results and reset the counters.
+
+        With ``encoding=True`` the underlying
+        :class:`~repro.attributes.encoding.BasisEncoding` memo caches
+        (complement / pseudo-difference / possession) are cleared too;
+        by default they survive, since they are keyed by masks that stay
+        valid for the lifetime of the schema.
+        """
+        self._results.clear()
+        self._hits = 0
+        self._evictions = 0
+        self.kernel_stats.reset()
+        if encoding:
+            self.schema.encoding.cache_clear()
+
+    def describe_stats(self) -> str:
+        """Readable counter dump for the CLI/shell ``stats`` surfaces."""
+        info = self.cache_info()
+        kernel = info.kernel
+        reasoner_line = (
+            f"reasoner: computed={info.computed} hits={info.hits} "
+            f"evictions={info.evictions}"
+        )
+        if info.maxsize is not None:
+            reasoner_line += f" maxsize={info.maxsize}"
+        kernel_line = (
+            f"kernel:   runs={kernel.runs} passes={kernel.passes} "
+            f"firings={kernel.firings} requeues={kernel.requeues} "
+            f"skipped={kernel.skipped_firings} "
+            f"u_bar_lookups={kernel.u_bar_lookups} "
+            f"splits={kernel.block_splits} rewrites={kernel.db_rewrites}"
+        )
+        ops = ", ".join(
+            f"{op}={hits}/{hits + misses}"
+            for op, (hits, misses, _size, _maxsize) in sorted(info.encoding.items())
+        )
+        encoding_line = (
+            f"encoding: {ops} (hit rate {info.encoding.hit_rate():.1%})"
+        )
+        return "\n".join((reasoner_line, kernel_line, encoding_line))
 
     # -- queries ---------------------------------------------------------------
 

@@ -47,6 +47,7 @@ commands:
   cover               minimal cover of Σ
   synthesize          Bernstein-style FD synthesis
   witness <X>         build the §4.2 Armstrong-style instance for X
+  stats               kernel/cache instrumentation counters
   help                this text
   quit / exit         leave the shell"""
 
@@ -174,6 +175,9 @@ class ReasoningShell:
 
             self._say(synthesize(self._sigma(),
                                  encoding=schema.encoding).describe())
+            return True
+        if command == "stats":
+            self._say(self._reasoner_now().describe_stats())
             return True
         if command == "witness":
             from .values import format_instance

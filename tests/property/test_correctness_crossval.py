@@ -64,6 +64,32 @@ class TestFastVersusReference:
         assert ref_db == frozenset(enc.decode(mask) for mask in fast.blocks)
 
 
+class TestKernelEquivalence:
+    """The worklist kernel is bit-identical to the naive transcription."""
+
+    @SETTINGS
+    @given(closure_problems())
+    def test_worklist_equals_naive_and_reference(self, case):
+        root, enc, sigma, x_mask = case
+        fast = compute_closure(enc, x_mask, sigma, kernel="worklist")
+        naive = compute_closure(enc, x_mask, sigma, kernel="naive")
+        assert fast.closure_mask == naive.closure_mask
+        assert fast.blocks == naive.blocks
+        ref_closure, ref_db = reference_closure(root, enc.decode(x_mask), sigma)
+        assert ref_closure == fast.closure
+        assert ref_db == frozenset(enc.decode(mask) for mask in fast.blocks)
+
+    @SETTINGS
+    @given(closure_problems())
+    def test_auto_kernel_is_the_worklist_kernel(self, case):
+        _, enc, sigma, x_mask = case
+        auto = compute_closure(enc, x_mask, sigma)
+        explicit = compute_closure(enc, x_mask, sigma, kernel="worklist")
+        assert (auto.closure_mask, auto.blocks) == (
+            explicit.closure_mask, explicit.blocks
+        )
+
+
 class TestWitnessOracle:
     @SETTINGS
     @given(closure_problems(max_basis=5))

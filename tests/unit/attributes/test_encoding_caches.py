@@ -1,0 +1,132 @@
+"""Unit tests for the BasisEncoding memo caches and pickling support."""
+
+import pickle
+
+import pytest
+
+from repro.attributes import BasisEncoding, parse_attribute
+from repro.attributes.encoding import (
+    PAIR_CACHE_MAXSIZE,
+    UNARY_CACHE_MAXSIZE,
+    EncodingCacheInfo,
+    iter_bits,
+)
+
+
+@pytest.fixture()
+def encoding():
+    return BasisEncoding(parse_attribute("R(A, L[K(B, C)], M[D])"))
+
+
+def reference_down_close(encoding, generator_mask):
+    result = 0
+    for i in iter_bits(generator_mask):
+        result |= encoding.below[i]
+    return result
+
+
+class TestDownCloseTables:
+    def test_matches_per_bit_reference(self, encoding):
+        for mask in range(1 << encoding.size):
+            assert encoding.down_close(mask) == reference_down_close(
+                encoding, mask), mask
+
+    def test_wide_root_crosses_byte_chunks(self):
+        # > 8 basis attributes forces the multi-chunk path.
+        names = ", ".join(f"A{i}" for i in range(11))
+        encoding = BasisEncoding(parse_attribute(f"R({names}, L[B])"))
+        assert encoding.size > 8
+        for mask in (encoding.full, 1 << (encoding.size - 1),
+                     (1 << 9) | 1, encoding.full >> 3):
+            assert encoding.down_close(mask) == reference_down_close(
+                encoding, mask)
+
+
+class TestMemoisation:
+    def test_hit_and_miss_counting(self, encoding):
+        encoding.cache_clear()
+        x = encoding.full >> 1
+        encoding.complement(x)
+        encoding.complement(x)
+        info = encoding.cache_info()
+        hits, misses, size, maxsize = info["complement"]
+        assert (hits, misses) == (1, 1)
+        assert size == 1
+        assert maxsize == UNARY_CACHE_MAXSIZE
+
+    def test_pair_cache_counts(self, encoding):
+        encoding.cache_clear()
+        encoding.pseudo_difference(encoding.full, 1)
+        encoding.pseudo_difference(encoding.full, 1)
+        encoding.pseudo_difference(encoding.full, 3)
+        hits, misses, size, maxsize = encoding.cache_info()["pseudo_difference"]
+        assert (hits, misses, size) == (1, 2, 2)
+        assert maxsize == PAIR_CACHE_MAXSIZE
+
+    def test_memoised_values_stay_correct(self, encoding):
+        for mask in range(1 << encoding.size):
+            first = encoding.double_complement(mask)
+            again = encoding.double_complement(mask)
+            assert first == again
+            assert first == encoding.down_close(encoding.possessed(mask))
+
+    def test_hit_rate(self, encoding):
+        encoding.cache_clear()
+        assert encoding.cache_info().hit_rate() == 0.0
+        encoding.complement(0)
+        encoding.complement(0)
+        assert 0.0 < encoding.cache_info().hit_rate() <= 1.0
+
+    def test_cache_clear_resets(self, encoding):
+        encoding.complement(0)
+        encoding.cache_clear()
+        info = encoding.cache_info()
+        assert all(value == (0, 0, 0, value[3]) for value in info.values())
+        assert isinstance(info, EncodingCacheInfo)
+
+
+class TestEviction:
+    def test_fifo_eviction_bounds_the_pair_cache(self, encoding):
+        encoding.cache_clear()
+        encoding._pd_maxsize = 4
+        try:
+            for right in range(10):
+                encoding.pseudo_difference(encoding.full, right)
+            assert len(encoding._pd_cache) <= 4
+            # The most recent entry survives; the oldest was evicted.
+            assert (encoding.full, 9) in encoding._pd_cache
+            assert (encoding.full, 0) not in encoding._pd_cache
+        finally:
+            encoding._pd_maxsize = PAIR_CACHE_MAXSIZE
+
+    def test_evicted_entries_recompute_correctly(self, encoding):
+        encoding.cache_clear()
+        encoding._pd_maxsize = 2
+        try:
+            expected = encoding.down_close(encoding.full & ~1)
+            assert encoding.pseudo_difference(encoding.full, 1) == expected
+            encoding.pseudo_difference(encoding.full, 2)
+            encoding.pseudo_difference(encoding.full, 3)
+            assert encoding.pseudo_difference(encoding.full, 1) == expected
+        finally:
+            encoding._pd_maxsize = PAIR_CACHE_MAXSIZE
+
+
+class TestPickling:
+    def test_encoding_round_trips(self, encoding):
+        clone = pickle.loads(pickle.dumps(encoding))
+        assert clone.root == encoding.root
+        assert clone.size == encoding.size
+        assert clone.below == encoding.below
+        assert clone.above == encoding.above
+
+    def test_caches_are_not_shipped(self, encoding):
+        encoding.complement(0)
+        clone = pickle.loads(pickle.dumps(encoding))
+        hits, misses, size, _ = clone.cache_info()["complement"]
+        assert (hits, misses, size) == (0, 0, 0)
+
+    def test_attribute_classes_round_trip(self):
+        root = parse_attribute("R(A, L[K(B, C)], M[D])")
+        for node in root.walk():
+            assert pickle.loads(pickle.dumps(node)) == node

@@ -1,0 +1,114 @@
+"""Unit tests for the worklist kernel (repro.core.engine)."""
+
+import pytest
+
+from repro import Schema
+from repro.attributes import BasisEncoding
+from repro.attributes.nested import Flat, ListAttr, Record
+from repro.core.closure import closure_of_masks, compute_closure
+from repro.core.engine import KernelStats, closure_of_masks_fast
+from repro.core.trace import TraceRecorder
+
+
+@pytest.fixture()
+def pubcrawl():
+    schema = Schema("Pubcrawl(Person, Visit[Drink(Beer, Pub)])")
+    sigma = schema.dependencies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])")
+    return schema, sigma
+
+
+class TestBitIdentical:
+    def test_paper_example(self, pubcrawl):
+        schema, sigma = pubcrawl
+        enc = schema.encoding
+        for x_text in ("Pubcrawl(Person)", "Pubcrawl(Visit[λ])",
+                       "Pubcrawl(Visit[Drink(Beer)])"):
+            x = enc.encode(schema.attribute(x_text))
+            fast = compute_closure(enc, x, sigma, kernel="worklist")
+            naive = compute_closure(enc, x, sigma, kernel="naive")
+            assert fast.closure_mask == naive.closure_mask
+            assert fast.blocks == naive.blocks
+
+    def test_non_cc_closed_initial_complement(self):
+        # Regression: X^C here contains a basis attribute without its
+        # whole up-set, so it is *not* CC-closed; the naive FD step
+        # normalises every block whenever Ṽ ≠ λ, and the worklist kernel
+        # must do the same even though no possessed bit meets Ṽ.
+        root = ListAttr("L1", Record("R2", (
+            ListAttr("L3", Flat("A4")),
+            Record("R5", (Flat("A6"), Flat("A7"))),
+            Record("R8", (Flat("A9"), Flat("A10"))),
+        )))
+        enc = BasisEncoding(root)
+        fds = [(120, 21)]
+        naive = closure_of_masks(enc, 29, fds, [])
+        fast = closure_of_masks_fast(enc, 29, fds, [])
+        assert naive[0] == fast[0]
+        assert naive[1] == fast[1]
+
+    def test_empty_sigma(self, pubcrawl):
+        schema, _ = pubcrawl
+        enc = schema.encoding
+        sigma = schema.dependencies()
+        x = enc.encode(schema.attribute("Pubcrawl(Person)"))
+        fast = compute_closure(enc, x, sigma, kernel="worklist")
+        naive = compute_closure(enc, x, sigma, kernel="naive")
+        assert (fast.closure_mask, fast.blocks) == (
+            naive.closure_mask, naive.blocks)
+
+    def test_full_and_empty_lhs(self, pubcrawl):
+        schema, sigma = pubcrawl
+        enc = schema.encoding
+        for x in (0, enc.full):
+            fast = compute_closure(enc, x, sigma, kernel="worklist")
+            naive = compute_closure(enc, x, sigma, kernel="naive")
+            assert (fast.closure_mask, fast.blocks) == (
+                naive.closure_mask, naive.blocks)
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self, pubcrawl):
+        schema, sigma = pubcrawl
+        with pytest.raises(ValueError, match="unknown kernel"):
+            compute_closure(schema.encoding, 0, sigma, kernel="quantum")
+
+    def test_tracing_forces_naive(self, pubcrawl):
+        schema, sigma = pubcrawl
+        with pytest.raises(ValueError, match="naive"):
+            compute_closure(schema.encoding, 0, sigma,
+                            trace=TraceRecorder(), kernel="worklist")
+
+    def test_tracing_works_with_auto(self, pubcrawl):
+        schema, sigma = pubcrawl
+        trace = TraceRecorder()
+        x = schema.encoding.encode(schema.attribute("Pubcrawl(Person)"))
+        result = compute_closure(schema.encoding, x, sigma, trace=trace)
+        assert result.passes >= 1
+        assert trace.steps
+
+
+class TestKernelStats:
+    def test_counters_populated(self, pubcrawl):
+        schema, sigma = pubcrawl
+        stats = KernelStats()
+        x = schema.encoding.encode(schema.attribute("Pubcrawl(Person)"))
+        compute_closure(schema.encoding, x, sigma, stats=stats)
+        assert stats.runs == 1
+        assert stats.passes >= 1
+        assert stats.firings >= len(list(sigma))
+
+    def test_accumulates_and_resets(self, pubcrawl):
+        schema, sigma = pubcrawl
+        stats = KernelStats()
+        x = schema.encoding.encode(schema.attribute("Pubcrawl(Person)"))
+        compute_closure(schema.encoding, x, sigma, stats=stats)
+        compute_closure(schema.encoding, x, sigma, stats=stats)
+        assert stats.runs == 2
+        stats.reset()
+        assert stats.runs == 0 and stats.firings == 0
+
+    def test_as_dict_and_repr(self):
+        stats = KernelStats()
+        dumped = stats.as_dict()
+        assert set(dumped) == set(KernelStats.__slots__)
+        assert "runs=0" in repr(stats)

@@ -51,6 +51,44 @@ class TestImplies:
         assert "error:" in err
 
 
+class TestStatsFlag:
+    def test_implies_with_stats(self, capsys):
+        code, out, err = run(
+            capsys, "implies", "--stats", "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+        )
+        assert code == 0
+        assert out.strip() == "implied"
+        assert "kernel:" in err and "encoding:" in err
+
+    def test_stats_preserves_exit_code(self, capsys):
+        code, out, err = run(
+            capsys, "implies", "--stats", "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])",
+        )
+        assert code == 1
+        assert "not implied" in out
+        assert "reasoner:" in err
+
+    def test_closure_with_stats(self, capsys):
+        code, out, err = run(
+            capsys, "closure", "--stats", "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person)",
+        )
+        assert code == 0
+        assert out.strip() == "Pubcrawl(Person, Visit[λ])"
+        assert "kernel:" in err
+
+    def test_basis_with_stats(self, capsys):
+        code, out, err = run(
+            capsys, "basis", "--stats", "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person)",
+        )
+        assert code == 0
+        assert "Pubcrawl(Visit[Drink(Beer)])" in out
+        assert "reasoner: computed=1" in err
+
+
 class TestQueries:
     def test_closure(self, capsys):
         code, out, _ = run(

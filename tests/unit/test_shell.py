@@ -75,6 +75,27 @@ class TestSessionFlow:
         assert "(Σ is empty)" in out
 
 
+class TestStats:
+    def test_stats_after_queries(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "implies Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+            "implies Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])",
+            "stats",
+            "quit",
+        )
+        assert "reasoner: computed=1 hits=1" in out
+        assert "kernel:   runs=1" in out
+        assert "encoding:" in out
+
+    def test_stats_listed_in_help(self):
+        assert "stats" in drive("help", "quit")
+
+    def test_stats_requires_schema(self):
+        assert "no schema set" in drive("stats", "quit")
+
+
 class TestRobustness:
     def test_commands_before_schema(self):
         out = drive("implies x -> y", "sigma", "keys")
