@@ -393,6 +393,15 @@ class BasisEncoding:
             for op in sizes
         )
 
+    def cache_totals(self) -> tuple[int, int]:
+        """Aggregate ``(hits, misses)`` across the operation memo caches.
+
+        Cheaper than :meth:`cache_info` for the observability layer,
+        which samples the totals around each closure run to attribute
+        cache traffic to spans.
+        """
+        return sum(self._hits.values()), sum(self._misses.values())
+
     def cache_clear(self) -> None:
         """Drop the operation memo caches and reset their counters.
 

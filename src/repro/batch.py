@@ -32,6 +32,7 @@ from .core.closure import ClosureResult, _as_mask_sigma
 from .core.engine import closure_of_masks_fast
 from .dependencies.dependency import Dependency, FunctionalDependency
 from .dependencies.sigma import DependencySet
+from .obs import InMemorySink, Observer, get_observer, install
 from .reasoner import Reasoner
 from .schema import Schema
 
@@ -42,24 +43,46 @@ __all__ = ["BulkReasoner", "implies_all"]
 _MIN_PARALLEL_LHS = 4
 
 # Worker-side state, installed once per worker process by _init_worker.
-_WORKER_STATE: tuple[BasisEncoding, list, list] | None = None
+_WORKER_STATE: tuple[BasisEncoding, list, list, bool] | None = None
 
 
-def _init_worker(root: NestedAttribute, sigma: DependencySet) -> None:
+def _init_worker(root: NestedAttribute, sigma: DependencySet,
+                 collect_spans: bool = False) -> None:
     """Pool initializer: unpickle ``(N, Σ)`` once, build tables worker-side."""
     global _WORKER_STATE
     encoding = BasisEncoding(root)
     fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
-    _WORKER_STATE = (encoding, fd_masks, mvd_masks)
+    _WORKER_STATE = (encoding, fd_masks, mvd_masks, collect_spans)
 
 
-def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int]:
-    """Run the worklist kernel for one LHS mask in a worker process."""
-    encoding, fd_masks, mvd_masks = _WORKER_STATE
-    closure_mask, blocks, passes = closure_of_masks_fast(
-        encoding, mask, fd_masks, mvd_masks
-    )
-    return mask, closure_mask, blocks, passes
+def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple]:
+    """Run the worklist kernel for one LHS mask in a worker process.
+
+    When the parent's observer was enabled at pool creation, the run is
+    traced with a worker-local observer and the finished span records
+    travel back as plain dicts for the parent to
+    :meth:`~repro.obs.Observer.adopt` — worker-side timing, parent-side
+    parenting.
+    """
+    encoding, fd_masks, mvd_masks, collect_spans = _WORKER_STATE
+    if not collect_spans:
+        closure_mask, blocks, passes = closure_of_masks_fast(
+            encoding, mask, fd_masks, mvd_masks
+        )
+        return mask, closure_mask, blocks, passes, ()
+
+    import os
+
+    from .core.closure import closure_of_masks_instrumented
+
+    sink = InMemorySink()
+    with install(Observer([sink])) as observer:
+        with observer.span("batch.worker", lhs=format(mask, "#x"),
+                           pid=os.getpid()):
+            closure_mask, blocks, passes = closure_of_masks_instrumented(
+                encoding, mask, fd_masks, mvd_masks
+            )
+    return mask, closure_mask, blocks, passes, tuple(sink.spans)
 
 
 class BulkReasoner:
@@ -120,15 +143,37 @@ class BulkReasoner:
 
         if workers is None:
             workers = self.workers
-        self._prefetch([lhs for _, lhs, _ in queries], workers)
 
-        verdicts: list[bool] = []
-        for dependency, lhs_mask, rhs_mask in queries:
-            result = self.reasoner.result_for_mask(lhs_mask)
-            if isinstance(dependency, FunctionalDependency):
-                verdicts.append(result.implies_fd_rhs(rhs_mask))
-            else:
-                verdicts.append(result.implies_mvd_rhs(rhs_mask))
+        obs = get_observer()
+        if not obs.enabled:
+            self._prefetch([lhs for _, lhs, _ in queries], workers)
+            verdicts: list[bool] = []
+            for dependency, lhs_mask, rhs_mask in queries:
+                result = self.reasoner.result_for_mask(lhs_mask)
+                if isinstance(dependency, FunctionalDependency):
+                    verdicts.append(result.implies_fd_rhs(rhs_mask))
+                else:
+                    verdicts.append(result.implies_mvd_rhs(rhs_mask))
+            return verdicts
+
+        distinct = len({lhs for _, lhs, _ in queries})
+        with obs.span("batch.implies_all", queries=len(queries),
+                      distinct_lhs=distinct, workers=workers or 0):
+            self._prefetch([lhs for _, lhs, _ in queries], workers)
+            verdicts = []
+            for index, (dependency, lhs_mask, rhs_mask) in enumerate(queries):
+                is_fd = isinstance(dependency, FunctionalDependency)
+                with obs.span("batch.query", index=index,
+                              kind="fd" if is_fd else "mvd",
+                              lhs=format(lhs_mask, "#x")) as query_span:
+                    result = self.reasoner.result_for_mask(lhs_mask)
+                    verdict = (result.implies_fd_rhs(rhs_mask) if is_fd
+                               else result.implies_mvd_rhs(rhs_mask))
+                    query_span.set(verdict=verdict)
+                verdicts.append(verdict)
+        obs.add("batch.queries", len(queries))
+        obs.add("batch.batches")
+        obs.observe("batch.fanout", distinct)
         return verdicts
 
     def closures_for(self, lhs_list: Iterable[NestedAttribute | str], *,
@@ -158,19 +203,29 @@ class BulkReasoner:
 
         import concurrent.futures
 
+        obs = get_observer()
         encoding = self.schema.encoding
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
-            initializer=_init_worker,
-            initargs=(self.schema.root, self.sigma),
-        ) as pool:
-            for mask, closure_mask, blocks, passes in pool.map(
-                _solve_mask, pending, chunksize=max(1, len(pending) // workers)
-            ):
-                self.reasoner._store(
-                    mask,
-                    ClosureResult(encoding, mask, closure_mask, blocks, passes),
-                )
+        with obs.span("batch.prefetch", pending=len(pending),
+                      workers=min(workers, len(pending)), parallel=True):
+            obs.add("batch.pool_dispatches")
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=_init_worker,
+                initargs=(self.schema.root, self.sigma, obs.enabled),
+            ) as pool:
+                for mask, closure_mask, blocks, passes, spans in pool.map(
+                    _solve_mask, pending,
+                    chunksize=max(1, len(pending) // workers),
+                ):
+                    self.reasoner._store(
+                        mask,
+                        ClosureResult(encoding, mask, closure_mask, blocks,
+                                      passes),
+                    )
+                    if spans:
+                        # Re-number the worker's ids into this observer
+                        # and graft its roots under the prefetch span.
+                        obs.adopt(spans)
 
     # -- conveniences ------------------------------------------------------
 
@@ -181,8 +236,14 @@ class BulkReasoner:
     def cache_info(self):
         return self.reasoner.cache_info()
 
-    def cache_clear(self, **kwargs) -> None:
-        self.reasoner.cache_clear(**kwargs)
+    def cache_clear(self, *, encoding: bool = False) -> None:
+        """Clear the shared reasoner cache (the library-wide contract).
+
+        Same keyword contract as :meth:`Reasoner.cache_clear`: clears
+        exactly what :meth:`cache_info` reports on, and ``encoding=True``
+        cascades to :meth:`BasisEncoding.cache_clear`.
+        """
+        self.reasoner.cache_clear(encoding=encoding)
 
     def __repr__(self) -> str:
         computed, hits = self.reasoner.cache_info()

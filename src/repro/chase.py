@@ -42,6 +42,7 @@ from .dependencies.dependency import (
 from .dependencies.satisfaction import violating_fd_pair
 from .dependencies.sigma import DependencySet
 from .exceptions import ReproError
+from .obs import get_observer
 from .values.join import amalgamate, compatible
 from .values.projection import project
 from .values.value import Value
@@ -112,7 +113,6 @@ def chase(root: NestedAttribute, instance: Iterable[Value],
         dependency.validate(root)
 
     current: set[Value] = set(instance)
-    original = frozenset(current)
 
     def check_fds() -> None:
         for fd in fds:
@@ -120,6 +120,31 @@ def chase(root: NestedAttribute, instance: Iterable[Value],
             if pair is not None:
                 raise ChaseFailure(fd, pair, root)
 
+    obs = get_observer()
+    with obs.span("chase.run", tuples_in=len(current), sigma=len(dependencies),
+                  fds=len(fds), mvds=len(mvds)) as span:
+        rounds, added = _chase_rounds(
+            root, current, fds, mvds, check_fds, max_tuples
+        )
+        span.set(rounds=rounds, added=len(added), tuples_out=len(current))
+    obs.add("chase.runs")
+    obs.add("chase.rounds", rounds)
+    obs.add("chase.exchange_tuples", len(added))
+    obs.observe("chase.rounds_per_run", rounds)
+
+    return ChaseResult(
+        frozenset(current), added, rounds
+    )
+
+
+def _chase_rounds(root, current, fds, mvds, check_fds, max_tuples):
+    """The fixpoint loop of :func:`chase`; mutates ``current`` in place.
+
+    Returns ``(rounds, added_tuples)``.  Factored out so the span
+    wrapper around it stays flat — the observability layer wants one
+    span per chase, not per round.
+    """
+    original = frozenset(current)
     check_fds()
     rounds = 0
     changed = True
@@ -167,6 +192,4 @@ def chase(root: NestedAttribute, instance: Iterable[Value],
         if changed:
             check_fds()
 
-    return ChaseResult(
-        frozenset(current), frozenset(current - original), rounds
-    )
+    return rounds, frozenset(current - original)

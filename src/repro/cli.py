@@ -39,6 +39,20 @@ from .schema import Schema
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    """The observability flags (any command touching the engine)."""
+    parser.add_argument(
+        "--trace-json", metavar="PATH",
+        help="write the observability spans (and a final metrics "
+        "snapshot) as JSON lines to PATH — see docs/OBSERVABILITY.md",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the observability metrics (counters + histograms) "
+        "to stderr after the command",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser, *, with_sigma: bool = True) -> None:
     parser.add_argument(
         "--schema", required=True,
@@ -59,6 +73,7 @@ def _add_common(parser: argparse.ArgumentParser, *, with_sigma: bool = True) -> 
             help="print kernel/cache instrumentation counters to stderr "
             "(implies/closure/basis)",
         )
+        _add_obs(parser)
 
 
 def _load_sigma(schema: Schema, args: argparse.Namespace):
@@ -129,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         "MVDs; prints the chased instance as JSON"
     )
     chase_cmd.add_argument("problem", help="a problem JSON file (see repro.io)")
+    _add_obs(chase_cmd)
 
     audit = commands.add_parser(
         "audit", help="redundancy audit of a problem file's instance "
@@ -169,6 +185,25 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         return run_shell()
 
+    trace_json = getattr(args, "trace_json", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_json or want_metrics:
+        from .obs import JsonlSink, Observer, set_observer
+
+        observer = Observer([JsonlSink(trace_json)] if trace_json else [])
+        previous = set_observer(observer)
+        try:
+            return _dispatch(args)
+        finally:
+            set_observer(previous)
+            observer.close()
+            if want_metrics:
+                print(observer.metrics.describe(), file=sys.stderr)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the non-shell, non-figures command; returns the exit code."""
     try:
         if args.command in ("check", "chase", "audit"):
             return _run_problem_command(args)

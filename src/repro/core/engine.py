@@ -62,6 +62,7 @@ class KernelStats:
         "u_bar_lookups",
         "block_splits",
         "db_rewrites",
+        "dirty_bits",
     )
 
     def __init__(self) -> None:
@@ -76,6 +77,18 @@ class KernelStats:
         self.u_bar_lookups = 0
         self.block_splits = 0
         self.db_rewrites = 0
+        self.dirty_bits = 0
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another instance's counters into this one.
+
+        The observability layer runs each closure with a private
+        per-run instance (for span attribution) and merges it into the
+        caller's accumulator afterwards, so both views count each event
+        exactly once.
+        """
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -192,6 +205,8 @@ def closure_of_masks_fast(
     splits = 0
     rewrites = 0
     skipped = 0
+    dirty_total = 0
+    track_dirty = stats is not None
     generation_left = len(deps)  # firings left in the current generation
 
     while queue:
@@ -269,6 +284,8 @@ def closure_of_masks_fast(
                         dirty |= add_block(outside)
 
         if dirty:
+            if track_dirty:
+                dirty_total += dirty.bit_count()
             for other, mask in enumerate(relevance):
                 if mask & dirty and not queued[other]:
                     queued[other] = True
@@ -283,5 +300,6 @@ def closure_of_masks_fast(
         stats.skipped_firings += skipped
         stats.block_splits += splits
         stats.db_rewrites += rewrites
+        stats.dirty_bits += dirty_total
 
     return x_new, frozenset(db), passes

@@ -38,6 +38,7 @@ from typing import Iterable
 
 from .core.closure import ClosureResult, compute_closure
 from .core.engine import KernelStats
+from .obs import get_observer
 from .dependencies.dependency import Dependency, FunctionalDependency
 from .dependencies.sigma import DependencySet
 from .attributes.nested import NestedAttribute
@@ -124,9 +125,18 @@ class Reasoner:
         if cached is not None:
             self._hits += 1
             self._results.move_to_end(mask)
+            get_observer().add("reasoner.cache.hits")
             return cached
-        result = compute_closure(self.schema.encoding, mask, self.sigma,
-                                 stats=self.kernel_stats)
+        obs = get_observer()
+        if obs.enabled:
+            obs.add("reasoner.cache.misses")
+            with obs.span("reasoner.query", lhs=format(mask, "#x"),
+                          cached=False):
+                result = compute_closure(self.schema.encoding, mask,
+                                         self.sigma, stats=self.kernel_stats)
+        else:
+            result = compute_closure(self.schema.encoding, mask, self.sigma,
+                                     stats=self.kernel_stats)
         self._store(mask, result)
         return result
 
@@ -137,6 +147,7 @@ class Reasoner:
             while len(self._results) > self.maxsize:
                 self._results.popitem(last=False)
                 self._evictions += 1
+                get_observer().add("reasoner.cache.evictions")
 
     def cache_info(self) -> ReasonerCacheInfo:
         """``(distinct left-hand sides cached, cache hits)`` plus extras.
@@ -156,6 +167,14 @@ class Reasoner:
 
     def cache_clear(self, *, encoding: bool = False) -> None:
         """Drop all cached results and reset the counters.
+
+        This signature is the library-wide cache-clearing contract:
+        every ``cache_clear`` takes keyword-only flags, resets exactly
+        the state its ``cache_info()`` reports on (entries *and*
+        counters), and the ``encoding`` flag cascades one layer down.
+        :meth:`BulkReasoner.cache_clear` forwards here verbatim;
+        :meth:`BasisEncoding.cache_clear` is the bottom of the chain
+        and takes no flags.
 
         With ``encoding=True`` the underlying
         :class:`~repro.attributes.encoding.BasisEncoding` memo caches

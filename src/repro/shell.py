@@ -48,6 +48,10 @@ commands:
   synthesize          Bernstein-style FD synthesis
   witness <X>         build the §4.2 Armstrong-style instance for X
   stats               kernel/cache instrumentation counters
+  trace on [PATH]     start recording observability spans
+                      (optionally streamed to PATH as JSON lines)
+  trace off           stop recording, report the span count
+  metrics             observability counters/histograms of this session
   help                this text
   quit / exit         leave the shell"""
 
@@ -60,6 +64,9 @@ class ReasoningShell:
         self.schema: Schema | None = None
         self._dependencies: list = []
         self._reasoner: Reasoner | None = None
+        self._observer = None
+        self._span_sink = None
+        self._previous_observer = None
 
     # -- helpers ----------------------------------------------------------
 
@@ -104,6 +111,16 @@ class ReasoningShell:
             return False
         if command == "help":
             self._say(_HELP)
+            return True
+        if command == "trace":
+            word, _, rest = argument.partition(" ")
+            if word in ("on", "off"):
+                return self._toggle_tracing(word, rest.strip())
+        if command == "metrics":
+            if self._observer is None:
+                self._say("observability is off — 'trace on' to start")
+            else:
+                self._say(self._observer.metrics.describe())
             return True
         if command == "schema":
             self.schema = Schema(argument)
@@ -192,6 +209,45 @@ class ReasoningShell:
         self._say(f"unknown command {command!r} — try 'help'")
         return True
 
+    # -- observability -----------------------------------------------------
+
+    def _toggle_tracing(self, word: str, path: str) -> bool:
+        from .obs import InMemorySink, JsonlSink, Observer, set_observer
+
+        if word == "on":
+            if self._observer is not None:
+                self._say("tracing is already on")
+                return True
+            self._span_sink = InMemorySink()
+            sinks = [self._span_sink]
+            if path:
+                sinks.append(JsonlSink(path))
+            self._observer = Observer(sinks)
+            self._previous_observer = set_observer(self._observer)
+            where = f", streaming to {path}" if path else ""
+            self._say(f"tracing on{where}")
+            return True
+        if self._observer is None:
+            self._say("tracing is not on")
+            return True
+        self._close_tracing()
+        return True
+
+    def _close_tracing(self) -> None:
+        from .obs import set_observer
+
+        set_observer(self._previous_observer)
+        self._observer.close()
+        self._say(f"tracing off ({len(self._span_sink.spans)} spans recorded)")
+        self._observer = None
+        self._span_sink = None
+        self._previous_observer = None
+
+    def close(self) -> None:
+        """End-of-session cleanup: uninstall a still-active observer."""
+        if self._observer is not None:
+            self._close_tracing()
+
 
 def run_shell(lines: Iterable[str] | None = None,
               output: IO[str] | None = None) -> int:
@@ -200,9 +256,12 @@ def run_shell(lines: Iterable[str] | None = None,
     shell._say("repro reasoning shell — 'help' for commands, 'quit' to leave")
     if lines is None:  # pragma: no cover - interactive path
         lines = _interactive_lines()
-    for line in lines:
-        if not shell.handle(line):
-            break
+    try:
+        for line in lines:
+            if not shell.handle(line):
+                break
+    finally:
+        shell.close()
     return 0
 
 

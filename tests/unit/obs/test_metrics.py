@@ -1,0 +1,99 @@
+"""Unit tests for counters, bounded histograms and the registry."""
+
+import pytest
+
+from repro.obs import DEFAULT_BOUNDS, Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_repr(self):
+        assert "value=0" in repr(Counter("x"))
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive(self):
+        histogram = Histogram("h", bounds=(1, 4, 16))
+        for value in (0, 1, 2, 4, 5, 16, 17, 1000):
+            histogram.observe(value)
+        # buckets: ≤1, ≤4, ≤16, overflow
+        assert histogram.buckets == [2, 2, 2, 2]
+
+    def test_count_sum_min_max_mean(self):
+        histogram = Histogram("h", bounds=(10,))
+        for value in (2, 4, 6):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 12
+        assert (histogram.min, histogram.max) == (2, 6)
+        assert histogram.mean == 4
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        assert histogram.min is None
+        assert histogram.as_dict()["count"] == 0
+
+    def test_memory_is_bounded(self):
+        histogram = Histogram("h")
+        for value in range(10_000):
+            histogram.observe(value)
+        assert len(histogram.buckets) == len(DEFAULT_BOUNDS) + 1
+        assert sum(histogram.buckets) == 10_000
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(4, 1))
+
+    def test_default_bounds_are_ascending_powers(self):
+        assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)
+        assert DEFAULT_BOUNDS[0] == 1
+
+
+class TestMetricsRegistry:
+    def test_add_and_observe_create_on_demand(self):
+        registry = MetricsRegistry()
+        registry.add("c", 2)
+        registry.observe("h", 3)
+        assert registry.counter("c").value == 2
+        assert registry.histogram("h").count == 1
+        assert len(registry) == 2
+
+    def test_same_name_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.add("b")
+        registry.add("a", 3)
+        registry.observe("h", 5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 3, "b": 1}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert list(snapshot["counters"]) == ["a", "b"]  # sorted
+
+    def test_describe_empty_and_filled(self):
+        registry = MetricsRegistry()
+        assert registry.describe() == "(no metrics recorded)"
+        registry.add("closure.runs", 2)
+        registry.observe("closure.passes_per_run", 3)
+        text = registry.describe()
+        assert "closure.runs = 2" in text
+        assert "count=1" in text
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.add("c")
+        registry.observe("h", 1)
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}

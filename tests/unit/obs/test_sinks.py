@@ -1,0 +1,85 @@
+"""Unit tests for the sink implementations."""
+
+import io
+import json
+
+from repro.obs import InMemorySink, JsonlSink, NullSink, Sink
+
+
+def _span(span_id, parent=None, name="s"):
+    return {"event": "span", "id": span_id, "parent": parent, "name": name,
+            "start_ns": 0, "end_ns": 1, "attrs": {}}
+
+
+class TestBaseAndNullSink:
+    def test_base_interface_is_all_noops(self):
+        sink = Sink()
+        sink.on_span(_span(1))
+        sink.on_metrics({})
+        sink.flush()
+        sink.close()
+
+    def test_null_sink_discards(self):
+        sink = NullSink()
+        sink.on_span(_span(1))
+        sink.close()
+
+
+class TestInMemorySink:
+    def test_helpers(self):
+        sink = InMemorySink()
+        sink.on_span(_span(1, name="root"))
+        sink.on_span(_span(2, parent=1, name="child"))
+        sink.on_span(_span(3, parent=1, name="child"))
+        sink.on_metrics({"counters": {}})
+        assert [r["id"] for r in sink.roots()] == [1]
+        assert [r["id"] for r in sink.children_of(1)] == [2, 3]
+        assert len(sink.by_name("child")) == 2
+        assert len(sink.metrics) == 1
+
+    def test_clear(self):
+        sink = InMemorySink()
+        sink.on_span(_span(1))
+        sink.on_metrics({})
+        sink.clear()
+        assert sink.spans == [] and sink.metrics == []
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.on_span(_span(1))
+        sink.on_metrics({"counters": {"c": 1}})
+        sink.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["event"] == "span"
+        assert json.loads(lines[1]) == {
+            "event": "metrics", "metrics": {"counters": {"c": 1}}
+        }
+        assert sink.records_written == 2
+
+    def test_lazy_open_creates_no_file_without_records(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        sink = JsonlSink(str(path))
+        sink.flush()
+        sink.close()
+        assert not path.exists()
+
+    def test_events_after_close_are_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.on_span(_span(1))
+        sink.close()
+        sink.on_span(_span(2))  # must not raise, must not reopen
+        assert sink.records_written == 1
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+
+    def test_accepts_file_object_without_closing_it(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.on_span(_span(1))
+        sink.close()
+        assert not buffer.closed
+        assert json.loads(buffer.getvalue())["id"] == 1

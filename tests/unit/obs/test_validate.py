@@ -1,0 +1,82 @@
+"""Unit tests for trace round-trip validation."""
+
+import pytest
+
+from repro.obs import validate_records, validate_trace
+from repro.obs.validate import COMPLETION_ATTRS, REQUIRED_ATTRS
+
+
+def _span(span_id, *, parent=None, name="custom.event", start=0, end=1,
+          attrs=None):
+    return {"event": "span", "id": span_id, "parent": parent, "name": name,
+            "start_ns": start, "end_ns": end,
+            "attrs": {} if attrs is None else attrs}
+
+
+class TestValidateRecords:
+    def test_counts_spans_and_metrics(self):
+        records = [_span(1), _span(2, parent=1),
+                   {"event": "metrics", "metrics": {"counters": {}}}]
+        assert validate_records(records) == {"spans": 2, "metrics": 1}
+
+    def test_rejects_unknown_event(self):
+        with pytest.raises(ValueError, match="unknown event"):
+            validate_records([{"event": "bogus"}])
+
+    def test_rejects_metrics_without_payload(self):
+        with pytest.raises(ValueError, match="metrics record"):
+            validate_records([{"event": "metrics"}])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate id"):
+            validate_records([_span(1), _span(1)])
+
+    def test_rejects_non_monotonic_interval(self):
+        with pytest.raises(ValueError, match="non-monotonic"):
+            validate_records([_span(1, start=5, end=4)])
+
+    def test_rejects_unfinished_span(self):
+        with pytest.raises(ValueError, match="non-monotonic"):
+            validate_records([_span(1, end=None)])
+
+    def test_rejects_dangling_parent(self):
+        with pytest.raises(ValueError, match="dangling parent"):
+            validate_records([_span(1, parent=99)])
+
+    def test_forward_parent_reference_is_fine(self):
+        # Children finish (and stream out) before their parents.
+        validate_records([_span(2, parent=1), _span(1)])
+
+    def test_documented_span_names_require_their_attrs(self):
+        with pytest.raises(ValueError, match="missing attribute keys"):
+            validate_records([_span(1, name="closure.compute")])
+
+    def test_error_spans_skip_completion_attrs(self):
+        attrs = {key: 0 for key in REQUIRED_ATTRS["chase.run"]}
+        with pytest.raises(ValueError, match="missing attribute keys"):
+            validate_records([_span(1, name="chase.run", attrs=dict(attrs))])
+        attrs["error"] = "ValueError"
+        validate_records([_span(1, name="chase.run", attrs=attrs)])
+
+    def test_every_documented_name_has_required_attrs(self):
+        # COMPLETION_ATTRS only makes sense for documented span names.
+        assert set(COMPLETION_ATTRS) <= set(REQUIRED_ATTRS)
+
+
+class TestValidateTrace:
+    def test_round_trips_a_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"event": "span", "id": 1, "parent": null, "name": "x", '
+            '"start_ns": 0, "end_ns": 1, "attrs": {}}\n'
+            "\n"  # blank lines are tolerated
+            '{"event": "metrics", "metrics": {}}\n',
+            encoding="utf-8",
+        )
+        assert validate_trace(str(path)) == {"spans": 1, "metrics": 1}
+
+    def test_reports_line_number_on_bad_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=":1:"):
+            validate_trace(str(path))

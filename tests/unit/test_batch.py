@@ -123,3 +123,93 @@ class TestParallelBatch:
         monkeypatch.setattr(repro.batch, "_MIN_PARALLEL_LHS", 1)
         bulk = BulkReasoner(schema, sigma)
         assert bulk.implies_all(QUERIES, workers=2) == bulk.implies_all(QUERIES)
+
+
+class TestBatchObservability:
+    """Per-query spans, and worker spans merged across the process pool."""
+
+    @pytest.fixture()
+    def sink(self):
+        from repro.obs import InMemorySink
+
+        return InMemorySink()
+
+    def test_serial_batch_emits_per_query_spans(self, schema, sigma, sink):
+        from repro.obs import Observer, install
+
+        with install(Observer([sink])):
+            verdicts = BulkReasoner(schema, sigma).implies_all(QUERIES)
+
+        [batch] = sink.by_name("batch.implies_all")
+        assert batch["attrs"] == {"queries": 5, "distinct_lhs": 3, "workers": 0}
+        queries = sink.by_name("batch.query")
+        assert [q["attrs"]["index"] for q in queries] == [0, 1, 2, 3, 4]
+        assert all(q["parent"] == batch["id"] for q in queries)
+        assert [q["attrs"]["verdict"] for q in queries] == verdicts
+        assert [q["attrs"]["kind"] for q in queries] == \
+            ["fd", "mvd", "mvd", "fd", "mvd"]
+        # the three computed LHSs nest a reasoner.query -> closure.compute
+        # chain under their batch.query span; the two hits do not
+        reasoner_spans = sink.by_name("reasoner.query")
+        assert len(reasoner_spans) == 3
+        assert {r["parent"] for r in reasoner_spans} <= \
+            {q["id"] for q in queries}
+        assert len(sink.by_name("closure.compute")) == 3
+
+    def test_batch_metrics(self, schema, sigma):
+        from repro.obs import Observer, install
+
+        with install(Observer()) as observer:
+            BulkReasoner(schema, sigma).implies_all(QUERIES)
+            snapshot = observer.metrics.snapshot()
+        assert snapshot["counters"]["batch.queries"] == 5
+        assert snapshot["counters"]["batch.batches"] == 1
+        assert snapshot["counters"]["closure.runs"] == 3
+        assert snapshot["histograms"]["batch.fanout"]["max"] == 3
+
+    def test_disabled_observer_records_nothing(self, schema, sigma, sink):
+        BulkReasoner(schema, sigma).implies_all(QUERIES)
+        assert sink.spans == []
+
+    def test_pool_worker_spans_merge_into_parent(self, schema, sigma, sink,
+                                                 monkeypatch):
+        from repro.obs import Observer, install, validate_records
+
+        monkeypatch.setattr(repro.batch, "_MIN_PARALLEL_LHS", 1)
+        with install(Observer([sink])):
+            BulkReasoner(schema, sigma, workers=2).implies_all(QUERIES)
+
+        [batch] = sink.by_name("batch.implies_all")
+        [prefetch] = sink.by_name("batch.prefetch")
+        assert prefetch["parent"] == batch["id"]
+        assert prefetch["attrs"] == {"pending": 3, "workers": 2,
+                                     "parallel": True}
+
+        workers = sink.by_name("batch.worker")
+        assert len(workers) == 3  # one per distinct uncached LHS
+        assert all(w["parent"] == prefetch["id"] for w in workers)
+        assert all(isinstance(w["attrs"]["pid"], int) for w in workers)
+
+        # each worker's closure.compute child was re-parented with it
+        worker_ids = {w["id"] for w in workers}
+        worker_closures = [
+            c for c in sink.by_name("closure.compute")
+            if c["parent"] in worker_ids
+        ]
+        assert len(worker_closures) == 3
+        # merged ids are unique and the whole trace stays well-formed
+        counts = validate_records(sink.spans)
+        assert counts["spans"] == len(sink.spans)
+
+    def test_pool_metrics_count_dispatch(self, schema, sigma, monkeypatch):
+        from repro.obs import Observer, install
+
+        monkeypatch.setattr(repro.batch, "_MIN_PARALLEL_LHS", 1)
+        with install(Observer()) as observer:
+            BulkReasoner(schema, sigma, workers=2).implies_all(QUERIES)
+            counters = observer.metrics.snapshot()["counters"]
+        assert counters["batch.pool_dispatches"] == 1
+        # worker-side kernel runs happen in the workers; the parent's
+        # closure.runs counter only counts local runs (zero here — every
+        # query is served from the prefetched cache)
+        assert counters.get("closure.runs", 0) == 0

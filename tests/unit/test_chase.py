@@ -138,3 +138,32 @@ class TestBudgetsAndStructure:
         result = chase(flat_root, seed, flat_sigma)
         assert not (result.added & seed)
         assert result.instance == seed | result.added
+
+
+class TestChaseObservability:
+    def test_chase_run_span(self, flat_root, flat_sigma):
+        from repro.obs import InMemorySink, Observer, install
+
+        sink = InMemorySink()
+        with install(Observer([sink])):
+            result = chase(flat_root, {(1, "b1", "c1"), (1, "b2", "c2")},
+                           flat_sigma)
+        [span] = sink.by_name("chase.run")
+        assert span["attrs"] == {
+            "tuples_in": 2, "sigma": 1, "fds": 0, "mvds": 1,
+            "rounds": result.rounds, "added": 2, "tuples_out": 4,
+        }
+
+    def test_chase_metrics(self, flat_root, flat_sigma):
+        from repro.obs import Observer, install
+
+        with install(Observer()) as observer:
+            chase(flat_root, {(1, "b1", "c1"), (1, "b2", "c2")}, flat_sigma)
+            counters = observer.metrics.snapshot()["counters"]
+        assert counters["chase.runs"] == 1
+        assert counters["chase.exchange_tuples"] == 2
+
+    def test_disabled_observer_chase_unchanged(self, flat_root, flat_sigma):
+        result = chase(flat_root, {(1, "b1", "c1"), (1, "b2", "c2")},
+                       flat_sigma)
+        assert len(result.instance) == 4

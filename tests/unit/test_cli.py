@@ -272,3 +272,66 @@ class TestProblemFileCommands:
         code, out, _ = run(capsys, "figures", "--dot")
         assert code == 0
         assert out.count("digraph") == 2
+
+
+class TestObservabilityFlags:
+    def test_trace_json_round_trips(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import get_observer, validate_trace
+
+        path = tmp_path / "trace.jsonl"
+        code, out, _ = run(
+            capsys, "implies", "--trace-json", str(path),
+            "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+        )
+        assert code == 0
+        assert out.strip() == "implied"
+        counts = validate_trace(str(path))
+        assert counts["spans"] >= 1
+        assert counts["metrics"] == 1
+        with path.open(encoding="utf-8") as handle:
+            names = [json.loads(line)["name"] for line in handle
+                     if '"event": "span"' in line]
+        assert "closure.compute" in names
+        # the observer was uninstalled afterwards
+        assert get_observer().enabled is False
+
+    def test_metrics_flag_prints_to_stderr(self, capsys):
+        code, out, err = run(
+            capsys, "closure", "--metrics", "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person)",
+        )
+        assert code == 0
+        assert "Visit[λ]" in out
+        assert "closure.runs = 1" in err
+        assert "closure.passes_per_run" in err
+
+    def test_chase_accepts_trace_json(self, capsys, tmp_path):
+        import json
+
+        from repro import Schema
+        from repro.io import Problem, dump_problem
+        from repro.obs import validate_trace
+
+        schema = Schema("R(A, B, C)")
+        sigma = schema.dependencies("R(A) ->> R(B)")
+        instance = schema.instance([(1, "b1", "c1"), (1, "b2", "c2")])
+        problem = tmp_path / "problem.json"
+        dump_problem(problem, Problem(schema, sigma, instance))
+        trace = tmp_path / "chase.jsonl"
+        code, out, _ = run(capsys, "chase", "--trace-json", str(trace),
+                           str(problem))
+        assert code == 0
+        json.loads(out)  # the chased instance is still valid JSON
+        counts = validate_trace(str(trace))
+        assert counts["spans"] >= 1
+
+    def test_flags_off_leave_observer_untouched(self, capsys):
+        from repro.obs import get_observer
+
+        before = get_observer()
+        run(capsys, "implies", "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+        assert get_observer() is before

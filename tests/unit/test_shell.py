@@ -154,3 +154,72 @@ class TestDesignCommands:
     def test_drop_with_garbage_argument(self):
         out = drive("schema R(A, B)", "drop nonsense")
         assert "no dependency #nonsense" in out
+
+
+class TestTracing:
+    def test_trace_on_off_cycle(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "trace on",
+            "implies Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+            "trace off",
+        )
+        assert "tracing on" in out
+        assert "spans recorded)" in out
+        # the query between on/off produced at least the reasoner.query
+        # and closure.compute spans
+        import re
+
+        match = re.search(r"tracing off \((\d+) spans recorded\)", out)
+        assert match and int(match.group(1)) >= 2
+
+    def test_trace_on_streams_jsonl(self, tmp_path):
+        from repro.obs import validate_trace
+
+        path = tmp_path / "session.jsonl"
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            f"trace on {path}",
+            "closure Pubcrawl(Person)",
+            "trace off",
+        )
+        assert f"streaming to {path}" in out
+        counts = validate_trace(str(path))
+        assert counts["spans"] >= 1
+        assert counts["metrics"] == 1
+
+    def test_metrics_command(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "trace on",
+            "closure Pubcrawl(Person)",
+            "metrics",
+            "trace off",
+        )
+        assert "closure.runs = 1" in out
+
+    def test_metrics_before_trace_on(self):
+        out = drive("metrics")
+        assert "observability is off" in out
+
+    def test_double_on_and_stray_off(self):
+        out = drive("trace on", "trace on", "trace off", "trace off")
+        assert "tracing is already on" in out
+        assert "tracing is not on" in out
+
+    def test_quit_cleans_up_active_trace(self):
+        from repro.obs import get_observer
+
+        out = drive(f"schema {SCHEMA}", "trace on", "quit")
+        assert "tracing off" in out  # close() reported on session end
+        assert get_observer().enabled is False
+
+    def test_trace_replay_command_still_works(self):
+        # "trace <X>" (Algorithm 5.1 replay) must not be shadowed by
+        # the "trace on/off" toggles
+        out = drive(f"schema {SCHEMA}", f"add {MVD}",
+                    "trace Pubcrawl(Person)")
+        assert "pass" in out.lower() or "X" in out
