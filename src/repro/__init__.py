@@ -52,15 +52,20 @@ from .attributes import (
     unparse_abbreviated,
 )
 from .core import (
+    Session,
     TraceRecorder,
+    available_engines,
     closure,
     compute_closure,
     dependency_basis,
     equivalent,
+    get_engine,
     implies,
     implies_all,
+    implies_every,
     is_redundant,
     minimal_cover,
+    set_default_engine,
 )
 from .dependencies import (
     FD,
@@ -94,8 +99,10 @@ __all__ = [
     "FunctionalDependency", "MultivaluedDependency", "FD", "MVD",
     "DependencySet", "parse_dependency", "satisfies", "satisfies_all",
     # core
-    "implies", "implies_all", "closure", "dependency_basis", "equivalent",
-    "is_redundant", "minimal_cover", "compute_closure", "TraceRecorder",
+    "implies", "implies_every", "implies_all", "closure", "dependency_basis",
+    "equivalent", "is_redundant", "minimal_cover", "compute_closure",
+    "TraceRecorder", "Session",
+    "available_engines", "get_engine", "set_default_engine",
     # witness / normalisation / chase
     "Witness", "build_witness", "is_in_4nf", "decompose_4nf",
     "chase", "ChaseResult", "ChaseFailure",

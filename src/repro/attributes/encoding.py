@@ -187,6 +187,39 @@ class BasisEncoding:
         # lets a process-pool worker receive one encoding cheaply.
         return (type(self), (self.root,))
 
+    def require_root(self, root: NestedAttribute) -> "BasisEncoding":
+        """Assert this encoding was built for ``root``; returns ``self``.
+
+        Raises
+        ------
+        ValueError
+            If the encoding's root differs from ``root``.  Every caller
+            that accepts an optional pre-built encoding funnels through
+            this check (via :meth:`of`) so the mismatch error is uniform.
+        """
+        if self.root != root:
+            raise ValueError(
+                f"encoding root mismatch: the supplied encoding is for "
+                f"{self.root}, not {root}"
+            )
+        return self
+
+    @classmethod
+    def of(
+        cls, root: NestedAttribute, encoding: "BasisEncoding | None" = None
+    ) -> "BasisEncoding":
+        """The canonical "optional encoding" entry point.
+
+        Returns ``encoding`` after validating it was built for ``root``,
+        or a fresh ``BasisEncoding(root)`` when ``encoding`` is None.
+        Centralises the root-vs-encoding mismatch validation previously
+        duplicated across ``core.membership``, ``reasoner`` and
+        ``batch``.
+        """
+        if encoding is None:
+            return cls(root)
+        return encoding.require_root(root)
+
     # -- conversions -----------------------------------------------------
 
     def encode(self, element: NestedAttribute) -> int:

@@ -55,21 +55,25 @@ def _init_worker(root: NestedAttribute, sigma: DependencySet,
     _WORKER_STATE = (encoding, fd_masks, mvd_masks, collect_spans)
 
 
-def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple]:
+def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple, tuple]:
     """Run the worklist kernel for one LHS mask in a worker process.
 
-    When the parent's observer was enabled at pool creation, the run is
-    traced with a worker-local observer and the finished span records
-    travel back as plain dicts for the parent to
+    Returns ``(mask, X⁺, blocks, passes, spans, fired)``; ``fired`` is
+    the kernel's provenance (FDs-then-MVDs firing indices), shipped back
+    so the parent session's seeded entries keep exact retraction
+    behaviour.  When the parent's observer was enabled at pool creation,
+    the run is traced with a worker-local observer and the finished span
+    records travel back as plain dicts for the parent to
     :meth:`~repro.obs.Observer.adopt` — worker-side timing, parent-side
     parenting.
     """
     encoding, fd_masks, mvd_masks, collect_spans = _WORKER_STATE
+    fired: set[int] = set()
     if not collect_spans:
         closure_mask, blocks, passes = closure_of_masks_fast(
-            encoding, mask, fd_masks, mvd_masks
+            encoding, mask, fd_masks, mvd_masks, fired=fired
         )
-        return mask, closure_mask, blocks, passes, ()
+        return mask, closure_mask, blocks, passes, (), tuple(fired)
 
     import os
 
@@ -80,9 +84,9 @@ def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple]:
         with observer.span("batch.worker", lhs=format(mask, "#x"),
                            pid=os.getpid()):
             closure_mask, blocks, passes = closure_of_masks_instrumented(
-                encoding, mask, fd_masks, mvd_masks
+                encoding, mask, fd_masks, mvd_masks, fired=fired
             )
-    return mask, closure_mask, blocks, passes, tuple(sink.spans)
+    return mask, closure_mask, blocks, passes, tuple(sink.spans), tuple(fired)
 
 
 class BulkReasoner:
@@ -105,11 +109,13 @@ class BulkReasoner:
     def __init__(self, schema: Schema | Reasoner | NestedAttribute | str,
                  sigma: DependencySet | Iterable = (), *,
                  maxsize: int | None = None,
-                 workers: int | None = None) -> None:
+                 workers: int | None = None,
+                 engine: str | None = None) -> None:
         if isinstance(schema, Reasoner):
             self.reasoner = schema
         else:
-            self.reasoner = Reasoner(schema, sigma, maxsize=maxsize)
+            self.reasoner = Reasoner(schema, sigma, maxsize=maxsize,
+                                     engine=engine)
         self.workers = workers
 
     @property
@@ -189,11 +195,18 @@ class BulkReasoner:
     # -- internals ---------------------------------------------------------
 
     def _prefetch(self, lhs_masks: Sequence[int], workers: int | None) -> None:
-        """Compute distinct uncached LHS closures, fanning out if asked."""
+        """Compute distinct uncached LHS closures, fanning out if asked.
+
+        Pool workers always run the worklist kernel whatever engine the
+        parent session selected — all registered engines are
+        bit-identical, and the structural reference engine would defeat
+        the point of fanning out.
+        """
+        session = self.reasoner.session
         pending: list[int] = []
         seen: set[int] = set()
         for mask in lhs_masks:
-            if mask not in seen and mask not in self.reasoner._results:
+            if mask not in seen and not session.is_cached(mask):
                 seen.add(mask)
                 pending.append(mask)
         if not pending:
@@ -213,14 +226,15 @@ class BulkReasoner:
                 initializer=_init_worker,
                 initargs=(self.schema.root, self.sigma, obs.enabled),
             ) as pool:
-                for mask, closure_mask, blocks, passes, spans in pool.map(
+                for mask, closure_mask, blocks, passes, spans, fired in pool.map(
                     _solve_mask, pending,
                     chunksize=max(1, len(pending) // workers),
                 ):
-                    self.reasoner._store(
+                    session.seed(
                         mask,
                         ClosureResult(encoding, mask, closure_mask, blocks,
-                                      passes),
+                                      passes, frozenset(fired)),
+                        fired,
                     )
                     if spans:
                         # Re-number the worker's ids into this observer
@@ -260,5 +274,9 @@ def implies_all(schema: Schema | NestedAttribute | str,
     """One-shot batch membership: ``[Σ ⊨ σ for σ in dependencies]``.
 
     Functional face of :class:`BulkReasoner` for callers without state.
+    Returns one verdict **per query**, in query order — not to be
+    confused with :func:`repro.core.membership.implies_every` (formerly
+    ``implies_all`` there too), which folds the verdicts into a single
+    boolean "Σ implies every one of them".
     """
     return BulkReasoner(schema, sigma, workers=workers).implies_all(dependencies)

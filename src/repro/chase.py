@@ -51,13 +51,23 @@ __all__ = ["ChaseResult", "ChaseFailure", "chase"]
 
 
 class ChaseFailure(ReproError, RuntimeError):
-    """The chase met an FD violation it cannot repair by adding tuples."""
+    """The chase met an FD violation it cannot repair by adding tuples.
+
+    ``implied_by_sigma`` (filled in by :func:`chase` via an Algorithm
+    5.1 membership check) is the semantic cross-check on the diagnosis:
+    ``True`` confirms ``Σ ⊨`` the violated FD — whether a stated member
+    or a mixed-meet consequence of an MVD — so *no* Σ-satisfying
+    superset of the instance exists and the data is irreparable under
+    this design.  Soundness says a successful check always confirms;
+    ``None`` means the check was not (or could not be) run.
+    """
 
     def __init__(self, dependency: FunctionalDependency,
                  pair: tuple[Value, Value],
                  root: NestedAttribute | None = None) -> None:
         self.dependency = dependency
         self.pair = pair
+        self.implied_by_sigma: bool | None = None
         shown = dependency.display(root) if root is not None else str(dependency)
         super().__init__(
             f"FD {shown} is violated and cannot be chased "
@@ -91,11 +101,15 @@ class ChaseResult:
 
 def chase(root: NestedAttribute, instance: Iterable[Value],
           sigma: DependencySet | Iterable[Dependency],
-          *, max_tuples: int = 100_000) -> ChaseResult:
+          *, max_tuples: int = 100_000,
+          engine: str | None = None) -> ChaseResult:
     """Close ``instance`` under the exchange requirements of ``Σ``'s MVDs.
 
     FDs in ``Σ`` act as *checks*: a violation (initial or chase-exposed)
-    raises :class:`ChaseFailure` naming the culprit.
+    raises :class:`ChaseFailure` naming the culprit, with
+    ``failure.implied_by_sigma`` diagnosing whether the violated FD is
+    forced by ``Σ`` itself (decided by Algorithm 5.1 through the
+    ``engine``-selected kernel).
 
     Raises
     ------
@@ -123,9 +137,20 @@ def chase(root: NestedAttribute, instance: Iterable[Value],
     obs = get_observer()
     with obs.span("chase.run", tuples_in=len(current), sigma=len(dependencies),
                   fds=len(fds), mvds=len(mvds)) as span:
-        rounds, added = _chase_rounds(
-            root, current, fds, mvds, check_fds, max_tuples
-        )
+        try:
+            rounds, added = _chase_rounds(
+                root, current, fds, mvds, check_fds, max_tuples
+            )
+        except ChaseFailure as failure:
+            try:
+                from .core.session import Session
+
+                failure.implied_by_sigma = Session(
+                    root, dependencies, engine=engine
+                ).implies(failure.dependency)
+            except Exception:  # pragma: no cover - diagnosis must not mask
+                pass
+            raise
         span.set(rounds=rounds, added=len(added), tuples_out=len(current))
     obs.add("chase.runs")
     obs.add("chase.rounds", rounds)

@@ -40,7 +40,12 @@ __all__ = ["main", "build_parser"]
 
 
 def _add_obs(parser: argparse.ArgumentParser) -> None:
-    """The observability flags (any command touching the engine)."""
+    """The engine/observability flags (any command touching the kernel)."""
+    parser.add_argument(
+        "--engine", metavar="NAME",
+        help="closure engine from the registry (worklist, naive, "
+        "reference); the process default for this command",
+    )
     parser.add_argument(
         "--trace-json", metavar="PATH",
         help="write the observability spans (and a final metrics "
@@ -151,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 0 = redundancy-free)"
     )
     audit.add_argument("problem", help="a problem JSON file (see repro.io)")
+    _add_obs(audit)
 
     figures = commands.add_parser(
         "figures", help="print the paper's Figures 1-4"
@@ -185,6 +191,26 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         return run_shell()
 
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        from .core.engines import set_default_engine
+
+        try:
+            previous = set_default_engine(engine)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            return _dispatch_with_obs(args)
+        finally:
+            # Never leak the override: tests (and library users) drive
+            # main() repeatedly within one process.
+            set_default_engine(previous)
+    return _dispatch_with_obs(args)
+
+
+def _dispatch_with_obs(args: argparse.Namespace) -> int:
+    """Install the optional observer around the command dispatch."""
     trace_json = getattr(args, "trace_json", None)
     want_metrics = getattr(args, "metrics", False)
     if trace_json or want_metrics:
@@ -332,6 +358,10 @@ def _run_problem_command(args: argparse.Namespace) -> int:
         result = chase(schema.root, problem.instance, problem.sigma)
     except ChaseFailure as failure:
         print(f"error: {failure}", file=sys.stderr)
+        if failure.implied_by_sigma:
+            print("note: the violated FD is implied by Σ — no "
+                  "Σ-satisfying superset of this instance exists",
+                  file=sys.stderr)
         return 1
     print(json.dumps(instance_to_json(schema.root, result.instance),
                      indent=2, ensure_ascii=False))

@@ -2,6 +2,14 @@
 
 from .closure import ClosureResult, closure_of_masks, compute_closure
 from .engine import KernelStats, closure_of_masks_fast
+from .engines import (
+    Engine,
+    available_engines,
+    get_default_engine,
+    get_engine,
+    register_engine,
+    set_default_engine,
+)
 from .membership import (
     analyse,
     closure,
@@ -9,17 +17,22 @@ from .membership import (
     equivalent,
     implies,
     implies_all,
+    implies_every,
     is_redundant,
     minimal_cover,
 )
 from .reference import reference_closure, reference_dependency_basis
+from .session import Session, SessionCacheInfo
 from .trace import TraceRecorder, TraceStep
 
 __all__ = [
     "ClosureResult", "compute_closure", "closure_of_masks",
     "KernelStats", "closure_of_masks_fast",
-    "closure", "dependency_basis", "analyse", "implies", "implies_all",
-    "equivalent", "is_redundant", "minimal_cover",
+    "Engine", "available_engines", "get_default_engine", "get_engine",
+    "register_engine", "set_default_engine",
+    "Session", "SessionCacheInfo",
+    "closure", "dependency_basis", "analyse", "implies", "implies_every",
+    "implies_all", "equivalent", "is_redundant", "minimal_cover",
     "reference_closure", "reference_dependency_basis",
     "TraceRecorder", "TraceStep",
 ]

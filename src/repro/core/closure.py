@@ -83,6 +83,14 @@ class ClosureResult:
     passes:
         Number of REPEAT-UNTIL iterations executed (including the final
         no-change pass).
+    fired:
+        Optional **provenance**: the indices (in Σ's FDs-then-MVDs
+        firing order) of the dependencies whose firing productively
+        changed the state during the run.  ``None`` when the kernel was
+        not asked to record provenance.  A dependency outside ``fired``
+        only ever fired as a no-op, so the result is independent of its
+        presence in Σ — the invariant behind
+        :meth:`repro.core.session.Session.retract` cache retention.
     """
 
     encoding: BasisEncoding
@@ -90,6 +98,7 @@ class ClosureResult:
     closure_mask: int
     blocks: frozenset[int]
     passes: int
+    fired: frozenset[int] | None = None
 
     # -- decoded views ----------------------------------------------------
 
@@ -203,43 +212,56 @@ def compute_closure(
         reproduce Figures 3 and 4).  Tracing forces the naive kernel,
         whose passes are the paper's REPEAT passes.
     kernel:
-        ``"auto"`` (worklist kernel unless tracing), ``"worklist"``, or
-        ``"naive"``.  Both kernels return bit-identical ``(X⁺, DB)``;
-        the worklist kernel only re-fires dependencies whose inputs may
-        have changed (see :mod:`repro.core.engine`).
+        ``"auto"`` (the registry's default engine — normally the
+        worklist kernel — unless tracing), or any engine name from
+        :func:`repro.core.engines.available_engines` (``"worklist"``,
+        ``"naive"``, ``"reference"``).  All engines return bit-identical
+        ``(X⁺, DB)``; the worklist kernel only re-fires dependencies
+        whose inputs may have changed (see :mod:`repro.core.engine`).
     stats:
         Optional :class:`~repro.core.engine.KernelStats` accumulating
-        instrumentation counters across runs (worklist kernel only).
+        instrumentation counters across runs.
     """
+    # Local import: ``engines`` registers adapters over this module's
+    # kernels, so the dependency must point engines → closure only.
+    from .engines import get_engine
+
     x_mask = x if isinstance(x, int) else encoding.encode(x)
     fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
 
-    if kernel not in ("auto", "worklist", "naive"):
-        raise ValueError(f"unknown kernel {kernel!r}")
-    use_worklist = kernel == "worklist" or (kernel == "auto" and trace is None)
-    if use_worklist and trace is not None:
-        raise ValueError("tracing requires the naive kernel (kernel='naive')")
-
-    if use_worklist:
-        closure_mask, blocks, passes = closure_of_masks_instrumented(
-            encoding, x_mask, fd_masks, mvd_masks, stats=stats,
+    if trace is not None:
+        if kernel not in ("auto", "naive"):
+            raise ValueError("tracing requires the naive kernel (kernel='naive')")
+        dependencies = list(sigma)
+        fd_dependencies = [
+            d for d in dependencies if isinstance(d, FunctionalDependency)
+        ]
+        mvd_dependencies = [
+            d for d in dependencies if not isinstance(d, FunctionalDependency)
+        ]
+        fired: set[int] = set()
+        closure_mask, blocks, passes = closure_of_masks(
+            encoding,
+            x_mask,
+            fd_masks,
+            mvd_masks,
+            trace=trace,
+            fd_labels=fd_dependencies,
+            mvd_labels=mvd_dependencies,
+            fired=fired,
         )
-        return ClosureResult(encoding, x_mask, closure_mask, blocks, passes)
+        return ClosureResult(
+            encoding, x_mask, closure_mask, blocks, passes, frozenset(fired)
+        )
 
-    dependencies = list(sigma)
-    fd_dependencies = [d for d in dependencies if isinstance(d, FunctionalDependency)]
-    mvd_dependencies = [d for d in dependencies if not isinstance(d, FunctionalDependency)]
-
-    closure_mask, blocks, passes = closure_of_masks(
-        encoding,
-        x_mask,
-        fd_masks,
-        mvd_masks,
-        trace=trace,
-        fd_labels=fd_dependencies,
-        mvd_labels=mvd_dependencies,
+    engine = get_engine(None if kernel == "auto" else kernel)
+    fired = set()
+    closure_mask, blocks, passes = engine.run(
+        encoding, x_mask, fd_masks, mvd_masks, stats=stats, fired=fired,
     )
-    return ClosureResult(encoding, x_mask, closure_mask, blocks, passes)
+    return ClosureResult(
+        encoding, x_mask, closure_mask, blocks, passes, frozenset(fired)
+    )
 
 
 def closure_of_masks_instrumented(
@@ -249,6 +271,8 @@ def closure_of_masks_instrumented(
     mvd_masks: Sequence[tuple[int, int]],
     *,
     stats: KernelStats | None = None,
+    fired: set[int] | None = None,
+    warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
 ) -> tuple[int, frozenset[int], int]:
     """The worklist kernel behind the observability layer.
 
@@ -266,7 +290,8 @@ def closure_of_masks_instrumented(
     obs = get_observer()
     if not obs.enabled:
         return closure_of_masks_fast(encoding, x_mask, fd_masks, mvd_masks,
-                                     stats=stats)
+                                     stats=stats, fired=fired,
+                                     warm_start=warm_start)
 
     run_stats = KernelStats()
     hits_before, misses_before = encoding.cache_totals()
@@ -281,6 +306,7 @@ def closure_of_masks_instrumented(
     ) as span:
         closure_mask, blocks, passes = closure_of_masks_fast(
             encoding, x_mask, fd_masks, mvd_masks, stats=run_stats,
+            fired=fired, warm_start=warm_start,
         )
         hits_after, misses_after = encoding.cache_totals()
         cache_hits = hits_after - hits_before
@@ -328,21 +354,32 @@ def closure_of_masks(
     trace: TraceRecorder | None = None,
     fd_labels: Sequence[Dependency] | None = None,
     mvd_labels: Sequence[Dependency] | None = None,
+    fired: set[int] | None = None,
+    initial: tuple[int, Iterable[int]] | None = None,
 ) -> tuple[int, frozenset[int], int]:
     """Mask-level core of Algorithm 5.1; returns ``(X⁺, DB, passes)``.
 
     Separated from :func:`compute_closure` so the scaling benchmarks can
-    time the algorithm without attribute-encoding overhead.
+    time the algorithm without attribute-encoding overhead.  ``fired``
+    optionally collects the FDs-then-MVDs indices of productive firings
+    (provenance, mirroring the worklist kernel's parameter); ``initial``
+    optionally seeds ``(X_new, DB_new)`` from a previously computed
+    fixpoint of a smaller Σ with the same left-hand side, which the
+    REPEAT loop then extends to the fixpoint of the full Σ.
     """
     x_new = x_mask
 
     # DB_new := MaxB(X^CC) ∪ {X^C}
     db: set[int] = set()
-    for index in iter_bits(encoding.maximal_of(encoding.double_complement(x_mask))):
-        db.add(encoding.below[index])
-    x_complement = encoding.complement(x_mask)
-    if x_complement:
-        db.add(x_complement)
+    if initial is None:
+        for index in iter_bits(encoding.maximal_of(encoding.double_complement(x_mask))):
+            db.add(encoding.below[index])
+        x_complement = encoding.complement(x_mask)
+        if x_complement:
+            db.add(x_complement)
+    else:
+        x_new = initial[0]
+        db.update(initial[1])
 
     if trace is not None:
         trace.initial(encoding, x_new, frozenset(db))
@@ -393,6 +430,8 @@ def closure_of_masks(
                     changed = True
                 db = new_db
             pass_changed = pass_changed or changed
+            if changed and fired is not None:
+                fired.add(position)
             if trace is not None:
                 label = fd_labels[position] if fd_labels else None
                 trace.step(passes, label, True, v_tilde, changed, x_new, frozenset(db))
@@ -419,6 +458,8 @@ def closure_of_masks(
                         if outside:
                             db.add(outside)
             pass_changed = pass_changed or changed
+            if changed and fired is not None:
+                fired.add(len(fd_masks) + position)
             if trace is not None:
                 label = mvd_labels[position] if mvd_labels else None
                 trace.step(passes, label, False, v_tilde, changed, x_new, frozenset(db))

@@ -39,7 +39,7 @@ the naive pass count it is bounded by the number of state changes
 from __future__ import annotations
 
 from collections import deque
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..attributes.encoding import BasisEncoding, iter_bits
 
@@ -105,12 +105,34 @@ def closure_of_masks_fast(
     mvd_masks: Sequence[tuple[int, int]],
     *,
     stats: KernelStats | None = None,
+    fired: set[int] | None = None,
+    warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
 ) -> tuple[int, frozenset[int], int]:
     """Worklist kernel for Algorithm 5.1; returns ``(X⁺, DB, passes)``.
 
     Drop-in replacement for the mask-level naive kernel
     :func:`repro.core.closure.closure_of_masks` (same inputs, same
     outputs, no trace support — tracing wants the pass-by-pass shape).
+
+    Parameters
+    ----------
+    fired:
+        Optional caller-supplied set collecting **provenance**: the
+        index (position in the FDs-then-MVDs firing order) of every
+        dependency whose firing *changed* ``(X_new, DB_new)``.  A
+        dependency absent from ``fired`` only ever fired as a no-op, so
+        removing it from Σ replays the identical run — the invariant
+        :class:`repro.core.session.Session` uses for cache retention.
+    warm_start:
+        Optional ``(x_plus, blocks, pending)`` resume state.  Instead of
+        initialising from ``X``, the kernel starts at the supplied
+        fixpoint of a *smaller* Σ (same left-hand side ``x_mask``) and
+        seeds the worklist with only the ``pending`` dependency indices
+        — the ones added since that fixpoint was computed.  Because the
+        algorithm is a monotone fixpoint computation and the old
+        dependencies cannot fire productively at their own fixpoint
+        (they are re-queued if the new ones dirty their inputs), the
+        result is the same ``(X⁺, DB)`` as a cold run over the full Σ.
     """
     pseudo_difference = encoding.pseudo_difference
     double_complement = encoding.double_complement
@@ -164,11 +186,16 @@ def closure_of_masks_fast(
                     owned &= ~(1 << i)
         return p
 
-    for index in iter_bits(encoding.maximal_of(double_complement(x_mask))):
-        add_block(below[index])
-    x_complement = encoding.complement(x_mask)
-    if x_complement:
-        add_block(x_complement)
+    if warm_start is None:
+        for index in iter_bits(encoding.maximal_of(double_complement(x_mask))):
+            add_block(below[index])
+        x_complement = encoding.complement(x_mask)
+        if x_complement:
+            add_block(x_complement)
+    else:
+        x_new = warm_start[0]
+        for w in warm_start[1]:
+            add_block(w)
 
     # Blocks that are possibly *not* CC-closed.  The naive FD step maps
     # every block through ``(W ∸ Ṽ)^CC``, which is the identity on
@@ -195,10 +222,16 @@ def closure_of_masks_fast(
                     result |= w
         return result
 
-    # Worklist: initially every dependency, in order; generations mirror
-    # the naive REPEAT passes for reporting purposes.
-    queue: deque[int] = deque(range(len(deps)))
-    queued = [True] * len(deps)
+    # Worklist: initially every dependency, in order (or, on warm
+    # starts, only the pending ones); generations mirror the naive
+    # REPEAT passes for reporting purposes.
+    if warm_start is None:
+        queue: deque[int] = deque(range(len(deps)))
+    else:
+        queue = deque(warm_start[2])
+    queued = [False] * len(deps)
+    for position in queue:
+        queued[position] = True
     passes = 1
     firings = 0
     requeues = 0
@@ -207,7 +240,7 @@ def closure_of_masks_fast(
     skipped = 0
     dirty_total = 0
     track_dirty = stats is not None
-    generation_left = len(deps)  # firings left in the current generation
+    generation_left = len(queue)  # firings left in the current generation
 
     while queue:
         if generation_left == 0:
@@ -226,6 +259,7 @@ def closure_of_masks_fast(
             continue
 
         dirty = 0
+        changed = False
         if is_fd:
             dirty |= v_tilde & ~x_new
             x_new |= v_tilde
@@ -261,6 +295,9 @@ def closure_of_masks_fast(
                     dirty |= remove_block(w)
                 for w in added_blocks:
                     dirty |= add_block(w)
+                changed = True
+            if dirty:
+                changed = True
         else:
             # X_new := X_new ⊔ (Ṽ ⊓ Ṽ^C) — the mixed meet rule.
             overlap = v_tilde & encoding.complement(v_tilde)
@@ -277,12 +314,17 @@ def closure_of_masks_fast(
                 inside = double_complement(v_tilde & w)
                 if inside and inside != w:
                     splits += 1
+                    changed = True
                     dirty |= remove_block(w)
                     dirty |= add_block(inside)
                     outside = double_complement(pseudo_difference(w, v_tilde))
                     if outside:
                         dirty |= add_block(outside)
+            if dirty:
+                changed = True
 
+        if changed and fired is not None:
+            fired.add(position)
         if dirty:
             if track_dirty:
                 dirty_total += dirty.bit_count()

@@ -18,6 +18,7 @@ facade does this automatically).
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from ..attributes.encoding import BasisEncoding
@@ -30,6 +31,7 @@ __all__ = [
     "closure",
     "dependency_basis",
     "implies",
+    "implies_every",
     "implies_all",
     "equivalent",
     "is_redundant",
@@ -39,11 +41,8 @@ __all__ = [
 
 def _encoding_for(root: NestedAttribute,
                   encoding: BasisEncoding | None) -> BasisEncoding:
-    if encoding is not None:
-        if encoding.root != root:
-            raise ValueError("the supplied encoding is for a different root attribute")
-        return encoding
-    return BasisEncoding(root)
+    # Retained as a module-local spelling of the centralized helper.
+    return BasisEncoding.of(root, encoding)
 
 
 def closure(sigma: DependencySet, x: NestedAttribute,
@@ -98,12 +97,15 @@ def implies(sigma: DependencySet, dependency: Dependency,
     raise TypeError(f"not a dependency: {dependency!r}")  # pragma: no cover
 
 
-def implies_all(sigma: DependencySet, dependencies: Iterable[Dependency],
-                *, encoding: BasisEncoding | None = None) -> bool:
-    """Whether ``Σ`` implies every given dependency.
+def implies_every(sigma: DependencySet, dependencies: Iterable[Dependency],
+                  *, encoding: BasisEncoding | None = None) -> bool:
+    """Whether ``Σ`` implies **every** given dependency (one boolean).
 
     Dependencies sharing a left-hand side reuse a single Algorithm 5.1
-    run.
+    run.  Formerly named ``implies_all``; renamed to resolve the
+    collision with :func:`repro.batch.implies_all`, which answers the
+    same kind of batch with one verdict *per query* (and optional
+    process-pool fan-out) instead of a single conjunction.
     """
     enc = _encoding_for(sigma.root, encoding)
     results: dict[NestedAttribute, ClosureResult] = {}
@@ -123,43 +125,104 @@ def implies_all(sigma: DependencySet, dependencies: Iterable[Dependency],
     return True
 
 
+def implies_all(sigma: DependencySet, dependencies: Iterable[Dependency],
+                *, encoding: BasisEncoding | None = None) -> bool:
+    """Deprecated alias of :func:`implies_every`.
+
+    Kept for one release so existing imports keep working; prefer
+    :func:`implies_every` (boolean conjunction) or
+    :func:`repro.batch.implies_all` (per-query verdicts).
+    """
+    warnings.warn(
+        "repro.core.membership.implies_all was renamed to implies_every "
+        "(repro.batch.implies_all is the per-query batch API)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return implies_every(sigma, dependencies, encoding=encoding)
+
+
 def equivalent(first: DependencySet, second: DependencySet,
-               *, encoding: BasisEncoding | None = None) -> bool:
+               *, encoding: BasisEncoding | None = None,
+               engine: str | None = None) -> bool:
     """Whether two dependency sets over the same root imply each other.
 
     This is the "equivalence of two sets of dependencies" application the
-    paper names in Section 1.3.
+    paper names in Section 1.3.  Each direction runs over a
+    :class:`~repro.core.session.Session` sharing one encoding, so
+    left-hand sides common to both sets pay their closure once per
+    direction at most.
     """
     if first.root != second.root:
         return False
+    from .session import Session
+
     enc = _encoding_for(first.root, encoding)
-    return implies_all(first, second, encoding=enc) and implies_all(
-        second, first, encoding=enc
-    )
+    forward = Session(first.root, first, encoding=enc, engine=engine)
+    if not all(forward.implies(d) for d in second):
+        return False
+    backward = Session(second.root, second, encoding=enc, engine=engine)
+    return all(backward.implies(d) for d in first)
 
 
 def is_redundant(sigma: DependencySet, dependency: Dependency,
-                 *, encoding: BasisEncoding | None = None) -> bool:
-    """Whether ``σ ∈ Σ`` already follows from the *other* dependencies."""
+                 *, encoding: BasisEncoding | None = None,
+                 engine: str | None = None,
+                 session=None) -> bool:
+    """Whether ``σ ∈ Σ`` already follows from the *other* dependencies.
+
+    With a :class:`~repro.core.session.Session` supplied (its Σ must
+    equal ``sigma``), the check retracts ``σ``, asks the question, and
+    re-adds ``σ`` — provenance keeps every cache entry whose result did
+    not depend on ``σ``, so a sweep over Σ shares one cache across all
+    candidates instead of recomputing per candidate.
+    """
     if dependency not in sigma:
         raise ValueError("the dependency is not a member of the set")
-    remainder = sigma.without(dependency)
-    return implies(remainder, dependency, encoding=encoding)
+    if session is None:
+        from .session import Session
+
+        session = Session(sigma.root, sigma,
+                          encoding=_encoding_for(sigma.root, encoding),
+                          engine=engine)
+    session.retract(dependency)
+    try:
+        return session.implies(dependency)
+    finally:
+        session.add(dependency)
 
 
 def minimal_cover(sigma: DependencySet,
-                  *, encoding: BasisEncoding | None = None) -> DependencySet:
+                  *, encoding: BasisEncoding | None = None,
+                  engine: str | None = None,
+                  session=None) -> DependencySet:
     """An equivalent, redundancy-free subset of ``Σ``.
 
     Dependencies are dropped greedily in reverse insertion order (later,
     more "derived-looking" dependencies go first); the result depends on
     that order but is always equivalent to ``Σ`` and contains no
     dependency implied by its companions.
+
+    The sweep drives one retraction :class:`~repro.core.session.Session`
+    (pass ``session`` to share an existing one — it is left holding
+    exactly the cover, which :func:`repro.normalization.synthesis`
+    exploits): each candidate is retracted, tested against the survivors,
+    and re-added only if it does not follow from them.  Provenance-exact
+    eviction means a retraction only discards the cache entries that
+    actually used the candidate, so the per-candidate membership tests
+    mostly warm-start or hit outright.
     """
-    enc = _encoding_for(sigma.root, encoding)
-    kept = list(sigma)
+    if session is None:
+        from .session import Session
+
+        session = Session(sigma.root, sigma,
+                          encoding=_encoding_for(sigma.root, encoding),
+                          engine=engine)
+    kept = set(sigma)
     for dependency in reversed(list(sigma)):
-        candidate = DependencySet(sigma.root, (d for d in kept if d != dependency))
-        if implies(candidate, dependency, encoding=enc):
-            kept = list(candidate)
-    return DependencySet(sigma.root, kept)
+        session.retract(dependency)
+        if session.implies(dependency):
+            kept.discard(dependency)
+        else:
+            session.add(dependency)
+    return DependencySet(sigma.root, (d for d in sigma if d in kept))

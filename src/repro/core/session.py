@@ -1,0 +1,564 @@
+"""Session: the first-class ``(N, Σ, encoding, engine, caches)`` object.
+
+Section 1.3 of the paper names iterative schema design — equivalence
+checking, redundancy elimination, minimal covers — as the payoff of the
+membership algorithm.  All of those workflows *edit* Σ: they drop a
+candidate dependency, re-ask a few membership questions, and either keep
+the smaller set or put the dependency back.  Before this module every
+edit meant a fresh kernel run per query; a :class:`Session` instead owns
+the Σ lifecycle and keeps its per-left-hand-side closure cache **live
+across edits** using two pieces of kernel support
+(:mod:`repro.core.engine` / :mod:`repro.core.closure`):
+
+* **Warm starts** — :meth:`Session.add` keeps every cached
+  ``(X⁺, DB)``.  The next query for a cached ``X`` resumes the monotone
+  fixpoint from the cached state with only the *new* dependencies in the
+  worklist, which is sound because the cached state is the fixpoint of
+  the old Σ (a subset of the new one) and Algorithm 5.1's fixpoint is
+  reached from any intermediate state between ``X`` and ``X⁺``.
+
+* **Provenance-tracked retraction** — every cached result records which
+  Σ-members actually *fired productively* into it (``ClosureResult.fired``).
+  :meth:`Session.retract` evicts exactly the entries whose provenance
+  contains the retracted dependency: an absent dependency only ever
+  fired as a no-op (``Ṽ = λ`` or an identity rewrite), so the run
+  without it reaches the identical fixpoint and the cached result is
+  still correct.  A redundancy sweep over Σ therefore shares one cache
+  across *all* candidate covers instead of recomputing per candidate —
+  see ``benchmarks/bench_incremental_cover.py`` for the measured effect.
+
+The engine is picked from the :mod:`repro.core.engines` registry and can
+be switched mid-session (:meth:`set_engine`); engines without warm-start
+support (the structural ``reference`` oracle) silently fall back to cold
+recomputes, so every engine answers every query correctly.
+
+:class:`repro.reasoner.Reasoner` is a thin façade over a Session with
+``label="reasoner"`` (preserving its historical counter names and span
+names); :mod:`repro.core.membership` and :mod:`repro.normalization`
+drive retraction sessions internally.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from ..attributes.encoding import BasisEncoding
+from ..attributes.nested import NestedAttribute
+from ..attributes.parser import parse_attribute, parse_subattribute
+from ..dependencies.dependency import (
+    Dependency,
+    FunctionalDependency,
+    MultivaluedDependency,
+    parse_dependency,
+)
+from ..dependencies.sigma import DependencySet
+from ..obs import get_observer
+from .closure import ClosureResult
+from .engine import KernelStats
+from .engines import Engine, get_engine
+
+__all__ = ["Session", "SessionCacheInfo"]
+
+
+class SessionCacheInfo(tuple):
+    """Session cache statistics; compares and unpacks as ``(computed, hits)``.
+
+    Mirrors :class:`repro.reasoner.ReasonerCacheInfo` (the façade builds
+    one from the other) and adds the incremental-editing counters:
+    ``warm_starts`` (queries resumed from a smaller-Σ fixpoint),
+    ``invalidations`` (entries evicted by :meth:`Session.retract`
+    because the retracted dependency was in their provenance) and
+    ``retained`` (entries that survived a retraction because it was
+    not).
+    """
+
+    def __new__(cls, computed: int, hits: int, *, warm_starts: int = 0,
+                evictions: int = 0, invalidations: int = 0, retained: int = 0,
+                maxsize: int | None = None, engine: str = "worklist",
+                encoding=None, kernel: KernelStats | None = None,
+                ) -> "SessionCacheInfo":
+        self = super().__new__(cls, (computed, hits))
+        self.warm_starts = warm_starts
+        self.evictions = evictions
+        self.invalidations = invalidations
+        self.retained = retained
+        self.maxsize = maxsize
+        self.engine = engine
+        self.encoding = encoding
+        self.kernel = kernel
+        return self
+
+    @property
+    def computed(self) -> int:
+        return self[0]
+
+    @property
+    def hits(self) -> int:
+        return self[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionCacheInfo(computed={self[0]}, hits={self[1]}, "
+            f"warm_starts={self.warm_starts}, evictions={self.evictions}, "
+            f"invalidations={self.invalidations}, retained={self.retained}, "
+            f"maxsize={self.maxsize}, engine={self.engine!r})"
+        )
+
+
+class _CacheEntry:
+    """One cached left-hand side.
+
+    ``provenance`` is the set of Σ-members (as :class:`Dependency`
+    objects, *not* indices — indices shift when Σ changes because the
+    kernels fire FDs before MVDs) that productively fired into
+    ``result``.  ``sigma_keys`` is the Σ snapshot the result is current
+    for; dependencies added since then are exactly
+    ``Σ − sigma_keys`` and form the pending worklist of the next warm
+    start.
+    """
+
+    __slots__ = ("result", "provenance", "sigma_keys")
+
+    def __init__(self, result: ClosureResult, provenance: set[Dependency],
+                 sigma_keys: set[Dependency]) -> None:
+        self.result = result
+        self.provenance = provenance
+        self.sigma_keys = sigma_keys
+
+
+class Session:
+    """A mutable-Σ reasoning session with an incrementally-maintained cache.
+
+    Parameters
+    ----------
+    root:
+        The ambient nested attribute ``N`` (object or paper notation).
+    sigma:
+        Initial dependencies — a :class:`DependencySet`, or an iterable
+        of dependency objects / ``"X -> Y"`` texts.
+    engine:
+        Engine name from :func:`repro.core.engines.available_engines`
+        (``None`` → the registry default, normally ``"worklist"``).
+    encoding:
+        Optional pre-built :class:`BasisEncoding` to share (validated
+        against ``root``).
+    maxsize:
+        Optional LRU cap on cached left-hand sides.
+    stats:
+        Optional external :class:`KernelStats` accumulator; a private
+        one is created when omitted.
+    label:
+        Prefix for observability counter/span names (``"session"`` by
+        default; the Reasoner façade passes ``"reasoner"`` to keep its
+        historical ``reasoner.*`` telemetry).
+
+    Example
+    -------
+    >>> from repro.core.session import Session
+    >>> s = Session("Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+    ...             ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"])
+    >>> s.implies("Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])")
+    True
+    >>> s.add("Pubcrawl(Visit[λ]) -> Pubcrawl(Person)")
+    True
+    >>> s.implies("Pubcrawl(Visit[λ]) ->> Pubcrawl(Visit[Drink(Pub)])")
+    True
+    >>> s.retract("Pubcrawl(Visit[λ]) -> Pubcrawl(Person)").display(s.root)
+    'Pubcrawl(Visit[λ]) -> Pubcrawl(Person)'
+    >>> len(s.sigma)
+    1
+    """
+
+    def __init__(self, root: NestedAttribute | str,
+                 sigma: DependencySet | Iterable = (), *,
+                 engine: str | None = None,
+                 encoding: BasisEncoding | None = None,
+                 maxsize: int | None = None,
+                 stats: KernelStats | None = None,
+                 label: str = "session") -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be None or >= 1, got {maxsize!r}")
+        self.root = parse_attribute(root) if isinstance(root, str) else root
+        self.encoding = BasisEncoding.of(self.root, encoding)
+        self.maxsize = maxsize
+        self.kernel_stats = stats if stats is not None else KernelStats()
+        self._label = label
+        self._engine = get_engine(engine)
+        self._deps: list[Dependency] = []
+        self._dep_set: set[Dependency] = set()
+        for dependency in sigma:
+            self.add(dependency)
+        self._entries: OrderedDict[int, _CacheEntry] = OrderedDict()
+        self._hits = 0
+        self._warm_starts = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._retained = 0
+        self._tables: tuple[list[tuple[int, int]], list[tuple[int, int]],
+                            list[Dependency]] | None = None
+        self._sigma_view: DependencySet | None = None
+
+    # -- parsing helpers -----------------------------------------------------
+
+    def attribute(self, x: NestedAttribute | str) -> NestedAttribute:
+        """Resolve (possibly abbreviated) subattribute notation."""
+        if isinstance(x, NestedAttribute):
+            return x
+        return parse_subattribute(x, self.root)
+
+    def dependency(self, dependency: Dependency | str) -> Dependency:
+        """Parse one ``"X -> Y"`` / ``"X ->> Y"`` dependency."""
+        if isinstance(dependency, (FunctionalDependency, MultivaluedDependency)):
+            return dependency
+        return parse_dependency(dependency, self.root)
+
+    # -- Σ views -------------------------------------------------------------
+
+    @property
+    def sigma(self) -> DependencySet:
+        """The current Σ as an immutable :class:`DependencySet` snapshot."""
+        if self._sigma_view is None:
+            self._sigma_view = DependencySet(self.root, self._deps)
+        return self._sigma_view
+
+    @property
+    def dependencies(self) -> tuple[Dependency, ...]:
+        """The current Σ members in insertion order."""
+        return tuple(self._deps)
+
+    def __len__(self) -> int:
+        return len(self._deps)
+
+    def __contains__(self, dependency: Dependency) -> bool:
+        return dependency in self._dep_set
+
+    # -- engine --------------------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The engine answering this session's queries."""
+        return self._engine
+
+    def set_engine(self, name: str | None) -> Engine:
+        """Switch engines mid-session; returns the new engine.
+
+        Cached results stay valid (all engines are bit-identical); only
+        warm-start behaviour changes with the engine's capability.
+        """
+        self._engine = get_engine(name)
+        return self._engine
+
+    # -- Σ editing -----------------------------------------------------------
+
+    def add(self, dependency: Dependency | str) -> bool:
+        """Add a dependency to Σ; returns False if already present.
+
+        No cache entry is dropped: each one records its Σ snapshot
+        (``sigma_keys``) and the next query against it warm-starts the
+        fixpoint with the missing dependencies as the pending worklist.
+        """
+        dependency = self.dependency(dependency)
+        dependency.validate(self.root)
+        if dependency in self._dep_set:
+            return False
+        self._deps.append(dependency)
+        self._dep_set.add(dependency)
+        self._invalidate_views()
+        obs = get_observer()
+        if obs.enabled:
+            with obs.span(f"{self._label}.add",
+                          dependency=dependency.display(self.root),
+                          sigma=len(self._deps)):
+                pass
+        return True
+
+    def retract(self, dependency: Dependency | str) -> Dependency:
+        """Remove a dependency from Σ; returns the removed member.
+
+        Eviction is provenance-exact: an entry is dropped iff the
+        retracted dependency productively fired into its cached result.
+        All other entries are *retained* — their fixpoint provably does
+        not depend on the retracted member — and merely forget it from
+        their Σ snapshot (so a later re-add shows up as pending again).
+
+        Raises
+        ------
+        ValueError
+            If the dependency is not a member of Σ.
+        """
+        dependency = self.dependency(dependency)
+        if dependency not in self._dep_set:
+            raise ValueError(
+                f"the dependency {dependency.display(self.root)} "
+                f"is not a member of Σ"
+            )
+        self._deps.remove(dependency)
+        self._dep_set.discard(dependency)
+        self._invalidate_views()
+        evicted = 0
+        retained = 0
+        for mask in list(self._entries):
+            entry = self._entries[mask]
+            if dependency in entry.provenance:
+                del self._entries[mask]
+                evicted += 1
+            else:
+                entry.sigma_keys.discard(dependency)
+                retained += 1
+        self._invalidations += evicted
+        self._retained += retained
+        obs = get_observer()
+        if obs.enabled:
+            obs.add(f"{self._label}.cache.invalidations", evicted)
+            with obs.span(f"{self._label}.retract",
+                          dependency=dependency.display(self.root),
+                          sigma=len(self._deps)) as span:
+                span.set(evicted=evicted, retained=retained)
+        return dependency
+
+    def _invalidate_views(self) -> None:
+        self._tables = None
+        self._sigma_view = None
+
+    def _mask_tables(self) -> tuple[list[tuple[int, int]],
+                                    list[tuple[int, int]], list[Dependency]]:
+        """``(fd_masks, mvd_masks, ordered)`` for the current Σ.
+
+        ``ordered`` lists Σ in the kernels' FDs-then-MVDs firing order,
+        so a kernel-reported firing index ``i`` names ``ordered[i]`` —
+        the per-call index↔Dependency mapping that keeps provenance
+        valid across Σ edits (raw indices shift when an FD is added
+        after MVDs exist).
+        """
+        tables = self._tables
+        if tables is None:
+            encode = self.encoding.encode
+            fds = [d for d in self._deps if isinstance(d, FunctionalDependency)]
+            mvds = [d for d in self._deps
+                    if not isinstance(d, FunctionalDependency)]
+            fd_masks = [(encode(d.lhs), encode(d.rhs)) for d in fds]
+            mvd_masks = [(encode(d.lhs), encode(d.rhs)) for d in mvds]
+            tables = (fd_masks, mvd_masks, fds + mvds)
+            self._tables = tables
+        return tables
+
+    # -- the cache -----------------------------------------------------------
+
+    def result_for(self, x: NestedAttribute | str) -> ClosureResult:
+        """The (cached, possibly warm-started) result for left-hand side ``x``."""
+        return self.result_for_mask(self.encoding.encode(self.attribute(x)))
+
+    def result_for_mask(self, mask: int) -> ClosureResult:
+        """Mask-level :meth:`result_for` (the batch API's entry point)."""
+        entry = self._entries.get(mask)
+        if entry is not None:
+            if entry.sigma_keys == self._dep_set:
+                self._hits += 1
+                self._entries.move_to_end(mask)
+                get_observer().add(f"{self._label}.cache.hits")
+                return entry.result
+            if self._engine.supports_warm_start:
+                return self._resume(mask, entry)
+            # The engine cannot resume a fixpoint; recompute cold (the
+            # fresh result replaces the stale entry below).
+        return self._compute(mask)
+
+    def _run(self, mask: int, fired: set[int], warm_start, *, warm: bool,
+             counter: str) -> tuple[int, frozenset[int], int]:
+        fd_masks, mvd_masks, _ = self._mask_tables()
+        obs = get_observer()
+        if not obs.enabled:
+            return self._engine.run(
+                self.encoding, mask, fd_masks, mvd_masks,
+                stats=self.kernel_stats, fired=fired, warm_start=warm_start,
+            )
+        obs.add(counter)
+        with obs.span(f"{self._label}.query", lhs=format(mask, "#x"),
+                      cached=False, engine=self._engine.name, warm=warm):
+            return self._engine.run(
+                self.encoding, mask, fd_masks, mvd_masks,
+                stats=self.kernel_stats, fired=fired, warm_start=warm_start,
+            )
+
+    def _resume(self, mask: int, entry: _CacheEntry) -> ClosureResult:
+        """Warm-start: extend the cached fixpoint by the pending Σ-members."""
+        _fd_masks, _mvd_masks, ordered = self._mask_tables()
+        pending = [i for i, d in enumerate(ordered)
+                   if d not in entry.sigma_keys]
+        self._warm_starts += 1
+        fired: set[int] = set()
+        cached = entry.result
+        closure_mask, blocks, passes = self._run(
+            mask, fired, (cached.closure_mask, cached.blocks, pending),
+            warm=True, counter=f"{self._label}.cache.warm_starts",
+        )
+        result = ClosureResult(self.encoding, mask, closure_mask, blocks,
+                               passes, frozenset(fired))
+        entry.result = result
+        # Everything that fired during the resume — pending members and
+        # re-dirtied old ones alike — joins the provenance; the original
+        # provenance stays (those firings shaped the state we resumed
+        # from).
+        entry.provenance.update(ordered[i] for i in fired)
+        entry.sigma_keys = set(self._dep_set)
+        self._entries.move_to_end(mask)
+        return result
+
+    def _compute(self, mask: int) -> ClosureResult:
+        _fd_masks, _mvd_masks, ordered = self._mask_tables()
+        fired: set[int] = set()
+        closure_mask, blocks, passes = self._run(
+            mask, fired, None,
+            warm=False, counter=f"{self._label}.cache.misses",
+        )
+        result = ClosureResult(self.encoding, mask, closure_mask, blocks,
+                               passes, frozenset(fired))
+        provenance = {ordered[i] for i in fired}
+        self._store(mask, _CacheEntry(result, provenance, set(self._dep_set)))
+        return result
+
+    def _store(self, mask: int, entry: _CacheEntry) -> None:
+        self._entries[mask] = entry
+        self._entries.move_to_end(mask)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                get_observer().add(f"{self._label}.cache.evictions")
+
+    # -- prefetch hooks (the batch API) ---------------------------------------
+
+    def is_cached(self, mask: int) -> bool:
+        """Whether ``mask`` has a cache entry current for today's Σ."""
+        entry = self._entries.get(mask)
+        return entry is not None and entry.sigma_keys == self._dep_set
+
+    def cached_masks(self) -> frozenset[int]:
+        """The cached left-hand-side masks (current and stale alike)."""
+        return frozenset(self._entries)
+
+    def seed(self, mask: int, result: ClosureResult,
+             fired: Iterable[int] | None = None) -> None:
+        """Install an externally computed result (process-pool prefetch).
+
+        ``fired`` carries the kernel's provenance indices in the current
+        FDs-then-MVDs order; when the caller cannot supply one (nor does
+        ``result.fired``), the conservative "all of Σ" provenance keeps
+        retraction sound.
+        """
+        _fd_masks, _mvd_masks, ordered = self._mask_tables()
+        if fired is None:
+            fired = result.fired
+        if fired is None:
+            provenance = set(ordered)
+        else:
+            provenance = {ordered[i] for i in fired}
+        self._store(mask, _CacheEntry(result, provenance, set(self._dep_set)))
+
+    # -- queries -------------------------------------------------------------
+
+    def implies(self, dependency: Dependency | str) -> bool:
+        """Decide ``Σ ⊨ σ`` using the per-LHS cache (Proposition 4.10)."""
+        dependency = self.dependency(dependency)
+        dependency.validate(self.root)
+        result = self.result_for(dependency.lhs)
+        rhs_mask = self.encoding.encode(dependency.rhs)
+        if isinstance(dependency, FunctionalDependency):
+            return result.implies_fd_rhs(rhs_mask)
+        return result.implies_mvd_rhs(rhs_mask)
+
+    def closure(self, x: NestedAttribute | str) -> NestedAttribute:
+        """The attribute-set closure ``X⁺``."""
+        return self.result_for(x).closure
+
+    def dependency_basis(self, x: NestedAttribute | str
+                         ) -> tuple[NestedAttribute, ...]:
+        """The dependency basis ``DepB(X)``."""
+        return self.result_for(x).dependency_basis()
+
+    def is_superkey(self, x: NestedAttribute | str) -> bool:
+        """Whether ``Σ ⊨ X → N``."""
+        return self.result_for(x).closure_mask == self.encoding.full
+
+    def implied_mvd_rhs_masks(self, x: NestedAttribute | str) -> frozenset[int]:
+        """All DepB member masks — the generators of ``Dep(X)``."""
+        return self.result_for(x).dependency_basis_masks()
+
+    # -- statistics ----------------------------------------------------------
+
+    def cache_info(self) -> SessionCacheInfo:
+        """``(cached left-hand sides, hits)`` plus the incremental counters."""
+        return SessionCacheInfo(
+            len(self._entries), self._hits,
+            warm_starts=self._warm_starts,
+            evictions=self._evictions,
+            invalidations=self._invalidations,
+            retained=self._retained,
+            maxsize=self.maxsize,
+            engine=self._engine.name,
+            encoding=self.encoding.cache_info(),
+            kernel=self.kernel_stats,
+        )
+
+    def cache_clear(self, *, encoding: bool = False) -> None:
+        """Drop all cached results and reset the counters.
+
+        Follows the library-wide contract (keyword-only flags, resets
+        exactly what ``cache_info()`` reports, ``encoding=True``
+        cascades to :meth:`BasisEncoding.cache_clear`).
+        """
+        self._entries.clear()
+        self._hits = 0
+        self._warm_starts = 0
+        self._evictions = 0
+        self._invalidations = 0
+        self._retained = 0
+        self.kernel_stats.reset()
+        if encoding:
+            self.encoding.cache_clear()
+
+    def describe_stats(self) -> str:
+        """Readable counter dump for the CLI/shell ``stats`` surfaces.
+
+        The first/kernel/encoding lines keep the exact historical
+        :meth:`repro.reasoner.Reasoner.describe_stats` format (the shell
+        prints this through the façade); the ``session`` line adds the
+        incremental-editing counters.
+        """
+        info = self.cache_info()
+        kernel = info.kernel
+        head_line = (
+            f"{self._label}: computed={info.computed} hits={info.hits} "
+            f"evictions={info.evictions}"
+        )
+        if info.maxsize is not None:
+            head_line += f" maxsize={info.maxsize}"
+        session_line = (
+            f"session:  engine={info.engine} |Σ|={len(self._deps)} "
+            f"warm_starts={info.warm_starts} "
+            f"invalidations={info.invalidations} retained={info.retained}"
+        )
+        kernel_line = (
+            f"kernel:   runs={kernel.runs} passes={kernel.passes} "
+            f"firings={kernel.firings} requeues={kernel.requeues} "
+            f"skipped={kernel.skipped_firings} "
+            f"u_bar_lookups={kernel.u_bar_lookups} "
+            f"splits={kernel.block_splits} rewrites={kernel.db_rewrites}"
+        )
+        ops = ", ".join(
+            f"{op}={hits}/{hits + misses}"
+            for op, (hits, misses, _size, _maxsize)
+            in sorted(info.encoding.items())
+        )
+        encoding_line = (
+            f"encoding: {ops} (hit rate {info.encoding.hit_rate():.1%})"
+        )
+        return "\n".join((head_line, session_line, kernel_line, encoding_line))
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(root={self.root}, |Σ|={len(self._deps)}, "
+            f"engine={self._engine.name!r}, cached={len(self._entries)}, "
+            f"hits={self._hits})"
+        )

@@ -118,7 +118,7 @@ def decompose_4nf(sigma: DependencySet,
     >>> len(decomposition.components)  # pubs-per-person and beers-per-person
     2
     """
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
+    enc = BasisEncoding.of(sigma.root, encoding)
 
     final: list[int] = []
     steps: list[DecompositionStep] = []

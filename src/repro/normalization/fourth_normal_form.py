@@ -29,7 +29,6 @@ from ..attributes.nested import NestedAttribute
 from ..attributes.subattribute import count_subattributes
 from ..dependencies.dependency import Dependency, MultivaluedDependency
 from ..dependencies.sigma import DependencySet
-from ..core.closure import compute_closure
 
 __all__ = ["FourNFViolation", "violations", "is_in_4nf"]
 
@@ -55,7 +54,9 @@ class FourNFViolation:
 
 def violations(sigma: DependencySet,
                *, encoding: BasisEncoding | None = None,
-               exhaustive: bool | None = None) -> tuple[FourNFViolation, ...]:
+               exhaustive: bool | None = None,
+               engine: str | None = None,
+               session=None) -> tuple[FourNFViolation, ...]:
     """All 4NF violations found (empty tuple = in 4NF for this test mode).
 
     Parameters
@@ -64,8 +65,19 @@ def violations(sigma: DependencySet,
         ``True`` — check every ``X ∈ Sub(N)`` (exact; exponential in the
         record width).  ``False`` — check only the stated dependencies.
         ``None`` (default) — exhaustive when ``|Sub(N)|`` is small.
+    engine / session:
+        Closures run over a :class:`~repro.core.session.Session`, so
+        dependencies sharing a left-hand side pay one kernel run; pass
+        ``session`` (its Σ must equal ``sigma``) to share the cache with
+        a surrounding schema-design loop.
     """
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
+    if session is None:
+        from ..core.session import Session
+
+        session = Session(sigma.root, sigma,
+                          encoding=BasisEncoding.of(sigma.root, encoding),
+                          engine=engine)
+    enc = session.encoding
     if exhaustive is None:
         exhaustive = count_subattributes(sigma.root) <= _EXHAUSTIVE_SUB_LIMIT
 
@@ -73,7 +85,7 @@ def violations(sigma: DependencySet,
     seen: set[tuple[int, int]] = set()
 
     def check_lhs(lhs_mask: int, source: Dependency | None) -> None:
-        result = compute_closure(enc, lhs_mask, sigma)
+        result = session.result_for_mask(lhs_mask)
         if result.closure_mask == enc.full:
             return  # superkey: nothing with this lhs can violate 4NF
         # Every non-trivial implied MVD decomposes into dependency-basis
@@ -107,6 +119,9 @@ def violations(sigma: DependencySet,
 
 def is_in_4nf(sigma: DependencySet,
               *, encoding: BasisEncoding | None = None,
-              exhaustive: bool | None = None) -> bool:
+              exhaustive: bool | None = None,
+              engine: str | None = None,
+              session=None) -> bool:
     """Whether ``(N, Σ)`` is in generalised fourth normal form."""
-    return not violations(sigma, encoding=encoding, exhaustive=exhaustive)
+    return not violations(sigma, encoding=encoding, exhaustive=exhaustive,
+                          engine=engine, session=session)

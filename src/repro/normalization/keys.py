@@ -26,7 +26,7 @@ __all__ = ["is_superkey", "candidate_keys"]
 def is_superkey(sigma: DependencySet, x: NestedAttribute | int,
                 *, encoding: BasisEncoding | None = None) -> bool:
     """Whether ``Σ ⊨ X → N`` (``X⁺ = N``)."""
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
+    enc = BasisEncoding.of(sigma.root, encoding)
     result = compute_closure(enc, x, sigma)
     return result.closure_mask == enc.full
 
@@ -53,7 +53,7 @@ def candidate_keys(sigma: DependencySet,
     down-closure of strictly fewer/lower generators and would have been
     found at a smaller size.
     """
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
+    enc = BasisEncoding.of(sigma.root, encoding)
 
     closures: dict[int, int] = {}
 

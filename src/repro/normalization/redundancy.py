@@ -40,7 +40,6 @@ from typing import Iterable
 from ..attributes.encoding import BasisEncoding, iter_bits
 from ..attributes.nested import NestedAttribute
 from ..attributes.printer import unparse_abbreviated
-from ..core.closure import compute_closure
 from ..dependencies.sigma import DependencySet
 from ..values.projection import project
 from ..values.value import Value
@@ -87,22 +86,30 @@ def redundant_occurrences(
     instance: Iterable[Value],
     *,
     encoding: BasisEncoding | None = None,
+    engine: str | None = None,
+    session=None,
 ) -> tuple[RedundantOccurrence, ...]:
     """All FD-forced value occurrences in ``instance`` (pairwise exact).
 
     Quadratic in the instance size, with one Algorithm 5.1 run per
-    distinct agreement pattern (memoised).
+    distinct agreement pattern.  The per-LHS memo lives in a
+    :class:`~repro.core.session.Session`; pass ``session`` (its Σ must
+    equal ``sigma``) to share closures with other sweeps — e.g. a
+    schema-design loop auditing several candidate covers keeps one
+    session across all of them and lets provenance-exact retraction
+    preserve the entries each audit step can still use.
     """
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
+    if session is None:
+        from ..core.session import Session
+
+        session = Session(sigma.root, sigma,
+                          encoding=BasisEncoding.of(sigma.root, encoding),
+                          engine=engine)
+    enc = session.encoding
     tuples = list(dict.fromkeys(instance))
-    closures: dict[int, int] = {}
 
     def closure_of(mask: int) -> int:
-        cached = closures.get(mask)
-        if cached is None:
-            cached = compute_closure(enc, mask, sigma).closure_mask
-            closures[mask] = cached
-        return cached
+        return session.result_for_mask(mask).closure_mask
 
     found: list[RedundantOccurrence] = []
     seen: set[tuple[int, int]] = set()  # (tuple index, basis index) pairs
@@ -137,9 +144,12 @@ def redundancy_report(
     instance: Iterable[Value],
     *,
     encoding: BasisEncoding | None = None,
+    engine: str | None = None,
+    session=None,
 ) -> dict[NestedAttribute, int]:
     """Forced-occurrence counts per basis attribute (the hot spots)."""
     report: dict[NestedAttribute, int] = {}
-    for occurrence in redundant_occurrences(sigma, instance, encoding=encoding):
+    for occurrence in redundant_occurrences(sigma, instance, encoding=encoding,
+                                            engine=engine, session=session):
         report[occurrence.basis] = report.get(occurrence.basis, 0) + 1
     return report

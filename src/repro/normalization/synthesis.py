@@ -35,7 +35,6 @@ from dataclasses import dataclass
 
 from ..attributes.encoding import BasisEncoding
 from ..attributes.nested import NestedAttribute
-from ..core.closure import compute_closure
 from ..core.membership import minimal_cover
 from ..dependencies.sigma import DependencySet
 from .keys import candidate_keys
@@ -74,8 +73,14 @@ class SynthesisResult:
 
 
 def synthesize(sigma: DependencySet,
-               *, encoding: BasisEncoding | None = None) -> SynthesisResult:
+               *, encoding: BasisEncoding | None = None,
+               engine: str | None = None) -> SynthesisResult:
     """Run the lifted Bernstein synthesis on ``Σ``'s FDs.
+
+    One :class:`~repro.core.session.Session` is threaded through the
+    whole pipeline: the minimal-cover sweep leaves it holding exactly
+    the cover, so the grouping closures and the superkey scan reuse (or
+    warm-start from) the cache entries the sweep already paid for.
 
     Example
     -------
@@ -88,8 +93,13 @@ def synthesize(sigma: DependencySet,
     >>> len(result.components)   # {A,B,C} merged (A ≡ B), plus the D key
     2
     """
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
-    cover = minimal_cover(sigma, encoding=enc)
+    from ..core.session import Session
+
+    enc = BasisEncoding.of(sigma.root, encoding)
+    session = Session(sigma.root, sigma, encoding=enc, engine=engine)
+    # The sweep mutates the session: it ends holding exactly the cover,
+    # so every closure below is asked of the right Σ.
+    cover = minimal_cover(sigma, session=session)
 
     # Group cover FDs by closure-equivalent left-hand sides.
     groups: dict[int, list[int]] = {}       # closure mask -> [lhs|rhs masks]
@@ -97,7 +107,7 @@ def synthesize(sigma: DependencySet,
     for dependency in cover.fds():
         lhs_mask = enc.encode(dependency.lhs)
         rhs_mask = enc.encode(dependency.rhs)
-        closure_mask = compute_closure(enc, lhs_mask, cover).closure_mask
+        closure_mask = session.result_for_mask(lhs_mask).closure_mask
         groups.setdefault(closure_mask, []).append(lhs_mask | rhs_mask)
         group_lhs[closure_mask] = group_lhs.get(closure_mask, 0) | lhs_mask
 
@@ -111,7 +121,7 @@ def synthesize(sigma: DependencySet,
     # Ensure some component is a superkey; otherwise add a candidate key.
     key_mask = None
     for mask in component_masks:
-        if compute_closure(enc, mask, cover).closure_mask == enc.full:
+        if session.result_for_mask(mask).closure_mask == enc.full:
             key_mask = mask
             break
     if key_mask is None:

@@ -25,6 +25,11 @@ __all__ = ["REQUIRED_ATTRS", "COMPLETION_ATTRS", "validate_records",
 REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
     "closure.compute": ("lhs", "size", "sigma", "fds", "mvds", "kernel"),
     "reasoner.query": ("lhs", "cached"),
+    "session.query": ("lhs", "cached", "engine", "warm"),
+    "session.add": ("dependency", "sigma"),
+    "session.retract": ("dependency", "sigma"),
+    "reasoner.add": ("dependency", "sigma"),
+    "reasoner.retract": ("dependency", "sigma"),
     "batch.implies_all": ("queries", "distinct_lhs", "workers"),
     "batch.prefetch": ("pending", "workers", "parallel"),
     "batch.query": ("index", "kind", "lhs"),
@@ -40,6 +45,8 @@ COMPLETION_ATTRS: dict[str, tuple[str, ...]] = {
                         "encoding_cache_misses"),
     "batch.query": ("verdict",),
     "chase.run": ("rounds", "added", "tuples_out"),
+    "session.retract": ("evicted", "retained"),
+    "reasoner.retract": ("evicted", "retained"),
 }
 
 

@@ -8,6 +8,13 @@ algorithm per query wastes exactly the structure the paper's approach
 provides. :class:`Reasoner` memoises one :class:`ClosureResult` per
 distinct left-hand side and answers everything else from the cache.
 
+Since the session refactor this class is a thin façade over
+:class:`repro.core.session.Session` (exposed as ``.session``), created
+with ``label="reasoner"`` so the historical ``reasoner.*`` telemetry
+names are preserved.  Use the session directly for incremental Σ
+editing (``add`` / ``retract`` with provenance-exact cache retention);
+the Reasoner keeps the original fixed-Σ query surface.
+
 The cache is unbounded by default; pass ``maxsize`` to cap it, in which
 case the least recently used left-hand side is evicted first.  For
 batches of queries known up front, :class:`repro.batch.BulkReasoner`
@@ -33,13 +40,12 @@ True
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Iterable
 
-from .core.closure import ClosureResult, compute_closure
+from .core.closure import ClosureResult
 from .core.engine import KernelStats
-from .obs import get_observer
-from .dependencies.dependency import Dependency, FunctionalDependency
+from .core.session import Session
+from .dependencies.dependency import Dependency
 from .dependencies.sigma import DependencySet
 from .attributes.nested import NestedAttribute
 from .schema import Schema
@@ -97,57 +103,60 @@ class Reasoner:
         Optional cap on the number of cached left-hand sides; least
         recently used results are evicted beyond it.  ``None`` (the
         default) keeps every result.
+    engine:
+        Optional engine name from the
+        :mod:`repro.core.engines` registry; ``None`` uses the process
+        default (normally ``"worklist"``).
+    session:
+        Optional pre-built :class:`~repro.core.session.Session` to wrap
+        instead of creating one (its root must match the schema's).
     """
 
     def __init__(self, schema: Schema | NestedAttribute | str,
-                 sigma: DependencySet | Iterable, *,
-                 maxsize: int | None = None) -> None:
-        if maxsize is not None and maxsize < 1:
-            raise ValueError(f"maxsize must be None or >= 1, got {maxsize!r}")
+                 sigma: DependencySet | Iterable = (), *,
+                 maxsize: int | None = None,
+                 engine: str | None = None,
+                 session: Session | None = None) -> None:
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
-        self.sigma = self.schema._sigma(sigma)
-        self.maxsize = maxsize
-        self.kernel_stats = KernelStats()
-        self._results: OrderedDict[int, ClosureResult] = OrderedDict()
-        self._hits = 0
-        self._evictions = 0
+        if session is not None:
+            self.schema.encoding.require_root(session.root)
+            self.session = session
+        else:
+            self.session = Session(
+                self.schema.root,
+                self.schema._sigma(sigma),
+                engine=engine,
+                encoding=self.schema.encoding,
+                maxsize=maxsize,
+                label="reasoner",
+            )
+
+    # -- session passthrough -------------------------------------------------
+
+    @property
+    def sigma(self) -> DependencySet:
+        """The session's current Σ (a snapshot; edit via ``.session``)."""
+        return self.session.sigma
+
+    @property
+    def maxsize(self) -> int | None:
+        return self.session.maxsize
+
+    @property
+    def kernel_stats(self) -> KernelStats:
+        """The session's accumulated kernel counters."""
+        return self.session.kernel_stats
 
     # -- cache ---------------------------------------------------------------
 
     def result_for(self, x: NestedAttribute | str) -> ClosureResult:
         """The (cached) Algorithm 5.1 output for left-hand side ``x``."""
         mask = self.schema.encoding.encode(self.schema.attribute(x))
-        return self.result_for_mask(mask)
+        return self.session.result_for_mask(mask)
 
     def result_for_mask(self, mask: int) -> ClosureResult:
         """Mask-level :meth:`result_for` (the batch API's entry point)."""
-        cached = self._results.get(mask)
-        if cached is not None:
-            self._hits += 1
-            self._results.move_to_end(mask)
-            get_observer().add("reasoner.cache.hits")
-            return cached
-        obs = get_observer()
-        if obs.enabled:
-            obs.add("reasoner.cache.misses")
-            with obs.span("reasoner.query", lhs=format(mask, "#x"),
-                          cached=False):
-                result = compute_closure(self.schema.encoding, mask,
-                                         self.sigma, stats=self.kernel_stats)
-        else:
-            result = compute_closure(self.schema.encoding, mask, self.sigma,
-                                     stats=self.kernel_stats)
-        self._store(mask, result)
-        return result
-
-    def _store(self, mask: int, result: ClosureResult) -> None:
-        self._results[mask] = result
-        self._results.move_to_end(mask)
-        if self.maxsize is not None:
-            while len(self._results) > self.maxsize:
-                self._results.popitem(last=False)
-                self._evictions += 1
-                get_observer().add("reasoner.cache.evictions")
+        return self.session.result_for_mask(mask)
 
     def cache_info(self) -> ReasonerCacheInfo:
         """``(distinct left-hand sides cached, cache hits)`` plus extras.
@@ -155,14 +164,17 @@ class Reasoner:
         The return value equals and unpacks like the historical
         two-tuple; ``.evictions``, ``.maxsize``, ``.encoding`` and
         ``.kernel`` expose the bounded-cache and instrumentation
-        counters added with the worklist kernel.
+        counters added with the worklist kernel.  The full incremental
+        counters (warm starts, provenance invalidations) live on
+        ``self.session.cache_info()``.
         """
+        info = self.session.cache_info()
         return ReasonerCacheInfo(
-            len(self._results), self._hits,
-            evictions=self._evictions,
-            maxsize=self.maxsize,
-            encoding=self.schema.encoding.cache_info(),
-            kernel=self.kernel_stats,
+            info.computed, info.hits,
+            evictions=info.evictions,
+            maxsize=info.maxsize,
+            encoding=info.encoding,
+            kernel=info.kernel,
         )
 
     def cache_clear(self, *, encoding: bool = False) -> None:
@@ -182,63 +194,30 @@ class Reasoner:
         by default they survive, since they are keyed by masks that stay
         valid for the lifetime of the schema.
         """
-        self._results.clear()
-        self._hits = 0
-        self._evictions = 0
-        self.kernel_stats.reset()
-        if encoding:
-            self.schema.encoding.cache_clear()
+        self.session.cache_clear(encoding=encoding)
 
     def describe_stats(self) -> str:
         """Readable counter dump for the CLI/shell ``stats`` surfaces."""
-        info = self.cache_info()
-        kernel = info.kernel
-        reasoner_line = (
-            f"reasoner: computed={info.computed} hits={info.hits} "
-            f"evictions={info.evictions}"
-        )
-        if info.maxsize is not None:
-            reasoner_line += f" maxsize={info.maxsize}"
-        kernel_line = (
-            f"kernel:   runs={kernel.runs} passes={kernel.passes} "
-            f"firings={kernel.firings} requeues={kernel.requeues} "
-            f"skipped={kernel.skipped_firings} "
-            f"u_bar_lookups={kernel.u_bar_lookups} "
-            f"splits={kernel.block_splits} rewrites={kernel.db_rewrites}"
-        )
-        ops = ", ".join(
-            f"{op}={hits}/{hits + misses}"
-            for op, (hits, misses, _size, _maxsize) in sorted(info.encoding.items())
-        )
-        encoding_line = (
-            f"encoding: {ops} (hit rate {info.encoding.hit_rate():.1%})"
-        )
-        return "\n".join((reasoner_line, kernel_line, encoding_line))
+        return self.session.describe_stats()
 
     # -- queries ---------------------------------------------------------------
 
     def implies(self, dependency: Dependency | str) -> bool:
         """Decide ``Σ ⊨ σ`` using the per-LHS cache."""
-        dependency = self.schema.dependency(dependency)
-        dependency.validate(self.schema.root)
-        result = self.result_for(dependency.lhs)
-        rhs_mask = self.schema.encoding.encode(dependency.rhs)
-        if isinstance(dependency, FunctionalDependency):
-            return result.implies_fd_rhs(rhs_mask)
-        return result.implies_mvd_rhs(rhs_mask)
+        return self.session.implies(self.schema.dependency(dependency))
 
     def closure(self, x: NestedAttribute | str) -> NestedAttribute:
         """The attribute-set closure ``X⁺``."""
-        return self.result_for(x).closure
+        return self.session.closure(self.schema.attribute(x))
 
     def dependency_basis(self, x: NestedAttribute | str
                          ) -> tuple[NestedAttribute, ...]:
         """The dependency basis ``DepB(X)``."""
-        return self.result_for(x).dependency_basis()
+        return self.session.dependency_basis(self.schema.attribute(x))
 
     def is_superkey(self, x: NestedAttribute | str) -> bool:
         """Whether ``Σ ⊨ X → N``."""
-        return self.result_for(x).closure_mask == self.schema.encoding.full
+        return self.session.is_superkey(self.schema.attribute(x))
 
     def implied_mvd_rhs_masks(self, x: NestedAttribute | str) -> frozenset[int]:
         """All DepB member masks — the generators of ``Dep(X)``.
@@ -248,7 +227,7 @@ class Reasoner:
         of all such ``Y`` forms a Brouwerian subalgebra of ``Sub(N)``
         (the remark before Definition 4.9).
         """
-        return self.result_for(x).dependency_basis_masks()
+        return self.session.implied_mvd_rhs_masks(self.schema.attribute(x))
 
     def __repr__(self) -> str:
         computed, hits = self.cache_info()

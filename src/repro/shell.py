@@ -25,8 +25,8 @@ from __future__ import annotations
 import sys
 from typing import IO, Iterable
 
+from .core.session import Session
 from .exceptions import ReproError
-from .reasoner import Reasoner
 from .schema import Schema
 
 __all__ = ["ReasoningShell", "run_shell"]
@@ -36,6 +36,8 @@ commands:
   schema <N>          set the nested attribute, e.g. schema R(A, L[B])
   add <dep>           add a dependency to Σ  (X -> Y or X ->> Y)
   drop <index>        remove the i-th dependency (see 'sigma')
+  retract <dep>       remove a dependency by text (provenance-exact)
+  engine [name]       show or switch the closure engine
   sigma               list Σ
   implies <dep>       decide Σ ⊨ σ
   closure <X>         the attribute-set closure X⁺
@@ -62,8 +64,8 @@ class ReasoningShell:
     def __init__(self, output: IO[str] | None = None) -> None:
         self.output = output if output is not None else sys.stdout
         self.schema: Schema | None = None
-        self._dependencies: list = []
-        self._reasoner: Reasoner | None = None
+        self._session: Session | None = None
+        self._engine_name: str | None = None
         self._observer = None
         self._span_sink = None
         self._previous_observer = None
@@ -74,10 +76,8 @@ class ReasoningShell:
         print(text, file=self.output)
 
     def _sigma(self):
-        assert self.schema is not None
-        from .dependencies.sigma import DependencySet
-
-        return DependencySet(self.schema.root, self._dependencies)
+        assert self._session is not None
+        return self._session.sigma
 
     def _need_schema(self) -> bool:
         if self.schema is None:
@@ -85,10 +85,9 @@ class ReasoningShell:
             return False
         return True
 
-    def _reasoner_now(self) -> Reasoner:
-        if self._reasoner is None:
-            self._reasoner = Reasoner(self.schema, self._sigma())
-        return self._reasoner
+    def _session_now(self) -> Session:
+        assert self._session is not None
+        return self._session
 
     # -- command dispatch ----------------------------------------------------
 
@@ -122,50 +121,69 @@ class ReasoningShell:
             else:
                 self._say(self._observer.metrics.describe())
             return True
+        if command == "engine":
+            return self._engine_command(argument)
         if command == "schema":
             self.schema = Schema(argument)
-            self._dependencies = []
-            self._reasoner = None
+            self._session = Session(
+                self.schema.root,
+                engine=self._engine_name,
+                encoding=self.schema.encoding,
+                label="reasoner",
+            )
             self._say(f"schema set (|N| = {self.schema.encoding.size})")
             return True
         if not self._need_schema():
             return True
 
         schema = self.schema
+        session = self._session_now()
         if command == "add":
-            dependency = schema.dependency(argument)
-            if dependency not in self._dependencies:
-                self._dependencies.append(dependency)
-                self._reasoner = None
-            count = len(self._dependencies)
+            session.add(schema.dependency(argument))
+            count = len(session)
             noun = "dependency" if count == 1 else "dependencies"
             self._say(f"Σ now has {count} {noun}")
             return True
         if command == "drop":
             try:
                 index = int(argument)
-                removed = self._dependencies.pop(index)
+                removed = session.dependencies[index]
             except (ValueError, IndexError):
                 self._say(f"no dependency #{argument}")
                 return True
-            self._reasoner = None
+            session.retract(removed)
             self._say(f"dropped {removed.display(schema.root)}")
             return True
+        if command == "retract":
+            dependency = schema.dependency(argument)
+            before = session.cache_info()
+            try:
+                session.retract(dependency)
+            except ValueError as error:
+                self._say(f"error: {error}")
+                return True
+            after = session.cache_info()
+            self._say(
+                f"retracted {dependency.display(schema.root)} "
+                f"(evicted {after.invalidations - before.invalidations} "
+                f"cached closures, kept {after.retained - before.retained})"
+            )
+            return True
         if command == "sigma":
-            if not self._dependencies:
+            if not len(session):
                 self._say("(Σ is empty)")
-            for index, dependency in enumerate(self._dependencies):
+            for index, dependency in enumerate(session.dependencies):
                 self._say(f"  [{index}] {dependency.display(schema.root)}")
             return True
         if command == "implies":
-            verdict = self._reasoner_now().implies(argument)
+            verdict = session.implies(schema.dependency(argument))
             self._say("implied" if verdict else "not implied")
             return True
         if command == "closure":
-            self._say(schema.show(self._reasoner_now().closure(argument)))
+            self._say(schema.show(session.closure(schema.attribute(argument))))
             return True
         if command == "basis":
-            for member in self._reasoner_now().dependency_basis(argument):
+            for member in session.dependency_basis(schema.attribute(argument)):
                 self._say(f"  {schema.show(member)}")
             return True
         if command == "trace":
@@ -179,7 +197,10 @@ class ReasoningShell:
                 self._say("  (no key within the search budget)")
             return True
         if command == "check4nf":
-            self._say("in 4NF" if schema.is_in_4nf(self._sigma()) else "NOT in 4NF")
+            from .normalization import is_in_4nf
+
+            in_4nf = is_in_4nf(self._sigma(), session=session)
+            self._say("in 4NF" if in_4nf else "NOT in 4NF")
             return True
         if command == "decompose":
             self._say(schema.decompose(self._sigma()).describe())
@@ -194,7 +215,7 @@ class ReasoningShell:
                                  encoding=schema.encoding).describe())
             return True
         if command == "stats":
-            self._say(self._reasoner_now().describe_stats())
+            self._say(session.describe_stats())
             return True
         if command == "witness":
             from .values import format_instance
@@ -207,6 +228,27 @@ class ReasoningShell:
             self._say(format_instance(schema.root, witness.instance))
             return True
         self._say(f"unknown command {command!r} — try 'help'")
+        return True
+
+    def _engine_command(self, argument: str) -> bool:
+        from .core.engines import available_engines, get_engine
+
+        if not argument:
+            current = (self._session.engine.name if self._session is not None
+                       else get_engine(self._engine_name).name)
+            names = ", ".join(sorted(available_engines()))
+            self._say(f"engine: {current} (available: {names})")
+            return True
+        try:
+            if self._session is not None:
+                self._session.set_engine(argument)
+            else:
+                get_engine(argument)  # validate the name before storing it
+        except ValueError as error:
+            self._say(f"error: {error}")
+            return True
+        self._engine_name = argument
+        self._say(f"engine set to {argument}")
         return True
 
     # -- observability -----------------------------------------------------

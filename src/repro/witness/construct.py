@@ -111,7 +111,7 @@ def build_witness(
         If a block-meet invariant is violated or (with ``verify``) the
         instance fails ``Σ`` — both would indicate an implementation bug.
     """
-    enc = encoding if encoding is not None else BasisEncoding(sigma.root)
+    enc = BasisEncoding.of(sigma.root, encoding)
     result = compute_closure(enc, x, sigma)
     closure_mask = result.closure_mask
 

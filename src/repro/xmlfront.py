@@ -51,6 +51,7 @@ __all__ = [
     "value_to_xml",
     "instance_from_xml",
     "instance_to_xml",
+    "audit_documents",
 ]
 
 
@@ -207,3 +208,23 @@ def instance_to_xml(attribute: NestedAttribute, instance: Iterable[Value],
     for value in sorted(instance, key=repr):
         container.append(value_to_xml(attribute, value))
     return container
+
+
+def audit_documents(root: NestedAttribute, sigma,
+                    documents: Iterable[str | ET.Element],
+                    *, encoding=None, engine: str | None = None):
+    """Redundancy audit of XML documents: decode, then count forced values.
+
+    The §7 workflow end to end: parse the documents as ``root``-values
+    and report FD-forced occurrences per basis attribute (see
+    :func:`repro.normalization.redundancy_report`).  The closures run on
+    the ``engine``-selected kernel through one
+    :class:`~repro.core.session.Session`.
+
+    Returns the ``{basis attribute: forced-occurrence count}`` mapping —
+    empty when the documents store nothing twice.
+    """
+    from .normalization import redundancy_report
+
+    instance = instance_from_xml(root, documents)
+    return redundancy_report(sigma, instance, encoding=encoding, engine=engine)

@@ -9,7 +9,7 @@ from repro.core import (
     dependency_basis,
     equivalent,
     implies,
-    implies_all,
+    implies_every,
     is_redundant,
     minimal_cover,
 )
@@ -75,24 +75,31 @@ class TestClosureAndBasis:
         assert result.implies_fd_rhs(enc.encode(s("R(C)", root)))
 
 
-class TestImpliesAll:
+class TestImpliesEvery:
     def test_groups_by_lhs(self, root, sigma):
         targets = [
             parse_dependency("R(A) -> R(B)", root),
             parse_dependency("R(A) -> R(C)", root),
             parse_dependency("R(A) ->> R(B, C)", root),
         ]
-        assert implies_all(sigma, targets)
+        assert implies_every(sigma, targets)
 
     def test_any_failure_fails(self, root, sigma):
         targets = [
             parse_dependency("R(A) -> R(B)", root),
             parse_dependency("R(C) -> R(A)", root),
         ]
-        assert not implies_all(sigma, targets)
+        assert not implies_every(sigma, targets)
 
     def test_empty_targets(self, sigma):
-        assert implies_all(sigma, [])
+        assert implies_every(sigma, [])
+
+    def test_implies_all_alias_warns_and_agrees(self, root, sigma):
+        from repro.core.membership import implies_all
+
+        targets = [parse_dependency("R(A) -> R(C)", root)]
+        with pytest.warns(DeprecationWarning, match="implies_every"):
+            assert implies_all(sigma, targets) == implies_every(sigma, targets)
 
 
 class TestEquivalence:

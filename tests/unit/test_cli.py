@@ -335,3 +335,45 @@ class TestObservabilityFlags:
         run(capsys, "implies", "--schema", SCHEMA, "-d", MVD,
             "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
         assert get_observer() is before
+
+
+class TestEngineFlag:
+    @pytest.mark.parametrize("engine", ["worklist", "naive", "reference"])
+    def test_engine_flag_accepted(self, capsys, engine):
+        code, out, _ = run(
+            capsys, "implies", "--engine", engine,
+            "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+        )
+        assert code == 0
+        assert out.strip() == "implied"
+
+    def test_unknown_engine_is_a_clean_error(self, capsys):
+        code, _, err = run(
+            capsys, "implies", "--engine", "quantum",
+            "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+        )
+        assert code == 2
+        assert "unknown kernel 'quantum'" in err
+
+    def test_engine_override_does_not_leak(self, capsys):
+        from repro.core import get_default_engine
+
+        run(capsys, "implies", "--engine", "naive",
+            "--schema", SCHEMA, "-d", MVD,
+            "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+        assert get_default_engine().name == "worklist"
+
+    def test_chase_failure_diagnoses_implied_fd(self, capsys, tmp_path):
+        from repro import Schema
+        from repro.io import Problem, dump_problem
+
+        schema = Schema("L[A]")
+        sigma = schema.dependencies("λ ->> L[λ]")
+        instance = schema.instance([(), (3,)])
+        path = tmp_path / "erratum.json"
+        dump_problem(path, Problem(schema, sigma, instance))
+        code, _, err = run(capsys, "chase", str(path))
+        assert code == 1
+        assert "implied by Σ" in err

@@ -223,3 +223,78 @@ class TestTracing:
         out = drive(f"schema {SCHEMA}", f"add {MVD}",
                     "trace Pubcrawl(Person)")
         assert "pass" in out.lower() or "X" in out
+
+
+class TestIncrementalEditing:
+    def test_retract_by_text(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "closure Pubcrawl(Person)",
+            f"retract {MVD}",
+            "sigma",
+        )
+        assert "retracted Pubcrawl(Person) ->>" in out
+        assert "evicted 1 cached closures" in out
+        assert "(Σ is empty)" in out
+
+    def test_retract_non_member_reports_error(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"retract {MVD}",
+        )
+        assert "error: the dependency" in out
+        assert "not a member of Σ" in out
+
+    def test_drop_still_works_and_shares_the_session(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "drop 0",
+            "sigma",
+        )
+        assert "dropped Pubcrawl(Person) ->>" in out
+        assert "(Σ is empty)" in out
+
+    def test_add_after_query_warm_starts(self):
+        out = drive(
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "closure Pubcrawl(Person)",
+            "add Pubcrawl(Visit[λ]) -> Pubcrawl(Person)",
+            "closure Pubcrawl(Person)",
+            "stats",
+        )
+        assert "warm_starts=1" in out
+
+    def test_engine_show_and_switch(self):
+        out = drive(
+            "engine",
+            "engine reference",
+            f"schema {SCHEMA}",
+            f"add {MVD}",
+            "implies Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+            "engine worklist",
+            "stats",
+        )
+        assert "engine: worklist (available:" in out
+        assert "engine set to reference" in out
+        assert "implied" in out
+        assert "engine=worklist" in out
+
+    def test_engine_preference_survives_schema_reset(self):
+        out = drive(
+            "engine naive",
+            f"schema {SCHEMA}",
+            "stats",
+        )
+        assert "engine=naive" in out
+
+    def test_unknown_engine_reports_error(self):
+        out = drive("engine quantum")
+        assert "error: unknown kernel 'quantum'" in out
+
+    def test_help_mentions_new_commands(self):
+        out = drive("help")
+        assert "retract <dep>" in out
+        assert "engine [name]" in out
