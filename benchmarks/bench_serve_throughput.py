@@ -1,0 +1,224 @@
+"""Load-test harness for ``repro.serve``: QPS and latency percentiles.
+
+Three mixed workloads over one in-process :class:`ReasoningServer`,
+driven through the pipelining :class:`AsyncClient` exactly as a remote
+load generator would (same wire protocol, real TCP sockets on
+loopback):
+
+* **cold closures** — every query has a distinct left-hand side, so
+  each one pays a full worklist-kernel run.  Measured twice: inline
+  (``workers=0``, the single-process baseline) and offloaded to a
+  warmed worker pool.  This is the workload the pool exists for; the
+  ≥2× QPS criterion applies here *when the machine has ≥2 CPUs*
+  (``cpus`` is recorded in the report — on a single-core box the pool
+  can only add IPC overhead, so the assertion is gated).
+* **hot LHS repeats** — the steady state: every query re-asks a
+  left-hand side the session has already closed, answered from the
+  per-LHS cache without touching kernel or pool.  The p50 here must be
+  far below the cold p50 (the session-cache criterion, CPU-count
+  independent).
+* **add/retract churn** — the interactive-editing shape: each cycle
+  edits Σ (bumping the session generation) and re-probes, so the
+  server keeps invalidating and recomputing.
+
+``BENCH_serve_throughput.json`` at the repository root records QPS,
+p50/p95/p99 client-observed latency, and the environment.
+
+Run:  pytest benchmarks/bench_serve_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.serve import AsyncClient, ReasoningServer, ServeConfig
+from repro.workloads import mixed_family
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve_throughput.json"
+
+SCALE = 16           # mixed_family(16): |N| = 64 basis subattributes
+CLUSTERS = 8
+COLD_QUERIES = 48    # distinct left-hand sides per cold run
+HOT_QUERIES = 300    # repeats of one already-closed left-hand side
+CHURN_CYCLES = 40    # add → probe → retract → probe cycles
+CONCURRENCY = 24     # client-side pipelining depth
+SPEEDUP_TARGET = 2.0
+HOT_OVER_COLD = 5.0  # hot p50 must beat cold p50 by at least this factor
+
+SCHEMA_ROOT = mixed_family(SCALE)
+
+
+def _sigma_texts() -> list[str]:
+    """The clustered Σ of bench_incremental_cover, plus cross-cluster
+    links so cold closures walk several clusters (more kernel passes)."""
+    texts = []
+    per = SCALE // CLUSTERS
+    for cluster in range(CLUSTERS):
+        i, j = cluster * per + 1, cluster * per + 2
+        texts.extend([
+            f"R(A{i}) -> R(A{j})",
+            f"R(A{j}) -> R(L{i}[D{i}(B{i}, λ)])",
+            f"R(A{j}) ->> R(L{j}[D{j}(B{j}, C{j})])",
+            f"R(L{i}[λ]) -> R(A{i})",
+        ])
+        nxt = ((cluster + 1) % CLUSTERS) * per + 1
+        texts.append(f"R(A{j}) ->> R(A{nxt})")
+    return texts
+
+
+def _cold_queries() -> list[str]:
+    """Distinct-LHS membership queries: no two share a closure."""
+    queries = []
+    k = 1
+    while len(queries) < COLD_QUERIES:
+        i = (k - 1) % SCALE + 1
+        j = k % SCALE + 1
+        m = (k + 1) % SCALE + 1
+        # vary the LHS shape so every mask is distinct
+        lhs = [f"R(A{i}, L{j}[D{j}(B{j})])",
+               f"R(L{i}[D{i}(B{i})], L{j}[D{j}(C{j})])",
+               f"R(A{i}, L{j}[λ])",
+               f"R(A{i}, A{j}, L{m}[D{m}(B{m})])"][k % 4]
+        queries.append(f"{lhs} ->> R(A{m})")
+        k += 1
+    return queries
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _stats(latencies: list[float], elapsed: float) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(latencies),
+        "qps": round(len(latencies) / elapsed, 1),
+        "p50_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+        "p95_ms": round(_percentile(ordered, 0.95) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 0.99) * 1e3, 3),
+    }
+
+
+async def _drive(client: AsyncClient, requests: list[tuple[str, dict]]) -> dict:
+    """Fire requests with bounded pipelining; per-request latencies."""
+    gate = asyncio.Semaphore(CONCURRENCY)
+    latencies: list[float] = []
+
+    async def one(op: str, params: dict) -> None:
+        async with gate:
+            started = time.perf_counter()
+            await client.request(op, **params)
+            latencies.append(time.perf_counter() - started)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one(op, params) for op, params in requests))
+    return _stats(latencies, time.perf_counter() - started)
+
+
+async def _cold_run(client: AsyncClient, sigma: list[str]) -> dict:
+    """Reset the session (cache gone), then fire all distinct-LHS queries."""
+    await client.open("bench", str(SCHEMA_ROOT), sigma, replace=True)
+    return await _drive(client, [
+        ("implies", {"session": "bench", "dependency": text})
+        for text in _cold_queries()])
+
+
+async def _hot_run(client: AsyncClient) -> dict:
+    probe = _cold_queries()[0]
+    await client.request("implies", session="bench", dependency=probe)  # warm
+    return await _drive(client, [
+        ("implies", {"session": "bench", "dependency": probe})] * HOT_QUERIES)
+
+
+async def _churn_run(client: AsyncClient) -> dict:
+    """Sequential (the edits must interleave with the probes)."""
+    extra = "R(A1) -> R(L2[D2(C2)])"
+    probe = "R(A1) ->> R(L2[D2(C2)])"
+    latencies: list[float] = []
+    started = time.perf_counter()
+    for _ in range(CHURN_CYCLES):
+        for op, params in [
+            ("add", {"session": "bench", "dependency": extra}),
+            ("implies", {"session": "bench", "dependency": probe}),
+            ("retract", {"session": "bench", "dependency": extra}),
+            ("implies", {"session": "bench", "dependency": probe}),
+        ]:
+            tick = time.perf_counter()
+            await client.request(op, **params)
+            latencies.append(time.perf_counter() - tick)
+    return _stats(latencies, time.perf_counter() - started)
+
+
+async def _measure(workers: int, sigma: list[str]) -> dict:
+    config = ServeConfig(workers=workers, max_inflight=256,
+                         max_pending_per_conn=256, idle_ttl=None,
+                         request_timeout=None)
+    async with ReasoningServer(config) as server:
+        host, port = server.address
+        async with await AsyncClient.connect(host, port) as client:
+            warmup = await _cold_run(client, sigma)   # warm pool + JIT paths
+            cold = await _cold_run(client, sigma)
+            hot = await _hot_run(client)
+            churn = await _churn_run(client)
+            dispatches = server.counters["serve.pool_dispatches"]
+    return {"warmup_qps": warmup["qps"], "cold": cold, "hot": hot,
+            "churn": churn, "pool_dispatches": dispatches}
+
+
+def test_serve_throughput_report(benchmark):
+    sigma = _sigma_texts()
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    pool_workers = min(4, cpus) if cpus >= 2 else 2
+
+    def measure():
+        inline = asyncio.run(_measure(0, sigma))
+        pooled = asyncio.run(_measure(pool_workers, sigma))
+        return {
+            "cpus": cpus,
+            "pool_workers": pool_workers,
+            "sigma_size": len(sigma),
+            "cold_queries": COLD_QUERIES,
+            "concurrency": CONCURRENCY,
+            "inline": inline,
+            "pool": pooled,
+            "cold_speedup": round(
+                pooled["cold"]["qps"] / inline["cold"]["qps"], 2),
+        }
+
+    row = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    report = {"serve_throughput": row, "speedup_target": SPEEDUP_TARGET,
+              "hot_over_cold_target": HOT_OVER_COLD}
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(f"\nserve throughput (|Σ|={row['sigma_size']}, "
+          f"{COLD_QUERIES} cold LHS, pipeline depth {CONCURRENCY}, "
+          f"{cpus} cpu(s)):")
+    for mode in ("inline", "pool"):
+        stats = row[mode]
+        print(f"  {mode:7s} cold {stats['cold']['qps']:8.1f} qps "
+              f"(p50 {stats['cold']['p50_ms']:.2f}ms  "
+              f"p99 {stats['cold']['p99_ms']:.2f}ms)   "
+              f"hot {stats['hot']['qps']:8.1f} qps "
+              f"(p50 {stats['hot']['p50_ms']:.3f}ms)   "
+              f"churn {stats['churn']['qps']:8.1f} qps")
+    print(f"  cold speedup (pool/inline): {row['cold_speedup']:.2f}x")
+    print(f"report written to {JSON_PATH.name}")
+
+    # The session cache must make hot left-hand sides far cheaper than
+    # cold ones — true regardless of CPU count.
+    for mode in ("inline", "pool"):
+        assert (row[mode]["hot"]["p50_ms"] * HOT_OVER_COLD
+                <= row[mode]["cold"]["p50_ms"]), row[mode]
+    # Offload must actually reach the pool.
+    assert row["pool"]["pool_dispatches"] >= COLD_QUERIES
+    # Parallel speedup needs parallel hardware; on a single-CPU machine
+    # the pool can only add IPC overhead, so the ≥2x gate is CI-only.
+    if cpus >= 2:
+        assert row["cold_speedup"] >= SPEEDUP_TARGET, row

@@ -19,7 +19,17 @@ independent, so step 2 can optionally fan out over a
 tables are rebuilt worker-side, queries travel as plain ``int`` masks)
 and streams back ``(mask, X⁺, blocks, passes)`` triples.  Workers pay
 process start-up and pickling costs, so the parallel path is opt-in and
-only engaged when the batch leaves enough distinct closures to matter.
+only engaged when the batch leaves enough distinct closures to matter;
+the warmed pool then *persists* across batches and is released by
+:meth:`BulkReasoner.shutdown` (or by using the reasoner as a context
+manager — the same pool lifecycle contract as
+:class:`repro.serve.server.ReasoningServer`).
+
+Naming note: :meth:`BulkReasoner.implies_all` (and the module-level
+:func:`implies_all` convenience) return one verdict **per query**;
+:func:`repro.core.membership.implies_every` — which held the name
+``implies_all`` before the rename — folds its verdicts into a single
+"Σ implies every one of them" boolean.
 """
 
 from __future__ import annotations
@@ -117,6 +127,67 @@ class BulkReasoner:
             self.reasoner = Reasoner(schema, sigma, maxsize=maxsize,
                                      engine=engine)
         self.workers = workers
+        self._pool = None
+        self._pool_key: tuple | None = None
+        self._pool_sigma: DependencySet | None = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    #
+    # The process pool is a context-managed resource with the same
+    # contract as the server's (:class:`repro.serve.server.ReasoningServer`):
+    # created lazily, reused across batches (workers stay warm with the
+    # pickled ``(N, Σ)`` tables), and released deterministically by
+    # ``shutdown()`` / ``with`` — never leaked on exception paths.
+
+    def __enter__(self) -> "BulkReasoner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent; a no-op without one).
+
+        The embedded reasoner and its cache stay usable — only the
+        fan-out processes are reclaimed.  The next parallel batch
+        simply warms a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_key = None
+        self._pool_sigma = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-timing dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def _pool_for(self, workers: int, collect_spans: bool):
+        """The persistent pool, (re)built when its warmed state is stale.
+
+        Worker processes are initialised once with the pickled
+        ``(N, Σ)`` and whether to collect spans; the pool is therefore
+        keyed on those — an observer toggle or a Σ edit through
+        ``reasoner.session`` retires the old pool before the next
+        dispatch so workers never answer from stale tables.
+        """
+        key = (workers, collect_spans)
+        sigma = self.sigma
+        if (self._pool is None or self._pool_key != key
+                or self._pool_sigma is not sigma):
+            self.shutdown()
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.schema.root, sigma, collect_spans),
+            )
+            self._pool_key = key
+            self._pool_sigma = sigma
+        return self._pool
 
     @property
     def schema(self) -> Schema:
@@ -132,8 +203,11 @@ class BulkReasoner:
                     workers: int | None = None) -> list[bool]:
         """Decide ``Σ ⊨ σ`` for every query; one closure per distinct LHS.
 
-        Returns the verdicts in query order.  ``workers`` overrides the
-        instance default for this batch.
+        Returns the verdicts **in query order, one per query** — the
+        conjunction-folding sibling is
+        :func:`repro.core.membership.implies_every` (which was called
+        ``implies_all`` there before the rename).  ``workers`` overrides
+        the instance default for this batch.
         """
         schema = self.schema
         encoding = schema.encoding
@@ -214,32 +288,26 @@ class BulkReasoner:
         if not workers or workers <= 1 or len(pending) < _MIN_PARALLEL_LHS:
             return  # result_for_mask computes serially on demand
 
-        import concurrent.futures
-
         obs = get_observer()
         encoding = self.schema.encoding
         with obs.span("batch.prefetch", pending=len(pending),
                       workers=min(workers, len(pending)), parallel=True):
             obs.add("batch.pool_dispatches")
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)),
-                initializer=_init_worker,
-                initargs=(self.schema.root, self.sigma, obs.enabled),
-            ) as pool:
-                for mask, closure_mask, blocks, passes, spans, fired in pool.map(
-                    _solve_mask, pending,
-                    chunksize=max(1, len(pending) // workers),
-                ):
-                    session.seed(
-                        mask,
-                        ClosureResult(encoding, mask, closure_mask, blocks,
-                                      passes, frozenset(fired)),
-                        fired,
-                    )
-                    if spans:
-                        # Re-number the worker's ids into this observer
-                        # and graft its roots under the prefetch span.
-                        obs.adopt(spans)
+            pool = self._pool_for(workers, obs.enabled)
+            for mask, closure_mask, blocks, passes, spans, fired in pool.map(
+                _solve_mask, pending,
+                chunksize=max(1, len(pending) // workers),
+            ):
+                session.seed(
+                    mask,
+                    ClosureResult(encoding, mask, closure_mask, blocks,
+                                  passes, frozenset(fired)),
+                    fired,
+                )
+                if spans:
+                    # Re-number the worker's ids into this observer
+                    # and graft its roots under the prefetch span.
+                    obs.adopt(spans)
 
     # -- conveniences ------------------------------------------------------
 

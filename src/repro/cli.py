@@ -25,6 +25,15 @@ Schema design::
 Dependencies can also be loaded from a file (one per line, ``#``
 comments) with ``--sigma-file``.  ``python -m repro figures`` prints the
 paper's Figures 1–4.
+
+Serving (see docs/SERVER.md)::
+
+    python -m repro serve --port 7474 --workers 4
+    python -m repro query --connect 127.0.0.1:7474 open \\
+        --session pub --schema "Pubcrawl(Person, Visit[Drink(Beer, Pub)])" \\
+        -d "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+    python -m repro query --connect 127.0.0.1:7474 implies \\
+        --session pub "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
 """
 
 from __future__ import annotations
@@ -166,6 +175,67 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Graphviz DOT for Figures 1-2 instead of ASCII",
     )
     commands.add_parser("shell", help="interactive reasoning shell")
+
+    serve = commands.add_parser(
+        "serve", help="run the asyncio reasoning server "
+        "(NDJSON protocol, see docs/SERVER.md; SIGTERM drains)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7474,
+        help="TCP port (0 = ephemeral; the bound address is printed)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool width for cold-closure offload (0 = inline)",
+    )
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="LRU cap on open sessions")
+    serve.add_argument(
+        "--idle-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="evict sessions idle this long (<= 0 disables)",
+    )
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="server-wide concurrent-request cap")
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request deadline (<= 0 disables)",
+    )
+    _add_obs(serve)
+
+    query = commands.add_parser(
+        "query", help="drive a running reasoning server"
+    )
+    query.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="server address, e.g. 127.0.0.1:7474",
+    )
+    query.add_argument("--session", default="default", metavar="NAME",
+                       help="session name (default: 'default')")
+    query.add_argument("--timeout", type=float, default=10.0,
+                       help="client socket timeout in seconds")
+    query.add_argument("--schema", help="(open) the nested attribute N")
+    query.add_argument(
+        "-d", "--dependency", action="append", default=[], metavar="DEP",
+        help="(open) a dependency of Σ; repeatable",
+    )
+    query.add_argument("--sigma-file", metavar="PATH",
+                       help="(open) file with one dependency per line")
+    query.add_argument("--engine", metavar="NAME",
+                       help="(open) closure engine for the new session")
+    query.add_argument("--replace", action="store_true",
+                       help="(open) replace an existing session of this name")
+    query.add_argument(
+        "op",
+        choices=["ping", "open", "add", "retract", "implies",
+                 "implies_batch", "closure", "basis", "metrics", "close"],
+        help="server operation",
+    )
+    query.add_argument(
+        "args", nargs="*",
+        help="operation arguments (dependencies for implies/add/retract, "
+        "a subattribute for closure/basis)",
+    )
     return parser
 
 
@@ -234,6 +304,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.command in ("check", "chase", "audit"):
             return _run_problem_command(args)
 
+        if args.command == "serve":
+            return _run_serve(args)
+
+        if args.command == "query":
+            return _run_query(args)
+
         schema = Schema(args.schema)
         sigma = _load_sigma(schema, args)
 
@@ -286,6 +362,117 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``python -m repro serve`` — run until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from .serve.server import ReasoningServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_sessions=args.max_sessions,
+        idle_ttl=args.idle_ttl if args.idle_ttl > 0 else None,
+        max_inflight=args.max_inflight,
+        request_timeout=(args.request_timeout
+                         if args.request_timeout > 0 else None),
+    )
+
+    async def run() -> None:
+        server = ReasoningServer(config)
+        host, port = await server.start()
+        server.install_signal_handlers()
+        # announce only once a signal already means "drain gracefully"
+        print(f"serving on {host}:{port}", flush=True)
+        await server.serve_forever(handle_signals=False)
+
+    asyncio.run(run())
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """``python -m repro query --connect host:port OP ...``."""
+    import json
+
+    from .serve.client import Client, ServerError
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        with Client.connect(host, int(port_text),
+                            timeout=args.timeout) as client:
+            op, op_args, session = args.op, args.args, args.session
+            if op == "ping":
+                print(json.dumps(client.ping()))
+                return 0
+            if op == "open":
+                if not args.schema:
+                    print("error: 'open' needs --schema", file=sys.stderr)
+                    return 2
+                texts = list(args.dependency)
+                if args.sigma_file:
+                    with open(args.sigma_file, encoding="utf-8") as handle:
+                        for line in handle:
+                            stripped = line.strip()
+                            if stripped and not stripped.startswith("#"):
+                                texts.append(stripped)
+                result = client.open(session, args.schema, texts,
+                                     engine=args.engine, replace=args.replace)
+                print(f"opened session {result['name']!r} "
+                      f"(|Σ|={result['sigma']}, engine={result['engine']})")
+                return 0
+            if op == "metrics":
+                print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+                return 0
+            if op == "close":
+                client.close_session(session)
+                print(f"closed session {session!r}")
+                return 0
+            if op in ("add", "retract", "implies", "closure", "basis"):
+                if len(op_args) != 1:
+                    print(f"error: {op!r} takes exactly one argument",
+                          file=sys.stderr)
+                    return 2
+            if op == "add":
+                result = client.add(session, op_args[0])
+                print("added" if result["added"] else "already present",
+                      f"(|Σ|={result['sigma']})")
+                return 0
+            if op == "retract":
+                result = client.retract(session, op_args[0])
+                print(f"retracted {result['retracted']} "
+                      f"(|Σ|={result['sigma']})")
+                return 0
+            if op == "implies":
+                implied = client.implies(session, op_args[0])
+                print("implied" if implied else "not implied")
+                return 0 if implied else 1
+            if op == "implies_batch":
+                verdicts = client.implies_batch(session, op_args)
+                for text, verdict in zip(op_args, verdicts):
+                    print(f"{'implied    ' if verdict else 'not implied'}  "
+                          f"{text}")
+                return 0 if all(verdicts) else 1
+            if op == "closure":
+                print(client.closure(session, op_args[0]))
+                return 0
+            if op == "basis":
+                for member in client.basis(session, op_args[0]):
+                    print(member)
+                return 0
+            raise AssertionError(f"unhandled op {op}")  # pragma: no cover
+    except ServerError as error:
+        print(f"error: [{error.code}] {error.message}", file=sys.stderr)
+        return 2
+    except (ConnectionError, TimeoutError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

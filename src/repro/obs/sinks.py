@@ -83,9 +83,22 @@ class JsonlSink(Sink):
 
     The file is opened lazily on the first record so constructing a
     sink that never fires creates no file.
+
+    Durability: every completed span *tree* — a record with no parent —
+    triggers a flush (disable with ``flush_on_root=False``), and the
+    sink registers an ``atexit`` close when it first opens its own
+    file.  A process killed between requests therefore leaves a file of
+    complete, parseable lines; only a kill in the middle of a single
+    ``write`` can truncate, and then only the final line.  The sink is
+    also a context manager::
+
+        with JsonlSink("trace.jsonl") as sink:
+            with install(Observer([sink])):
+                ...
     """
 
-    def __init__(self, path_or_file: str | IO[str]) -> None:
+    def __init__(self, path_or_file: str | IO[str], *,
+                 flush_on_root: bool = True) -> None:
         if isinstance(path_or_file, str):
             self.path: str | None = path_or_file
             self._handle: IO[str] | None = None
@@ -95,7 +108,9 @@ class JsonlSink(Sink):
             self._handle = path_or_file
             self._owns_handle = False
         self.records_written = 0
+        self.flush_on_root = flush_on_root
         self._closed = False
+        self._atexit_registered = False
 
     def _write(self, record: dict[str, Any]) -> None:
         if self._closed:
@@ -103,21 +118,51 @@ class JsonlSink(Sink):
         if self._handle is None:
             assert self.path is not None
             self._handle = open(self.path, "w", encoding="utf-8")
+            self._register_atexit()
         self._handle.write(json.dumps(record, ensure_ascii=False) + "\n")
         self.records_written += 1
 
+    def _register_atexit(self) -> None:
+        """Close (flushing) at interpreter exit — a killed-off server's
+        trace file must never end mid-record."""
+        if self._owns_handle and not self._atexit_registered:
+            import atexit
+
+            atexit.register(self.close)
+            self._atexit_registered = True
+
     def on_span(self, record: dict[str, Any]) -> None:
         self._write(record)
+        if self.flush_on_root and record.get("parent") is None:
+            self.flush()
 
     def on_metrics(self, snapshot: dict[str, Any]) -> None:
         self._write({"event": "metrics", "metrics": snapshot})
 
     def flush(self) -> None:
-        if self._handle is not None:
+        if self._handle is not None and not self._closed:
             self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None and self._owns_handle:
-            self._handle.close()
-            self._handle = None
+        if self._closed:
+            return
+        if self._handle is not None:
+            if self._owns_handle:
+                self._handle.close()
+                self._handle = None
+            else:
+                self._handle.flush()
         self._closed = True
+        if self._atexit_registered:
+            import atexit
+
+            atexit.unregister(self.close)
+            self._atexit_registered = False
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,43 @@
+"""``repro.serve`` — the network front-end over the reasoning engine.
+
+A versioned newline-delimited-JSON protocol (:mod:`repro.serve.protocol`),
+an asyncio TCP server with session management, worker-pool offload,
+backpressure and graceful shutdown (:mod:`repro.serve.server`), and
+sync/async clients (:mod:`repro.serve.client`).
+
+Quick start::
+
+    python -m repro serve --port 7474 --workers 4          # terminal 1
+    python -m repro query --connect 127.0.0.1:7474 --session pub \\
+        --schema "Pubcrawl(Person, Visit[Drink(Beer, Pub)])" \\
+        -d "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])" open  # terminal 2
+    python -m repro query --connect 127.0.0.1:7474 --session pub \\
+        implies "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+
+See ``docs/SERVER.md`` for the protocol specification, error codes and
+deployment notes.
+"""
+
+from .client import AsyncClient, Client, ServerError
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+)
+from .server import ReasoningServer, ServeConfig, SessionManager
+
+__all__ = [
+    "AsyncClient",
+    "Client",
+    "ErrorCode",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReasoningServer",
+    "Request",
+    "ServeConfig",
+    "ServerError",
+    "SessionManager",
+]

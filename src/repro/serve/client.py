@@ -1,0 +1,254 @@
+"""Clients for the reasoning server: a pipelining async one, a simple
+sync one.
+
+:class:`AsyncClient` keeps any number of requests in flight on one
+connection (a background reader task matches responses to requests by
+id — the server may answer out of order), which is what the load
+generator and the ``implies_batch``-heavy workloads want.
+:class:`Client` is the blocking convenience used by the CLI
+(``repro query --connect``) and by scripts: one request at a time over a
+plain socket.
+
+Both raise :class:`ServerError` (carrying the typed wire
+:attr:`~ServerError.code`) for failure responses, and
+:class:`ConnectionError` when the server goes away mid-request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Iterable
+
+from .protocol import (
+    RETRYABLE,
+    Request,
+    decode_response,
+    encode,
+)
+
+__all__ = ["ServerError", "AsyncClient", "Client"]
+
+
+class ServerError(Exception):
+    """A failure response from the server, with its typed error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+    @property
+    def retryable(self) -> bool:
+        """Whether retrying the same request later can succeed
+        (``overloaded`` / ``timeout``)."""
+        return self.code in RETRYABLE
+
+
+def _result_or_raise(response: dict[str, Any]) -> dict[str, Any]:
+    if response.get("ok"):
+        return response.get("result", {})
+    error = response.get("error") or {}
+    raise ServerError(error.get("code", "internal"),
+                      error.get("message", "malformed error response"))
+
+
+class _OpsMixin:
+    """The op surface shared by both clients (thin wrappers over
+    ``request``; see docs/SERVER.md for params and results)."""
+
+    def _request(self, op: str, **params: Any):
+        raise NotImplementedError  # pragma: no cover
+
+    def ping(self):
+        return self._request("ping")
+
+    def open(self, name: str, schema: str,
+             dependencies: Iterable[str] = (), *,
+             engine: str | None = None, replace: bool = False):
+        params: dict[str, Any] = {"name": name, "schema": schema,
+                                  "dependencies": list(dependencies)}
+        if engine is not None:
+            params["engine"] = engine
+        if replace:
+            params["replace"] = True
+        return self._request("open", **params)
+
+    def add(self, session: str, dependency: str):
+        return self._request("add", session=session, dependency=dependency)
+
+    def retract(self, session: str, dependency: str):
+        return self._request("retract", session=session, dependency=dependency)
+
+    def implies(self, session: str, dependency: str):
+        return self._map(
+            self._request("implies", session=session, dependency=dependency),
+            lambda result: result["implied"])
+
+    def implies_batch(self, session: str, dependencies: Iterable[str]):
+        return self._map(
+            self._request("implies_batch", session=session,
+                          dependencies=list(dependencies)),
+            lambda result: result["verdicts"])
+
+    def closure(self, session: str, x: str):
+        return self._map(self._request("closure", session=session, x=x),
+                         lambda result: result["closure"])
+
+    def basis(self, session: str, x: str):
+        return self._map(self._request("basis", session=session, x=x),
+                         lambda result: result["basis"])
+
+    def metrics(self, session: str | None = None):
+        if session is None:
+            return self._request("metrics")
+        return self._request("metrics", session=session)
+
+    def close_session(self, session: str):
+        return self._request("close", session=session)
+
+
+class AsyncClient(_OpsMixin):
+    """Pipelining asyncio client; create via :meth:`connect`.
+
+    >>> client = await AsyncClient.connect(host, port)   # doctest: +SKIP
+    >>> await client.open("s", "R(A, B, C)", ["R(A) -> R(B)"])  # doctest: +SKIP
+    >>> await client.implies("s", "R(A) -> R(B)")        # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Close the connection; outstanding requests fail."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def request(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request; await its (possibly out-of-order) response."""
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(encode(Request(request_id, op, params).as_dict()))
+            await self._writer.drain()
+            response = await future
+        finally:
+            self._pending.pop(request_id, None)
+        return _result_or_raise(response)
+
+    # the mixin's wrappers return the coroutine from request()
+    _request = request
+
+    @staticmethod
+    async def _map(awaitable, extract):
+        return extract(await awaitable)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line or not line.endswith(b"\n"):
+                    break
+                response = decode_response(line)
+                future = self._pending.get(response.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._fail_pending(
+                ConnectionError("server closed the connection"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+
+class Client(_OpsMixin):
+    """Blocking one-request-at-a-time client (CLI and scripts).
+
+    >>> with Client.connect(host, port) as client:      # doctest: +SKIP
+    ...     client.open("s", "R(A, B, C)", ["R(A) -> R(B)"])
+    ...     client.implies("s", "R(A) -> R(B)")
+    True
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        self._next_id = 1
+
+    @classmethod
+    def connect(cls, host: str, port: int, *,
+                timeout: float | None = 10.0) -> "Client":
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, op: str, **params: Any) -> dict[str, Any]:
+        """Send one request and block for its response."""
+        request_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode(Request(request_id, op, params).as_dict()))
+        while True:
+            line = self._file.readline()
+            if not line or not line.endswith(b"\n"):
+                raise ConnectionError("server closed the connection")
+            response = decode_response(line)
+            if response.get("id") == request_id:
+                return _result_or_raise(response)
+            # A response to an id we no longer track (cannot happen with
+            # sequential use); keep reading for ours.
+
+    _request = request
+
+    @staticmethod
+    def _map(result, extract):
+        return extract(result)

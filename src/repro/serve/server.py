@@ -1,0 +1,808 @@
+"""The asyncio reasoning server: sessions over TCP with worker offload.
+
+The server exposes :class:`repro.core.session.Session` as a network
+service speaking the :mod:`repro.serve.protocol` wire format.  Three
+concerns shape the design, the same ones that shape a model-inference
+server:
+
+* **Session management** — :class:`SessionManager` owns named sessions
+  with LRU eviction (``max_sessions``) and idle-TTL eviction
+  (``idle_ttl``), so a long-running server sheds abandoned state
+  instead of accumulating it.  Every eviction is counted and traced
+  (``serve.evict`` spans, reason ``"lru"`` or ``"idle"``).
+
+* **Worker offload** — cold closures are CPU-bound kernel runs; with
+  ``workers > 0`` they are dispatched to a ``ProcessPoolExecutor`` so
+  the event loop stays responsive and multiple cold requests compute in
+  parallel.  Workers memoise the per-``(session, generation)`` encoding
+  tables (the :class:`repro.batch.BulkReasoner` pickled-``(N, Σ)``
+  warm-up, keyed by generation because served sessions *edit* Σ), and
+  ship back ``(X⁺, DB, fired)`` so the parent seeds its session cache
+  with exact provenance — hot left-hand sides are then answered inline
+  from the cache without touching the pool.  Σ edits bump the session's
+  generation; an offloaded result computed against a stale generation
+  is discarded and re-dispatched, never seeded.
+
+* **Backpressure + deadlines** — at most ``max_inflight`` requests run
+  server-wide and at most ``max_pending_per_conn`` per connection;
+  excess requests receive an immediate typed ``overloaded`` error
+  instead of being queued without bound.  Each admitted request runs
+  under ``request_timeout`` and times out to a typed ``timeout`` error.
+  On SIGTERM/SIGINT the server stops accepting, answers new requests
+  with ``shutting_down``, drains in-flight work (bounded by
+  ``drain_timeout``) and only then shuts the pool down.
+
+Instrumentation: always-on plain counters surfaced through the
+``metrics`` op, plus :mod:`repro.obs` spans (``serve.request``,
+``serve.queue_wait``, ``serve.evict``) and counters when an observer is
+installed.  Span parenting is best-effort under concurrency — see
+docs/SERVER.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from collections import Counter as TallyCounter
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from ..attributes.encoding import BasisEncoding
+from ..attributes.nested import NestedAttribute
+from ..attributes.parser import parse_attribute
+from ..attributes.printer import unparse_abbreviated
+from ..core.closure import ClosureResult, _as_mask_sigma
+from ..core.engine import closure_of_masks_fast
+from ..core.session import Session
+from ..dependencies.dependency import Dependency, FunctionalDependency
+from ..exceptions import ReproError
+from ..obs import get_observer
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServeConfig", "SessionManager", "ReasoningServer"]
+
+
+# --------------------------------------------------------------------------
+# Worker side (runs in pool processes)
+
+#: Per-worker memo of encoding tables, keyed by (session name, generation).
+_WORKER_TABLES: OrderedDict | None = None
+
+#: How many (session, generation) table sets one worker keeps warm.
+_WORKER_MEMO_LIMIT = 8
+
+
+def _init_serve_worker() -> None:
+    """Pool initializer: create the per-worker table memo."""
+    global _WORKER_TABLES
+    _WORKER_TABLES = OrderedDict()
+
+
+def _solve_serve(name: str, generation: int, root: NestedAttribute,
+                 dependencies: Sequence[Dependency],
+                 mask: int) -> tuple[int, int, frozenset[int], int, tuple, int]:
+    """Run the worklist kernel for one LHS mask in a worker process.
+
+    The expensive part — building the :class:`BasisEncoding` and the
+    Σ mask tables — is memoised per ``(name, generation)`` so a burst of
+    cold closures against one session pays it once per worker, exactly
+    the :func:`repro.batch._init_worker` warm-up adapted to mutable Σ.
+    Returns ``(mask, X⁺, blocks, passes, fired, kernel_ns)``; ``fired``
+    uses the FDs-then-MVDs index order the parent's
+    :meth:`Session.seed` expects.
+    """
+    global _WORKER_TABLES
+    if _WORKER_TABLES is None:   # tolerate pools without the initializer
+        _WORKER_TABLES = OrderedDict()
+    key = (name, generation)
+    tables = _WORKER_TABLES.get(key)
+    if tables is None:
+        encoding = BasisEncoding(root)
+        fd_masks, mvd_masks = _as_mask_sigma(encoding, dependencies)
+        tables = (encoding, fd_masks, mvd_masks)
+        _WORKER_TABLES[key] = tables
+        while len(_WORKER_TABLES) > _WORKER_MEMO_LIMIT:
+            _WORKER_TABLES.popitem(last=False)
+    else:
+        _WORKER_TABLES.move_to_end(key)
+    encoding, fd_masks, mvd_masks = tables
+    fired: set[int] = set()
+    started = time.monotonic_ns()
+    closure_mask, blocks, passes = closure_of_masks_fast(
+        encoding, mask, fd_masks, mvd_masks, fired=fired
+    )
+    return (mask, closure_mask, blocks, passes, tuple(sorted(fired)),
+            time.monotonic_ns() - started)
+
+
+# --------------------------------------------------------------------------
+# Configuration
+
+@dataclass
+class ServeConfig:
+    """Tunables for :class:`ReasoningServer` (defaults suit tests/dev)."""
+
+    host: str = "127.0.0.1"
+    #: ``0`` binds an ephemeral port; :meth:`ReasoningServer.start`
+    #: returns the actual address.
+    port: int = 0
+    #: Process-pool width for cold-closure offload; ``0`` computes
+    #: inline in the event loop (the single-process baseline).
+    workers: int = 0
+    #: LRU cap on concurrently open sessions.
+    max_sessions: int = 64
+    #: Seconds of inactivity before a session is evicted (``None`` = never).
+    idle_ttl: float | None = 300.0
+    #: Server-wide cap on concurrently processing requests.
+    max_inflight: int = 64
+    #: Per-connection cap on concurrently processing requests.
+    max_pending_per_conn: int = 32
+    #: Per-request deadline in seconds (``None`` = no deadline).
+    request_timeout: float | None = 30.0
+    #: How long :meth:`ReasoningServer.shutdown` waits for in-flight
+    #: requests before giving up on them.
+    drain_timeout: float = 10.0
+    #: Cadence of the idle-TTL sweep task.
+    sweep_interval: float = 1.0
+    #: Maximum accepted request line length in bytes.
+    max_line_bytes: int = 1 << 20
+
+
+# --------------------------------------------------------------------------
+# Session management
+
+class ManagedSession:
+    """A named :class:`Session` plus its server-side bookkeeping."""
+
+    __slots__ = ("name", "session", "generation", "last_used", "opened_at")
+
+    def __init__(self, name: str, session: Session, now: float) -> None:
+        self.name = name
+        self.session = session
+        #: Bumped on every Σ edit; offloaded results are only seeded
+        #: when the generation they were computed for is still current.
+        self.generation = 0
+        self.last_used = now
+        self.opened_at = now
+
+
+class SessionManager:
+    """Named sessions with LRU + idle-TTL eviction.
+
+    Pure bookkeeping — no I/O, no asyncio — so it is directly unit
+    testable.  ``counters`` is the server's always-on tally; eviction
+    also emits ``serve.evict`` spans and ``serve.evictions`` counters
+    through the installed observer.
+    """
+
+    def __init__(self, *, max_sessions: int = 64,
+                 idle_ttl: float | None = None,
+                 counters: TallyCounter | None = None) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions!r}")
+        self.max_sessions = max_sessions
+        self.idle_ttl = idle_ttl
+        self.counters = counters if counters is not None else TallyCounter()
+        self._sessions: "OrderedDict[str, ManagedSession]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def names(self) -> tuple[str, ...]:
+        """Open session names, least recently used first."""
+        return tuple(self._sessions)
+
+    def open(self, name: str, schema: str | NestedAttribute,
+             dependencies: Iterable[Dependency | str] = (), *,
+             engine: str | None = None, replace: bool = False,
+             now: float | None = None) -> ManagedSession:
+        """Create (or, with ``replace``, recreate) a named session."""
+        if name in self._sessions and not replace:
+            raise ProtocolError(
+                ErrorCode.SESSION_EXISTS,
+                f"session {name!r} is already open (pass replace to recreate)",
+            )
+        try:
+            root = parse_attribute(schema) if isinstance(schema, str) else schema
+            session = Session(root, dependencies, engine=engine)
+        except ProtocolError:
+            raise
+        except (ReproError, ValueError) as error:
+            raise ProtocolError(ErrorCode.BAD_PARAMS, str(error)) from error
+        managed = ManagedSession(name, session,
+                                 time.monotonic() if now is None else now)
+        self._sessions[name] = managed
+        self._sessions.move_to_end(name)
+        self.counters["serve.sessions_opened"] += 1
+        while len(self._sessions) > self.max_sessions:
+            victim, _ = self._sessions.popitem(last=False)
+            self._evicted(victim, "lru")
+        return managed
+
+    def get(self, name: str, *, now: float | None = None) -> ManagedSession:
+        """Look up and LRU-touch a session; raises ``unknown_session``."""
+        managed = self._sessions.get(name)
+        if managed is None:
+            raise ProtocolError(ErrorCode.UNKNOWN_SESSION,
+                                f"no session named {name!r}")
+        managed.last_used = time.monotonic() if now is None else now
+        self._sessions.move_to_end(name)
+        return managed
+
+    def close(self, name: str) -> ManagedSession:
+        """Explicitly close a session; raises ``unknown_session``."""
+        managed = self._sessions.pop(name, None)
+        if managed is None:
+            raise ProtocolError(ErrorCode.UNKNOWN_SESSION,
+                                f"no session named {name!r}")
+        self.counters["serve.sessions_closed"] += 1
+        return managed
+
+    def peek(self, name: str) -> ManagedSession:
+        """Look up a session *without* touching its LRU/idle clock."""
+        managed = self._sessions.get(name)
+        if managed is None:
+            raise ProtocolError(ErrorCode.UNKNOWN_SESSION,
+                                f"no session named {name!r}")
+        return managed
+
+    def sweep_idle(self, *, now: float | None = None) -> int:
+        """Evict every session idle longer than ``idle_ttl``; returns count."""
+        if self.idle_ttl is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        victims = [name for name, managed in self._sessions.items()
+                   if now - managed.last_used > self.idle_ttl]
+        for name in victims:
+            del self._sessions[name]
+            self._evicted(name, "idle")
+        return len(victims)
+
+    def _evicted(self, name: str, reason: str) -> None:
+        self.counters["serve.evictions"] += 1
+        self.counters[f"serve.evictions.{reason}"] += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.add("serve.evictions")
+            with obs.span("serve.evict", session=name, reason=reason):
+                pass
+
+
+# --------------------------------------------------------------------------
+# The server
+
+class _Connection:
+    """Per-connection state: serialized writes + pending-request count."""
+
+    __slots__ = ("writer", "pending", "_lock")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.pending = 0
+        self._lock = asyncio.Lock()
+
+    async def send(self, message: dict[str, Any]) -> None:
+        async with self._lock:
+            if self.writer.is_closing():
+                return
+            self.writer.write(encode(message))
+            try:
+                await self.writer.drain()
+            except ConnectionError:
+                pass  # peer went away mid-response; nothing to salvage
+
+
+class ReasoningServer:
+    """The asyncio TCP front-end over :class:`SessionManager`.
+
+    Lifecycle follows the library's pool contract (shared with
+    :class:`repro.batch.BulkReasoner`): ``async with`` the server, or
+    call :meth:`start` / :meth:`shutdown` explicitly — the worker pool
+    is owned by the server and never leaks on exception paths.
+
+    >>> import asyncio
+    >>> from repro.serve.client import AsyncClient
+    >>> async def demo():
+    ...     async with ReasoningServer() as server:
+    ...         host, port = server.address
+    ...         async with await AsyncClient.connect(host, port) as client:
+    ...             await client.open(
+    ...                 "pub", "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+    ...                 ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"])
+    ...             return await client.implies(
+    ...                 "pub", "Pubcrawl(Person) -> Pubcrawl(Visit[λ])")
+    >>> asyncio.run(demo())
+    True
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.counters: TallyCounter = TallyCounter()
+        self.sessions = SessionManager(
+            max_sessions=self.config.max_sessions,
+            idle_ttl=self.config.idle_ttl,
+            counters=self.counters,
+        )
+        self._pool = None
+        self._server: asyncio.AbstractServer | None = None
+        self._address: tuple[str, int] | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._connections: set[_Connection] = set()
+        self._inflight = 0
+        self._draining = False
+        self._stopped: asyncio.Event | None = None
+        self._sweeper: asyncio.Task | None = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("server is not started")
+        return self._address
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, warm the worker pool, start the idle sweeper."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        if self.config.workers > 0:
+            import concurrent.futures
+
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.config.workers,
+                initializer=_init_serve_worker,
+            )
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._started_at = time.monotonic()
+        if self.config.idle_ttl is not None:
+            self._sweeper = asyncio.get_running_loop().create_task(
+                self._sweep_loop())
+        return self._address
+
+    async def __aenter__(self) -> "ReasoningServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain.  Call as soon as
+        the server is started — before announcing readiness — so an
+        early signal cannot hit the default (non-draining) handler."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.shutdown()))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platforms without signal support
+
+    async def serve_forever(self, *, handle_signals: bool = True) -> None:
+        """Run until :meth:`shutdown` (or SIGTERM/SIGINT) completes."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        if handle_signals:
+            self.install_signal_handlers()
+        await self._stopped.wait()
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight work, release the pool.
+
+        Idempotent; concurrent callers all wait for the first shutdown
+        to finish.  With ``drain=True`` (the SIGTERM path) requests
+        already admitted get up to ``drain_timeout`` seconds to finish
+        and their responses are delivered before connections close.
+        """
+        if self._stopped is None:
+            return  # never started
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self._tasks:
+            _done, pending = await asyncio.wait(
+                set(self._tasks), timeout=self.config.drain_timeout)
+            for task in pending:
+                task.cancel()
+        else:
+            for task in list(self._tasks):
+                task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        for conn in list(self._connections):
+            conn.writer.close()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._stopped.set()
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.sweep_interval)
+            self.sessions.sweep_idle()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.counters["serve.connections"] += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long line or dropped peer: cannot resync
+                if not line or not line.endswith(b"\n"):
+                    break  # EOF (a trailing partial line is ignored)
+                if line.strip():
+                    self._admit(conn, line)
+        except asyncio.CancelledError:
+            pass  # server shutdown closes connections deliberately
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._connections.discard(conn)
+            writer.close()
+
+    def _admit(self, conn: _Connection, line: bytes) -> None:
+        """Decode one request line and either reject or schedule it."""
+        try:
+            request = decode_request(line)
+        except ProtocolError as error:
+            self._count("serve.errors")
+            self._count(f"serve.errors.{error.code}")
+            self._respond(conn, error_response(_recover_id(line), error.code,
+                                               error.message))
+            return
+        if self._draining:
+            self._respond(conn, error_response(
+                request.id, ErrorCode.SHUTTING_DOWN,
+                "server is draining for shutdown"))
+            return
+        if (conn.pending >= self.config.max_pending_per_conn
+                or self._inflight >= self.config.max_inflight):
+            self._count("serve.overloads")
+            self._respond(conn, error_response(
+                request.id, ErrorCode.OVERLOADED,
+                f"server at capacity (inflight={self._inflight}, "
+                f"connection pending={conn.pending}); retry later"))
+            return
+        conn.pending += 1
+        self._inflight += 1
+        task = asyncio.get_running_loop().create_task(
+            self._process(conn, request))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _respond(self, conn: _Connection, message: dict[str, Any]) -> None:
+        task = asyncio.get_running_loop().create_task(conn.send(message))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _process(self, conn: _Connection, request: Request) -> None:
+        obs = get_observer()
+        started = time.monotonic()
+        try:
+            with obs.span("serve.request", op=request.op,
+                          id=str(request.id)) as span:
+                try:
+                    handler = self._execute(request)
+                    if self.config.request_timeout is not None:
+                        result = await asyncio.wait_for(
+                            handler, self.config.request_timeout)
+                    else:
+                        result = await handler
+                except asyncio.TimeoutError:
+                    self._count("serve.timeouts")
+                    span.set(error=ErrorCode.TIMEOUT)
+                    await conn.send(error_response(
+                        request.id, ErrorCode.TIMEOUT,
+                        f"request exceeded the "
+                        f"{self.config.request_timeout}s deadline"))
+                except ProtocolError as error:
+                    self._count("serve.errors")
+                    self._count(f"serve.errors.{error.code}")
+                    span.set(error=error.code)
+                    await conn.send(error_response(
+                        request.id, error.code, error.message))
+                except (ReproError, ValueError, TypeError) as error:
+                    self._count("serve.errors")
+                    self._count(f"serve.errors.{ErrorCode.BAD_PARAMS}")
+                    span.set(error=ErrorCode.BAD_PARAMS)
+                    await conn.send(error_response(
+                        request.id, ErrorCode.BAD_PARAMS, str(error)))
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:  # noqa: BLE001 — typed wire error
+                    self._count("serve.errors")
+                    self._count(f"serve.errors.{ErrorCode.INTERNAL}")
+                    span.set(error=ErrorCode.INTERNAL)
+                    await conn.send(error_response(
+                        request.id, ErrorCode.INTERNAL,
+                        f"{type(error).__name__}: {error}"))
+                else:
+                    span.set(ok=True)
+                    await conn.send(ok_response(request.id, result))
+        finally:
+            conn.pending -= 1
+            self._inflight -= 1
+            obs.observe("serve.request_ms",
+                        (time.monotonic() - started) * 1000.0)
+
+    # -- request execution ---------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Tick an always-on tally and mirror it into the observer."""
+        self.counters[name] += amount
+        get_observer().add(name, amount)
+
+    async def _execute(self, request: Request) -> dict[str, Any]:
+        self._count("serve.requests")
+        self._count(f"serve.requests.{request.op}")
+        params = request.params
+        if request.op == "ping":
+            return {"pong": True, "version": PROTOCOL_VERSION,
+                    "uptime_s": round(time.monotonic() - self._started_at, 3),
+                    "sessions": len(self.sessions)}
+        if request.op == "metrics":
+            return self._metrics(params.get("session"))
+        if request.op == "open":
+            return self._open(params)
+
+        name = params.get("session")
+        if not isinstance(name, str):
+            raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                "'session' must be a string")
+        if request.op == "close":
+            managed = self.sessions.close(name)
+            return {"closed": name,
+                    "sigma": len(managed.session)}
+
+        managed = self.sessions.get(name)
+        session = managed.session
+        if request.op == "add":
+            added = session.add(_text_param(params, "dependency"))
+            if added:
+                managed.generation += 1
+            return {"added": added, "sigma": len(session)}
+        if request.op == "retract":
+            try:
+                removed = session.retract(_text_param(params, "dependency"))
+            except ValueError as error:
+                raise ProtocolError(ErrorCode.BAD_PARAMS, str(error)) from error
+            managed.generation += 1
+            return {"retracted": removed.display(session.root),
+                    "sigma": len(session)}
+        if request.op == "implies":
+            verdict = await self._implies(managed,
+                                          _text_param(params, "dependency"))
+            return {"implied": verdict}
+        if request.op == "implies_batch":
+            texts = params.get("dependencies")
+            if (not isinstance(texts, list)
+                    or not all(isinstance(t, str) for t in texts)):
+                raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                    "'dependencies' must be a list of strings")
+            return {"verdicts": await self._implies_batch(managed, texts)}
+        if request.op == "closure":
+            result = await self._result_for(managed, _text_param(params, "x"))
+            return {"closure": unparse_abbreviated(result.closure,
+                                                   session.root),
+                    "passes": result.passes}
+        if request.op == "basis":
+            result = await self._result_for(managed, _text_param(params, "x"))
+            return {"basis": [unparse_abbreviated(member, session.root)
+                              for member in result.dependency_basis()]}
+        raise ProtocolError(ErrorCode.UNKNOWN_OP,           # pragma: no cover
+                            f"unhandled op {request.op!r}")  # guarded upstream
+
+    def _open(self, params: dict[str, Any]) -> dict[str, Any]:
+        name = params.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                "'name' must be a non-empty string")
+        schema = params.get("schema")
+        if not isinstance(schema, str):
+            raise ProtocolError(ErrorCode.BAD_PARAMS, "'schema' must be a string")
+        dependencies = params.get("dependencies", [])
+        if (not isinstance(dependencies, list)
+                or not all(isinstance(d, str) for d in dependencies)):
+            raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                "'dependencies' must be a list of strings")
+        engine = params.get("engine")
+        if engine is not None and not isinstance(engine, str):
+            raise ProtocolError(ErrorCode.BAD_PARAMS, "'engine' must be a string")
+        managed = self.sessions.open(
+            name, schema, dependencies, engine=engine,
+            replace=bool(params.get("replace", False)))
+        return {"name": name, "sigma": len(managed.session),
+                "engine": managed.session.engine.name}
+
+    # -- closure evaluation (the offload seam) -------------------------------
+
+    async def _implies(self, managed: ManagedSession, text: str) -> bool:
+        session = managed.session
+        dependency = session.dependency(text)
+        dependency.validate(session.root)
+        lhs_mask = session.encoding.encode(dependency.lhs)
+        result = await self._result_for_mask(managed, lhs_mask)
+        rhs_mask = session.encoding.encode(dependency.rhs)
+        if isinstance(dependency, FunctionalDependency):
+            return result.implies_fd_rhs(rhs_mask)
+        return result.implies_mvd_rhs(rhs_mask)
+
+    async def _implies_batch(self, managed: ManagedSession,
+                             texts: Sequence[str]) -> list[bool]:
+        """Batch membership: one closure per *distinct* LHS, fanned out.
+
+        The grouping mirrors :meth:`repro.batch.BulkReasoner.implies_all`;
+        distinct uncached left-hand sides compute concurrently on the
+        worker pool, then every query is answered from the cache.
+        """
+        session = managed.session
+        encode_mask = session.encoding.encode
+        queries = []
+        for text in texts:
+            dependency = session.dependency(text)
+            dependency.validate(session.root)
+            queries.append((dependency, encode_mask(dependency.lhs),
+                            encode_mask(dependency.rhs)))
+        distinct = list({lhs for _, lhs, _ in queries})
+        results = dict(zip(distinct, await asyncio.gather(
+            *(self._result_for_mask(managed, mask) for mask in distinct))))
+        verdicts = []
+        for dependency, lhs_mask, rhs_mask in queries:
+            result = results[lhs_mask]
+            if isinstance(dependency, FunctionalDependency):
+                verdicts.append(result.implies_fd_rhs(rhs_mask))
+            else:
+                verdicts.append(result.implies_mvd_rhs(rhs_mask))
+        return verdicts
+
+    async def _result_for(self, managed: ManagedSession,
+                          text: str) -> ClosureResult:
+        session = managed.session
+        mask = session.encoding.encode(session.attribute(text))
+        return await self._result_for_mask(managed, mask)
+
+    async def _result_for_mask(self, managed: ManagedSession,
+                               mask: int) -> ClosureResult:
+        """A closure result, offloaded to the pool when cold and possible.
+
+        Cache hits (and every query when ``workers == 0``) are answered
+        inline.  Offloaded runs are tagged with the session generation
+        they computed against; if Σ was edited while the worker ran, the
+        stale result is discarded and the query re-dispatched (bounded,
+        then inline) — the session cache never sees a stale seed.
+        """
+        session = managed.session
+        if self._pool is None or session.is_cached(mask):
+            return session.result_for_mask(mask)
+        loop = asyncio.get_running_loop()
+        obs = get_observer()
+        for _attempt in range(3):
+            generation = managed.generation
+            self._count("serve.pool_dispatches")
+            dispatched_ns = time.monotonic_ns()
+            with obs.span("serve.queue_wait", session=managed.name,
+                          lhs=format(mask, "#x")) as span:
+                try:
+                    (_mask, closure_mask, blocks, passes, fired,
+                     kernel_ns) = await loop.run_in_executor(
+                        self._pool, _solve_serve, managed.name, generation,
+                        session.root, session.dependencies, mask)
+                except RuntimeError:
+                    # Pool torn down mid-flight (shutdown race): fall
+                    # back to the inline path below.
+                    break
+                span.set(kernel_ns=kernel_ns,
+                         wait_ns=(time.monotonic_ns() - dispatched_ns
+                                  - kernel_ns))
+            if managed.generation == generation:
+                result = ClosureResult(session.encoding, mask, closure_mask,
+                                       blocks, passes, frozenset(fired))
+                if managed.name in self.sessions:
+                    session.seed(mask, result, fired)
+                return result
+            self._count("serve.stale_discards")
+        return session.result_for_mask(mask)
+
+    # -- metrics -------------------------------------------------------------
+
+    def _metrics(self, only: Any = None) -> dict[str, Any]:
+        if only is not None and not isinstance(only, str):
+            raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                "'session' must be a string")
+        now = time.monotonic()
+        server = {
+            "uptime_s": round(now - self._started_at, 3),
+            "sessions": len(self.sessions),
+            "inflight": self._inflight,
+            "workers": self.config.workers,
+            "draining": self._draining,
+            "counters": dict(self.counters),
+        }
+        names = (only,) if only is not None else self.sessions.names()
+        sessions: dict[str, Any] = {}
+        for name in names:
+            managed = self.sessions.peek(name)
+            info = managed.session.cache_info()
+            sessions[name] = {
+                "sigma": len(managed.session),
+                "engine": info.engine,
+                "generation": managed.generation,
+                "computed": info.computed,
+                "hits": info.hits,
+                "warm_starts": info.warm_starts,
+                "invalidations": info.invalidations,
+                "retained": info.retained,
+                "idle_s": round(now - managed.last_used, 3),
+            }
+        return {"server": server, "sessions": sessions}
+
+
+def _text_param(params: dict[str, Any], key: str) -> str:
+    value = params.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(ErrorCode.BAD_PARAMS, f"{key!r} must be a string")
+    return value
+
+
+def _recover_id(line: bytes) -> int | str | None:
+    """Best-effort id extraction from a rejected request line."""
+    import json
+
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if isinstance(data, dict):
+        request_id = data.get("id")
+        if isinstance(request_id, (int, str)) and not isinstance(request_id,
+                                                                 bool):
+            return request_id
+    return None

@@ -101,6 +101,33 @@ class TestImpliesEvery:
         with pytest.warns(DeprecationWarning, match="implies_every"):
             assert implies_all(sigma, targets) == implies_every(sigma, targets)
 
+    def test_alias_warning_disambiguates_both_surfaces(self, root, sigma):
+        """The message must steer readers to *both* replacements: the
+        conjunction (implies_every) and the per-query batch API."""
+        from repro.core.membership import implies_all
+
+        targets = [parse_dependency("R(A) -> R(C)", root)]
+        with pytest.warns(DeprecationWarning) as caught:
+            implies_all(sigma, targets)
+        message = str(caught[0].message)
+        assert "implies_every" in message
+        assert "repro.batch.implies_all" in message
+
+    def test_batch_implies_all_does_not_warn(self, root, sigma):
+        """Only the membership alias is deprecated — the batch facade of
+        the same name is the blessed per-query API and stays silent."""
+        import warnings as _warnings
+
+        from repro.batch import implies_all as batch_implies_all
+        from repro.schema import Schema
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            verdicts = batch_implies_all(
+                Schema(root), [str(d.display(root)) for d in sigma],
+                ["R(A) -> R(C)"])
+        assert verdicts == [True]
+
 
 class TestEquivalence:
     def test_reformulated_sets_equivalent(self, root):

@@ -2,6 +2,10 @@
 
 import io
 import json
+import os
+import signal
+import subprocess
+import sys
 
 from repro.obs import InMemorySink, JsonlSink, NullSink, Sink
 
@@ -83,3 +87,75 @@ class TestJsonlSink:
         sink.close()
         assert not buffer.closed
         assert json.loads(buffer.getvalue())["id"] == 1
+
+
+class TestJsonlDurability:
+    """Flush-on-root + atexit close: a reader (or a crash) between
+    requests always sees whole, parseable lines."""
+
+    def test_root_span_flushes_to_disk_before_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        sink.on_span(_span(2, parent=1, name="child"))
+        sink.on_span(_span(1, name="root"))
+        # no close() — the completed tree alone must be durable
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert [json.loads(line)["name"] for line in lines] == [
+            "child", "root"]
+        sink.close()
+
+    def test_flush_on_root_can_be_disabled(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path), flush_on_root=False)
+        sink.on_span(_span(1, name="root"))
+        assert sink.records_written == 1
+        sink.close()  # close still lands everything
+        assert json.loads(path.read_text(encoding="utf-8"))["name"] == "root"
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.on_span(_span(1))
+        sink.on_span(_span(2))  # dropped: sink already closed
+        assert sink.records_written == 1
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+
+    def test_atexit_hook_tracks_handle_ownership(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        assert not sink._atexit_registered  # lazy: no file yet
+        sink.on_span(_span(1))
+        assert sink._atexit_registered
+        sink.close()
+        assert not sink._atexit_registered  # unregistered: no leak
+
+    def test_wrapped_file_object_never_registers_atexit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            sink = JsonlSink(handle)
+            sink.on_span(_span(1))
+            assert not sink._atexit_registered
+            sink.close()
+
+    def test_every_line_parses_after_a_hard_kill(self, tmp_path):
+        """A SIGKILLed process (no atexit!) still leaves a parseable
+        file thanks to flush-on-root."""
+        path = tmp_path / "trace.jsonl"
+        script = (
+            "import os, signal\n"
+            "from repro.obs.sinks import JsonlSink\n"
+            f"sink = JsonlSink({str(path)!r})\n"
+            "for i in range(1, 51):\n"
+            "    sink.on_span({'event': 'span', 'id': i, 'parent': None,\n"
+            "                  'name': f'req-{i}', 'start_ns': 0,\n"
+            "                  'end_ns': 1, 'attrs': {}})\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=dict(os.environ),
+            capture_output=True, text=True, timeout=60)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 50
+        for line in lines:
+            json.loads(line)  # every line is a complete record

@@ -1,0 +1,175 @@
+"""Unit tests for the sync and async clients.
+
+The sync :class:`Client` blocks, so its server runs in a background
+thread with its own event loop; the async tests share one loop with the
+server like tests/unit/serve/test_server.py.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import (
+    AsyncClient,
+    Client,
+    ErrorCode,
+    ReasoningServer,
+    ServeConfig,
+    ServerError,
+)
+
+SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
+MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+IMPLIED_FD = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+NOT_IMPLIED = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"
+
+
+class _GatedServer(ReasoningServer):
+    def __init__(self, config):
+        super().__init__(config)
+        self.gate = asyncio.Event()
+
+    async def _execute(self, request):
+        if request.params.get("gated"):
+            await self.gate.wait()
+        return await super()._execute(request)
+
+
+@pytest.fixture()
+def threaded_server():
+    """A ReasoningServer on its own thread; yields ``(host, port)``."""
+    ready = threading.Event()
+    box = {}
+
+    def serve():
+        async def main():
+            async with ReasoningServer(ServeConfig(idle_ttl=None)) as server:
+                box["server"] = server
+                box["loop"] = asyncio.get_running_loop()
+                box["address"] = server.address
+                ready.set()
+                await server._stopped.wait()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10), "server thread failed to start"
+    yield box["address"]
+    box["loop"].call_soon_threadsafe(
+        lambda: asyncio.ensure_future(box["server"].shutdown()))
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestSyncClient:
+    def test_full_session_conversation(self, threaded_server):
+        host, port = threaded_server
+        with Client.connect(host, port) as client:
+            assert client.ping()["pong"] is True
+            client.open("pub", SCHEMA, [MVD])
+            assert client.implies("pub", IMPLIED_FD) is True
+            assert client.implies("pub", NOT_IMPLIED) is False
+            assert client.implies_batch(
+                "pub", [IMPLIED_FD, NOT_IMPLIED]) == [True, False]
+            assert "Person" in client.closure("pub", "Pubcrawl(Person)")
+            assert client.basis("pub", "Pubcrawl(Person)")
+            client.add("pub", NOT_IMPLIED)
+            assert client.implies("pub", NOT_IMPLIED) is True
+            client.retract("pub", NOT_IMPLIED)
+            metrics = client.metrics("pub")
+            assert metrics["sessions"]["pub"]["generation"] == 2
+            assert client.close_session("pub") == {"closed": "pub",
+                                                   "sigma": 1}
+
+    def test_server_errors_carry_codes(self, threaded_server):
+        host, port = threaded_server
+        with Client.connect(host, port) as client:
+            with pytest.raises(ServerError) as info:
+                client.implies("ghost", IMPLIED_FD)
+            assert info.value.code == ErrorCode.UNKNOWN_SESSION
+            assert "[unknown_session]" in str(info.value)
+
+    def test_two_clients_share_server_state(self, threaded_server):
+        host, port = threaded_server
+        with Client.connect(host, port) as first:
+            first.open("shared", SCHEMA, [MVD])
+            with Client.connect(host, port) as second:
+                assert second.implies("shared", IMPLIED_FD) is True
+            first.close_session("shared")
+
+
+class TestAsyncClient:
+    def test_responses_match_by_id_not_order(self):
+        """A fast request overtakes a gated one on the same connection —
+        the read loop must route each response to its own future."""
+        config = ServeConfig(request_timeout=None, idle_ttl=None)
+
+        async def scenario():
+            async with _GatedServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    slow = asyncio.ensure_future(
+                        client.request("ping", gated=True))
+                    while server._inflight < 1:
+                        await asyncio.sleep(0.005)
+                    fast = await client.ping()  # completes while slow waits
+                    assert fast["pong"] is True
+                    assert not slow.done()
+                    server.gate.set()
+                    assert (await slow)["pong"] is True
+
+        asyncio.run(scenario())
+
+    def test_pipelined_batch_on_one_connection(self):
+        async def scenario():
+            async with ReasoningServer(ServeConfig(idle_ttl=None)) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    await client.open("pub", SCHEMA, [MVD])
+                    verdicts = await asyncio.gather(
+                        *(client.implies("pub", IMPLIED_FD)
+                          for _ in range(16)))
+                    assert verdicts == [True] * 16
+
+        asyncio.run(scenario())
+
+    def test_pending_requests_fail_when_server_vanishes(self):
+        config = ServeConfig(request_timeout=None, idle_ttl=None,
+                             drain_timeout=0.05)
+
+        async def scenario():
+            server = _GatedServer(config)
+            host, port = await server.start()
+            client = await AsyncClient.connect(host, port)
+            try:
+                stuck = asyncio.ensure_future(
+                    client.request("ping", gated=True))
+                while server._inflight < 1:
+                    await asyncio.sleep(0.005)
+                await server.shutdown(drain=False)
+                with pytest.raises(ConnectionError):
+                    await stuck
+            finally:
+                await client.close()
+
+        asyncio.run(scenario())
+
+    def test_close_fails_outstanding_requests(self):
+        config = ServeConfig(request_timeout=None, idle_ttl=None)
+
+        async def scenario():
+            async with _GatedServer(config) as server:
+                host, port = server.address
+                client = await AsyncClient.connect(host, port)
+                stuck = asyncio.ensure_future(
+                    client.request("ping", gated=True))
+                while server._inflight < 1:
+                    await asyncio.sleep(0.005)
+                await client.close()
+                with pytest.raises(ConnectionError):
+                    await stuck
+                server.gate.set()
+
+        asyncio.run(scenario())

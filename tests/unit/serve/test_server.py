@@ -1,0 +1,414 @@
+"""Unit tests for the asyncio reasoning server.
+
+Each test runs server and client inside one ``asyncio.run`` so the
+suite needs no pytest-asyncio plugin and can poke at server internals
+(inflight counts, gates) deterministically from the same event loop.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    AsyncClient,
+    ErrorCode,
+    ReasoningServer,
+    ServeConfig,
+    ServerError,
+    SessionManager,
+)
+from repro.serve.protocol import ProtocolError
+
+SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
+MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+IMPLIED_FD = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+IMPLIED_MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])"
+NOT_IMPLIED = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSessionManager:
+    """Pure bookkeeping — no asyncio, explicit clocks."""
+
+    def test_open_get_close(self):
+        manager = SessionManager(max_sessions=4)
+        manager.open("a", SCHEMA, [MVD])
+        assert "a" in manager and len(manager) == 1
+        assert manager.get("a").session.root is manager.peek("a").session.root
+        closed = manager.close("a")
+        assert closed.name == "a"
+        assert "a" not in manager
+
+    def test_open_twice_requires_replace(self):
+        manager = SessionManager(max_sessions=4)
+        manager.open("a", SCHEMA)
+        with pytest.raises(ProtocolError) as info:
+            manager.open("a", SCHEMA)
+        assert info.value.code == ErrorCode.SESSION_EXISTS
+        replaced = manager.open("a", SCHEMA, [MVD], replace=True)
+        assert len(replaced.session) == 1
+
+    def test_bad_schema_is_bad_params(self):
+        manager = SessionManager(max_sessions=4)
+        with pytest.raises(ProtocolError) as info:
+            manager.open("a", "R(((")
+        assert info.value.code == ErrorCode.BAD_PARAMS
+        assert "a" not in manager
+
+    def test_unknown_session_everywhere(self):
+        manager = SessionManager(max_sessions=4)
+        for call in (manager.get, manager.peek, manager.close):
+            with pytest.raises(ProtocolError) as info:
+                call("ghost")
+            assert info.value.code == ErrorCode.UNKNOWN_SESSION
+
+    def test_lru_eviction_prefers_stale_sessions(self):
+        manager = SessionManager(max_sessions=2)
+        manager.open("old", SCHEMA, now=0.0)
+        manager.open("warm", SCHEMA, now=1.0)
+        manager.get("old", now=2.0)  # touch: "warm" is now the LRU victim
+        manager.open("new", SCHEMA, now=3.0)
+        assert manager.names() == ("old", "new")
+        assert manager.counters["serve.evictions.lru"] == 1
+
+    def test_peek_does_not_touch(self):
+        manager = SessionManager(max_sessions=2)
+        manager.open("a", SCHEMA, now=0.0)
+        manager.open("b", SCHEMA, now=1.0)
+        manager.peek("a")
+        manager.open("c", SCHEMA, now=2.0)  # evicts "a", not "b"
+        assert manager.names() == ("b", "c")
+
+    def test_idle_ttl_sweep(self):
+        manager = SessionManager(max_sessions=8, idle_ttl=10.0)
+        manager.open("stale", SCHEMA, now=0.0)
+        manager.open("fresh", SCHEMA, now=0.0)
+        manager.get("fresh", now=95.0)
+        assert manager.sweep_idle(now=100.0) == 1
+        assert manager.names() == ("fresh",)
+        assert manager.counters["serve.evictions.idle"] == 1
+
+    def test_no_ttl_never_sweeps(self):
+        manager = SessionManager(max_sessions=8, idle_ttl=None)
+        manager.open("a", SCHEMA, now=0.0)
+        assert manager.sweep_idle(now=1e9) == 0
+
+    def test_max_sessions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SessionManager(max_sessions=0)
+
+
+class TestServerOps:
+    """The full op surface over a real (in-loop) TCP connection."""
+
+    def test_lifecycle_of_one_session(self):
+        async def scenario():
+            async with ReasoningServer(ServeConfig()) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    pong = await client.ping()
+                    assert pong["pong"] is True and pong["sessions"] == 0
+
+                    opened = await client.open("pub", SCHEMA, [MVD])
+                    assert opened == {"name": "pub", "sigma": 1,
+                                      "engine": opened["engine"]}
+
+                    assert await client.implies("pub", IMPLIED_FD) is True
+                    assert await client.implies("pub", NOT_IMPLIED) is False
+                    verdicts = await client.implies_batch(
+                        "pub", [IMPLIED_FD, IMPLIED_MVD, NOT_IMPLIED])
+                    assert verdicts == [True, True, False]
+
+                    closure = await client.closure("pub", "Pubcrawl(Person)")
+                    assert "Person" in closure
+                    basis = await client.basis("pub", "Pubcrawl(Person)")
+                    assert len(basis) >= 2
+
+                    added = await client.add("pub", NOT_IMPLIED)
+                    assert added["added"] is True and added["sigma"] == 2
+                    assert await client.implies("pub", NOT_IMPLIED) is True
+
+                    retracted = await client.retract("pub", NOT_IMPLIED)
+                    assert retracted["sigma"] == 1
+                    assert await client.implies("pub", NOT_IMPLIED) is False
+
+                    metrics = await client.metrics()
+                    assert metrics["server"]["sessions"] == 1
+                    assert metrics["sessions"]["pub"]["generation"] == 2
+                    assert metrics["sessions"]["pub"]["sigma"] == 1
+
+                    closed = await client.close_session("pub")
+                    assert closed == {"closed": "pub", "sigma": 1}
+                    assert (await client.ping())["sessions"] == 0
+
+        run(scenario())
+
+    def test_typed_errors_over_the_wire(self):
+        async def scenario():
+            async with ReasoningServer(ServeConfig()) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    with pytest.raises(ServerError) as info:
+                        await client.implies("ghost", IMPLIED_FD)
+                    assert info.value.code == ErrorCode.UNKNOWN_SESSION
+                    assert not info.value.retryable
+
+                    await client.open("pub", SCHEMA, [MVD])
+                    with pytest.raises(ServerError) as info:
+                        await client.implies("pub", "Pubcrawl(Nope) -> λ")
+                    assert info.value.code == ErrorCode.BAD_PARAMS
+
+                    with pytest.raises(ServerError) as info:
+                        await client.retract("pub", IMPLIED_FD)  # not a member
+                    assert info.value.code == ErrorCode.BAD_PARAMS
+
+                    with pytest.raises(ServerError) as info:
+                        await client.open("pub", SCHEMA)
+                    assert info.value.code == ErrorCode.SESSION_EXISTS
+
+                    with pytest.raises(ServerError) as info:
+                        await client.request("open", name="", schema=SCHEMA)
+                    assert info.value.code == ErrorCode.BAD_PARAMS
+
+        run(scenario())
+
+    def test_malformed_lines_get_typed_responses(self):
+        async def scenario():
+            async with ReasoningServer(ServeConfig()) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(b"this is not json\n")
+                    response = json.loads(await reader.readline())
+                    assert response["ok"] is False
+                    assert response["error"]["code"] == ErrorCode.PARSE_ERROR
+                    assert response["id"] is None
+
+                    # id recovered from a structurally broken request
+                    writer.write(b'{"v": 99, "id": 42, "op": "ping"}\n')
+                    response = json.loads(await reader.readline())
+                    assert response["id"] == 42
+                    assert (response["error"]["code"]
+                            == ErrorCode.INVALID_REQUEST)
+
+                    writer.write(
+                        b'{"v": 1, "id": 3, "op": "conjure", "params": {}}\n')
+                    response = json.loads(await reader.readline())
+                    assert response["error"]["code"] == ErrorCode.UNKNOWN_OP
+                finally:
+                    writer.close()
+
+        run(scenario())
+
+    def test_blank_lines_are_ignored(self):
+        async def scenario():
+            async with ReasoningServer(ServeConfig()) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(b"\n \n")
+                    writer.write(b'{"v": 1, "id": 1, "op": "ping"}\n')
+                    response = json.loads(await reader.readline())
+                    assert response["ok"] is True
+                finally:
+                    writer.close()
+
+        run(scenario())
+
+
+class _GatedServer(ReasoningServer):
+    """Requests with ``params.gated`` block until the test opens the
+    gate — the deterministic stand-in for a slow closure."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.gate = asyncio.Event()
+
+    async def _execute(self, request):
+        if request.params.get("gated"):
+            await self.gate.wait()
+        return await super()._execute(request)
+
+
+class TestBackpressureAndDeadlines:
+    def test_flooded_connection_gets_typed_overloads(self):
+        config = ServeConfig(max_inflight=2, max_pending_per_conn=2,
+                             request_timeout=None, idle_ttl=None)
+
+        async def scenario():
+            async with _GatedServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    stuck = [asyncio.ensure_future(
+                        client.request("ping", gated=True))
+                        for _ in range(2)]
+                    while server._inflight < 2:
+                        await asyncio.sleep(0.005)
+
+                    with pytest.raises(ServerError) as info:
+                        await client.request("ping")
+                    assert info.value.code == ErrorCode.OVERLOADED
+                    assert info.value.retryable
+                    assert server.counters["serve.overloads"] == 1
+
+                    server.gate.set()  # drain the gated pair
+                    for result in await asyncio.gather(*stuck):
+                        assert result["pong"] is True
+                    # capacity is back
+                    assert (await client.request("ping"))["pong"] is True
+
+        run(scenario())
+
+    def test_slow_request_times_out_with_typed_error(self):
+        config = ServeConfig(request_timeout=0.05, idle_ttl=None)
+
+        async def scenario():
+            async with _GatedServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    with pytest.raises(ServerError) as info:
+                        await client.request("ping", gated=True)
+                    assert info.value.code == ErrorCode.TIMEOUT
+                    assert info.value.retryable
+                    assert server.counters["serve.timeouts"] == 1
+                    # the connection survives a timed-out request
+                    server.gate.set()
+                    assert (await client.ping())["pong"] is True
+
+        run(scenario())
+
+
+class TestGracefulShutdown:
+    def test_drain_delivers_inflight_responses(self):
+        config = ServeConfig(request_timeout=None, idle_ttl=None,
+                             drain_timeout=10.0)
+
+        async def scenario():
+            server = _GatedServer(config)
+            host, port = await server.start()
+            client = await AsyncClient.connect(host, port)
+            try:
+                inflight = asyncio.ensure_future(
+                    client.request("ping", gated=True))
+                while server._inflight < 1:
+                    await asyncio.sleep(0.005)
+
+                stopping = asyncio.ensure_future(server.shutdown())
+                while not server._draining:
+                    await asyncio.sleep(0.005)
+
+                # new work is refused while draining...
+                with pytest.raises(ServerError) as info:
+                    await client.request("ping")
+                assert info.value.code == ErrorCode.SHUTTING_DOWN
+
+                # ...but admitted work completes and its response lands
+                server.gate.set()
+                assert (await inflight)["pong"] is True
+                await stopping
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        run(scenario())
+
+    def test_shutdown_is_idempotent_and_unstarted_safe(self):
+        async def scenario():
+            server = ReasoningServer(ServeConfig())
+            await server.shutdown()  # never started: no-op
+            await server.start()
+            await asyncio.gather(server.shutdown(), server.shutdown())
+            assert server._stopped is not None and server._stopped.is_set()
+
+        run(scenario())
+
+    def test_serve_forever_returns_after_shutdown(self):
+        async def scenario():
+            server = ReasoningServer(ServeConfig(idle_ttl=None))
+            await server.start()
+            forever = asyncio.ensure_future(
+                server.serve_forever(handle_signals=False))
+            await asyncio.sleep(0.01)
+            assert not forever.done()
+            await server.shutdown()
+            await asyncio.wait_for(forever, timeout=5)
+
+        run(scenario())
+
+
+class TestIdleSweeper:
+    def test_idle_sessions_are_swept_while_serving(self):
+        config = ServeConfig(idle_ttl=0.05, sweep_interval=0.01)
+
+        async def scenario():
+            async with ReasoningServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    await client.open("pub", SCHEMA, [MVD])
+                    deadline = asyncio.get_running_loop().time() + 5.0
+                    while "pub" in server.sessions:
+                        assert asyncio.get_running_loop().time() < deadline
+                        await asyncio.sleep(0.02)
+                    assert server.counters["serve.evictions.idle"] == 1
+                    with pytest.raises(ServerError) as info:
+                        await client.implies("pub", IMPLIED_FD)
+                    assert info.value.code == ErrorCode.UNKNOWN_SESSION
+
+        run(scenario())
+
+
+class TestWorkerOffload:
+    def test_pool_seeds_the_session_cache(self):
+        config = ServeConfig(workers=1, idle_ttl=None)
+
+        async def scenario():
+            async with ReasoningServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    await client.open("pub", SCHEMA, [MVD])
+                    assert await client.implies("pub", IMPLIED_FD) is True
+                    dispatches = server.counters["serve.pool_dispatches"]
+                    assert dispatches >= 1
+
+                    # same LHS again: answered from the seeded cache
+                    assert await client.implies("pub", IMPLIED_MVD) is True
+                    assert (server.counters["serve.pool_dispatches"]
+                            == dispatches)
+                    metrics = await client.metrics("pub")
+                    assert metrics["sessions"]["pub"]["computed"] >= 1
+                    assert metrics["sessions"]["pub"]["hits"] >= 1
+
+                    # Σ edits bump the generation; later closures still work
+                    await client.add("pub", NOT_IMPLIED)
+                    assert await client.implies("pub", NOT_IMPLIED) is True
+
+        run(scenario())
+
+    def test_offload_matches_inline_verdicts(self):
+        queries = [IMPLIED_FD, IMPLIED_MVD, NOT_IMPLIED,
+                   "Pubcrawl(Visit[λ]) ->> Pubcrawl(Person)",
+                   "λ -> Pubcrawl(Visit[λ])"]
+
+        async def verdicts(workers):
+            config = ServeConfig(workers=workers, idle_ttl=None)
+            async with ReasoningServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    await client.open("pub", SCHEMA, [MVD])
+                    return await client.implies_batch("pub", queries)
+
+        assert run(verdicts(0)) == run(verdicts(1))
+
+    def test_pool_is_released_on_shutdown(self):
+        config = ServeConfig(workers=1, idle_ttl=None)
+
+        async def scenario():
+            async with ReasoningServer(config) as server:
+                assert server._pool is not None
+            assert server._pool is None
+
+        run(scenario())

@@ -213,3 +213,70 @@ class TestBatchObservability:
         # closure.runs counter only counts local runs (zero here — every
         # query is served from the prefetched cache)
         assert counters.get("closure.runs", 0) == 0
+
+
+class TestPoolLifecycle:
+    """The worker pool is a context-managed resource (shared contract
+    with the server): lazy, persistent across batches, never leaked."""
+
+    @pytest.fixture(autouse=True)
+    def small_threshold(self, monkeypatch):
+        monkeypatch.setattr(repro.batch, "_MIN_PARALLEL_LHS", 1)
+
+    def test_context_manager_releases_the_pool(self, schema, sigma):
+        with BulkReasoner(schema, sigma, workers=2) as bulk:
+            bulk.implies_all(QUERIES)
+            assert bulk._pool is not None
+        assert bulk._pool is None
+
+    def test_pool_persists_across_batches(self, schema, sigma):
+        with BulkReasoner(schema, sigma, workers=2) as bulk:
+            bulk.implies_all(QUERIES)
+            first = bulk._pool
+            bulk.cache_clear()
+            bulk.implies_all(QUERIES)
+            assert bulk._pool is first  # warmed workers were reused
+
+    def test_shutdown_is_idempotent_and_recoverable(self, schema, sigma):
+        bulk = BulkReasoner(schema, sigma, workers=2)
+        bulk.implies_all(QUERIES)
+        bulk.shutdown()
+        bulk.shutdown()
+        assert bulk._pool is None
+        bulk.cache_clear()
+        # the next parallel batch warms a fresh pool transparently
+        assert bulk.implies_all(QUERIES) == [True, True, True, False, False]
+        bulk.shutdown()
+
+    def test_shutdown_without_pool_is_a_noop(self, schema, sigma):
+        BulkReasoner(schema, sigma).shutdown()
+
+    def test_exception_inside_context_still_releases(self, schema, sigma):
+        with pytest.raises(ReproError):
+            with BulkReasoner(schema, sigma, workers=2) as bulk:
+                bulk.implies_all(QUERIES)
+                assert bulk._pool is not None
+                bulk.implies_all(["Pubcrawl(Nope) -> Pubcrawl(Person)"])
+        assert bulk._pool is None
+
+    def test_sigma_edit_retires_the_warmed_pool(self, schema, sigma):
+        with BulkReasoner(schema, sigma, workers=2) as bulk:
+            bulk.implies_all(QUERIES)
+            stale = bulk._pool
+            bulk.reasoner.session.add(
+                "Pubcrawl(Visit[λ]) -> Pubcrawl(Person)")
+            bulk.cache_clear()
+            bulk.implies_all(QUERIES)
+            # workers initialised with the old Σ must not answer for the new
+            assert bulk._pool is not stale
+
+    def test_observer_toggle_retires_the_warmed_pool(self, schema, sigma):
+        from repro.obs import Observer, install
+
+        with BulkReasoner(schema, sigma, workers=2) as bulk:
+            bulk.implies_all(QUERIES)
+            plain = bulk._pool
+            bulk.cache_clear()
+            with install(Observer()):
+                bulk.implies_all(QUERIES)
+                assert bulk._pool is not plain  # span-collecting workers

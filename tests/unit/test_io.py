@@ -147,3 +147,40 @@ class TestProblemFiles:
         dump_problem(path, Problem(schema, schema.dependencies()))
         text = path.read_text(encoding="utf-8")
         assert '"schema": "R(A, B)"' in text
+
+
+class TestWireRoundTrip:
+    """``Problem.to_json``/``from_json`` through an actual JSON string —
+    the shape the server's ``open`` op and problem files both speak —
+    with no file in between."""
+
+    def _problem(self, scenario):
+        schema = Schema(scenario.root)
+        sigma = schema.dependencies(
+            scenario.holding_mvd_text,
+            "Pubcrawl(Person) -> Pubcrawl(Person)",
+        )
+        return Problem(schema, sigma, scenario.instance)
+
+    def test_semantic_equality_through_a_string(self, pubcrawl_scenario):
+        problem = self._problem(pubcrawl_scenario)
+        wire = json.dumps(problem.to_json())
+        decoded = Problem.from_json(json.loads(wire))
+        assert decoded.schema.root == problem.schema.root
+        assert set(decoded.sigma) == set(problem.sigma)
+        assert decoded.instance == problem.instance
+
+    def test_reserialisation_is_stable(self, pubcrawl_scenario):
+        problem = self._problem(pubcrawl_scenario)
+        first = problem.to_json()
+        second = Problem.from_json(json.loads(json.dumps(first))).to_json()
+        assert second == first
+
+    def test_no_instance_key_when_absent(self):
+        schema = Schema("R(A, B[C])")
+        problem = Problem(schema, schema.dependencies("R(A) ->> R(B[C])"))
+        document = problem.to_json()
+        assert "instance" not in document
+        decoded = Problem.from_json(json.loads(json.dumps(document)))
+        assert decoded.instance is None
+        assert set(decoded.sigma) == set(problem.sigma)
