@@ -244,6 +244,12 @@ class Client(_OpsMixin):
             response = decode_response(line)
             if response.get("id") == request_id:
                 return _result_or_raise(response)
+            if response.get("id") is None and not response.get("ok"):
+                # An id-less failure means the server could not decode a
+                # line; with one request in flight it can only be ours,
+                # so raise now rather than block until the socket times
+                # out waiting for a response that will never come.
+                _result_or_raise(response)
             # A response to an id we no longer track (cannot happen with
             # sequential use); keep reading for ours.
 

@@ -160,7 +160,9 @@ def decode_request(line: bytes | str) -> Request:
     """
     data = _decode_object(line)
     version = data.get("v")
-    if version != PROTOCOL_VERSION:
+    # bool is rejected explicitly: True == 1 in Python, so it would
+    # otherwise slip past an equality check against the version number.
+    if isinstance(version, bool) or version != PROTOCOL_VERSION:
         raise ProtocolError(
             ErrorCode.INVALID_REQUEST,
             f"unsupported protocol version {version!r} "

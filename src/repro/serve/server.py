@@ -14,9 +14,12 @@ server:
 * **Worker offload** — cold closures are CPU-bound kernel runs; with
   ``workers > 0`` they are dispatched to a ``ProcessPoolExecutor`` so
   the event loop stays responsive and multiple cold requests compute in
-  parallel.  Workers memoise the per-``(session, generation)`` encoding
+  parallel.  Workers memoise the per-``(epoch, generation)`` encoding
   tables (the :class:`repro.batch.BulkReasoner` pickled-``(N, Σ)``
-  warm-up, keyed by generation because served sessions *edit* Σ), and
+  warm-up; the epoch is a server-unique id minted per opened session so
+  a name re-opened after close/eviction/``replace`` never hits tables
+  warmed for its predecessor, and the generation changes because served
+  sessions *edit* Σ), and
   ship back ``(X⁺, DB, fired)`` so the parent seeds its session cache
   with exact provenance — hot left-hand sides are then answered inline
   from the cache without touching the pool.  Σ edits bump the session's
@@ -42,6 +45,7 @@ docs/SERVER.md.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import signal
 import time
 from collections import Counter as TallyCounter
@@ -76,7 +80,7 @@ __all__ = ["ServeConfig", "SessionManager", "ReasoningServer"]
 # --------------------------------------------------------------------------
 # Worker side (runs in pool processes)
 
-#: Per-worker memo of encoding tables, keyed by (session name, generation).
+#: Per-worker memo of encoding tables, keyed by (session epoch, generation).
 _WORKER_TABLES: OrderedDict | None = None
 
 #: How many (session, generation) table sets one worker keeps warm.
@@ -89,15 +93,20 @@ def _init_serve_worker() -> None:
     _WORKER_TABLES = OrderedDict()
 
 
-def _solve_serve(name: str, generation: int, root: NestedAttribute,
+def _solve_serve(epoch: int, generation: int, root: NestedAttribute,
                  dependencies: Sequence[Dependency],
                  mask: int) -> tuple[int, int, frozenset[int], int, tuple, int]:
     """Run the worklist kernel for one LHS mask in a worker process.
 
     The expensive part — building the :class:`BasisEncoding` and the
-    Σ mask tables — is memoised per ``(name, generation)`` so a burst of
-    cold closures against one session pays it once per worker, exactly
-    the :func:`repro.batch._init_worker` warm-up adapted to mutable Σ.
+    Σ mask tables — is memoised per ``(epoch, generation)`` so a burst
+    of cold closures against one session pays it once per worker,
+    exactly the :func:`repro.batch._init_worker` warm-up adapted to
+    mutable Σ.  ``epoch`` is the session's server-unique id
+    (:attr:`ManagedSession.epoch`), *not* its name: a name re-opened
+    after close/eviction/``replace`` restarts at generation 0, so
+    keying by name would silently serve tables warmed for the previous
+    session's schema and Σ.
     Returns ``(mask, X⁺, blocks, passes, fired, kernel_ns)``; ``fired``
     uses the FDs-then-MVDs index order the parent's
     :meth:`Session.seed` expects.
@@ -105,7 +114,7 @@ def _solve_serve(name: str, generation: int, root: NestedAttribute,
     global _WORKER_TABLES
     if _WORKER_TABLES is None:   # tolerate pools without the initializer
         _WORKER_TABLES = OrderedDict()
-    key = (name, generation)
+    key = (epoch, generation)
     tables = _WORKER_TABLES.get(key)
     if tables is None:
         encoding = BasisEncoding(root)
@@ -162,14 +171,24 @@ class ServeConfig:
 # --------------------------------------------------------------------------
 # Session management
 
+#: Mints :attr:`ManagedSession.epoch` values; module-global so epochs
+#: stay unique even across several managers sharing one worker pool.
+_SESSION_EPOCHS = itertools.count(1)
+
+
 class ManagedSession:
     """A named :class:`Session` plus its server-side bookkeeping."""
 
-    __slots__ = ("name", "session", "generation", "last_used", "opened_at")
+    __slots__ = ("name", "session", "epoch", "generation", "last_used",
+                 "opened_at")
 
     def __init__(self, name: str, session: Session, now: float) -> None:
         self.name = name
         self.session = session
+        #: Server-unique id for this *opening* of the name — two sessions
+        #: never share an epoch, even when one replaces the other under
+        #: the same name.  Worker-side table memos key on it.
+        self.epoch = next(_SESSION_EPOCHS)
         #: Bumped on every Σ edit; offloaded results are only seeded
         #: when the generation they were computed for is still current.
         self.generation = 0
@@ -259,6 +278,12 @@ class SessionManager:
             raise ProtocolError(ErrorCode.UNKNOWN_SESSION,
                                 f"no session named {name!r}")
         return managed
+
+    def is_current(self, managed: ManagedSession) -> bool:
+        """Whether ``managed`` is still the live session for its name
+        (a ``name in manager`` check is not enough — the name may have
+        been re-opened as a different session object)."""
+        return self._sessions.get(managed.name) is managed
 
     def sweep_idle(self, *, now: float | None = None) -> int:
         """Evict every session idle longer than ``idle_ttl``; returns count."""
@@ -733,7 +758,7 @@ class ReasoningServer:
                 try:
                     (_mask, closure_mask, blocks, passes, fired,
                      kernel_ns) = await loop.run_in_executor(
-                        self._pool, _solve_serve, managed.name, generation,
+                        self._pool, _solve_serve, managed.epoch, generation,
                         session.root, session.dependencies, mask)
                 except RuntimeError:
                     # Pool torn down mid-flight (shutdown race): fall
@@ -745,7 +770,7 @@ class ReasoningServer:
             if managed.generation == generation:
                 result = ClosureResult(session.encoding, mask, closure_mask,
                                        blocks, passes, frozenset(fired))
-                if managed.name in self.sessions:
+                if self.sessions.is_current(managed):
                     session.seed(mask, result, fired)
                 return result
             self._count("serve.stale_discards")

@@ -6,6 +6,7 @@ server like tests/unit/serve/test_server.py.
 """
 
 import asyncio
+import socket
 import threading
 
 import pytest
@@ -18,6 +19,7 @@ from repro.serve import (
     ServeConfig,
     ServerError,
 )
+from repro.serve.protocol import encode, error_response
 
 SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
 MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
@@ -98,6 +100,35 @@ class TestSyncClient:
             with Client.connect(host, port) as second:
                 assert second.implies("shared", IMPLIED_FD) is True
             first.close_session("shared")
+
+    def test_id_null_error_raises_instead_of_blocking(self):
+        """An ``"id": null`` failure (the server could not decode a
+        line) must surface as ServerError for the in-flight request,
+        not be skipped until the socket timeout."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def answer_with_idless_failure():
+            conn, _ = listener.accept()
+            with conn, conn.makefile("rb") as lines:
+                lines.readline()  # the client's request
+                conn.sendall(encode(error_response(
+                    None, ErrorCode.PARSE_ERROR, "line is not UTF-8")))
+
+        thread = threading.Thread(target=answer_with_idless_failure,
+                                  daemon=True)
+        thread.start()
+        try:
+            with Client.connect(host, port, timeout=30.0) as client:
+                with pytest.raises(ServerError) as info:
+                    client.ping()
+                assert info.value.code == ErrorCode.PARSE_ERROR
+        finally:
+            listener.close()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
 
 
 class TestAsyncClient:

@@ -63,6 +63,11 @@ class TestRequestValidation:
         line = json.dumps({"id": 1, "op": "ping"})
         assert self._code(line) == ErrorCode.INVALID_REQUEST
 
+    def test_boolean_version_is_rejected(self):
+        # True == 1 in Python; the version gate must not accept it
+        line = json.dumps({"v": True, "id": 1, "op": "ping"})
+        assert self._code(line) == ErrorCode.INVALID_REQUEST
+
     @pytest.mark.parametrize("bad_id", [None, True, 1.5, [1], {}])
     def test_bad_ids(self, bad_id):
         line = json.dumps({"v": PROTOCOL_VERSION, "id": bad_id, "op": "ping"})

@@ -101,6 +101,22 @@ class TestSessionManager:
         with pytest.raises(ValueError):
             SessionManager(max_sessions=0)
 
+    def test_reopened_name_gets_a_fresh_epoch(self):
+        """close+open and replace both mint new epochs — the worker-side
+        table memo keys on the epoch, so a recycled name must never
+        look like the session it replaced."""
+        manager = SessionManager(max_sessions=4)
+        first = manager.open("a", SCHEMA, [MVD])
+        manager.close("a")
+        second = manager.open("a", SCHEMA)
+        assert second.epoch != first.epoch
+        assert second.generation == 0  # same (name, generation) as first had
+        replaced = manager.open("a", SCHEMA, replace=True)
+        assert replaced.epoch not in {first.epoch, second.epoch}
+        assert manager.is_current(replaced)
+        assert not manager.is_current(second)
+        assert not manager.is_current(first)
+
 
 class TestServerOps:
     """The full op surface over a real (in-loop) TCP connection."""
@@ -402,6 +418,32 @@ class TestWorkerOffload:
                     return await client.implies_batch("pub", queries)
 
         assert run(verdicts(0)) == run(verdicts(1))
+
+    def test_reopened_name_never_reuses_stale_worker_tables(self):
+        """A name re-opened after close (or replace) restarts at
+        generation 0; the worker memo must key on the session epoch, or
+        the pool would answer with the *previous* session's Σ tables."""
+        config = ServeConfig(workers=1, idle_ttl=None)
+
+        async def scenario():
+            async with ReasoningServer(config) as server:
+                host, port = server.address
+                async with await AsyncClient.connect(host, port) as client:
+                    await client.open("pub", SCHEMA, [MVD])
+                    assert await client.implies("pub", IMPLIED_FD) is True
+                    await client.close_session("pub")
+
+                    # Same name, same schema, empty Σ: a (name,
+                    # generation)-keyed memo would hit the old tables
+                    # and wrongly answer True.
+                    await client.open("pub", SCHEMA, [])
+                    assert await client.implies("pub", IMPLIED_FD) is False
+
+                    # replace=True is the same trap without a close.
+                    await client.open("pub", SCHEMA, [MVD], replace=True)
+                    assert await client.implies("pub", IMPLIED_FD) is True
+
+        run(scenario())
 
     def test_pool_is_released_on_shutdown(self):
         config = ServeConfig(workers=1, idle_ttl=None)
