@@ -10,10 +10,9 @@ growth stays at or below the budgeted exponent.
 Run:  pytest benchmarks/bench_algebra_operations.py --benchmark-only
 """
 
-import time
-
 import pytest
 
+from _timing import median_of
 from _workloads import sized_problem
 
 SCALES = (4, 16, 64)  # |N| = 16, 64, 256
@@ -64,16 +63,6 @@ def test_possessed(benchmark, scale):
     benchmark(encoding.possessed, half)
 
 
-def _median(function, *args, repeats=200):
-    samples = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        function(*args)
-        samples.append(time.perf_counter() - start)
-    samples.sort()
-    return samples[len(samples) // 2]
-
-
 def test_growth_exponents(benchmark):
     import numpy as np
 
@@ -90,16 +79,16 @@ def test_growth_exponents(benchmark):
         for scale in SCALES:
             encoding, half, other = _setup(scale)
             table.setdefault("pseudo_difference", []).append(
-                (encoding.size, _median(encoding.pseudo_difference, half, other))
+                (encoding.size, median_of(encoding.pseudo_difference, half, other))
             )
             table.setdefault("complement", []).append(
-                (encoding.size, _median(encoding.complement, half))
+                (encoding.size, median_of(encoding.complement, half))
             )
             table.setdefault("double_complement", []).append(
-                (encoding.size, _median(encoding.double_complement, half))
+                (encoding.size, median_of(encoding.double_complement, half))
             )
             table.setdefault("possessed", []).append(
-                (encoding.size, _median(encoding.possessed, half))
+                (encoding.size, median_of(encoding.possessed, half))
             )
         return table
 

@@ -15,14 +15,13 @@ quantifies what each choice buys:
 Run:  pytest benchmarks/bench_encoding_ablation.py --benchmark-only
 """
 
-import time
-
 import pytest
 
 from repro.attributes import BasisEncoding, is_subattribute
 from repro.attributes.basis import basis, basis_poset
 from repro.core import compute_closure, reference_closure
 
+from _timing import median_of, time_once
 from _workloads import sized_sigma
 
 ALGORITHM_SCALES = (1, 2, 3)          # |N| = 4, 8, 12 (structural is slow)
@@ -89,23 +88,14 @@ def test_speedup_summary(benchmark):
         rows = []
         for scale in ALGORITHM_SCALES:
             encoding, sigma, x = sized_sigma(scale, 3)
-            start = time.perf_counter()
-            for _ in range(10):
-                compute_closure(encoding, x, sigma)
-            fast = (time.perf_counter() - start) / 10
-            start = time.perf_counter()
-            reference_closure(encoding.root, x, sigma)
-            slow = time.perf_counter() - start
+            fast = median_of(compute_closure, encoding, x, sigma, repeats=10)
+            slow = time_once(reference_closure, encoding.root, x, sigma)
             rows.append(("algorithm", encoding.size, fast, slow))
         for scale in CONSTRUCTION_SCALES:
             encoding, _, _ = sized_sigma(scale, 0)
             basis_poset.__globals__["_POSET_CACHE"].clear()
-            start = time.perf_counter()
-            BasisEncoding(encoding.root)
-            fast = time.perf_counter() - start
-            start = time.perf_counter()
-            _pairwise_poset(encoding.root)
-            slow = time.perf_counter() - start
+            fast = time_once(BasisEncoding, encoding.root)
+            slow = time_once(_pairwise_poset, encoding.root)
             rows.append(("construction", encoding.size, fast, slow))
         return rows
 

@@ -34,6 +34,7 @@ from repro.core.closure import closure_of_masks_instrumented
 from repro.core.engine import closure_of_masks_fast
 from repro.obs import InMemorySink, JsonlSink, Observer, install, validate_trace
 
+from _timing import ab_compare, best_of
 from _workloads import chain_problem
 
 ROOT = Path(__file__).resolve().parent.parent
@@ -45,49 +46,6 @@ HEADLINE_SCALE = 32
 OVERHEAD_BUDGET_PCT = 3.0
 
 
-def _best_of(fn, *args, budget_s: float = 0.8) -> float:
-    """Best-of-N wall time with an adaptive round count."""
-    start = time.perf_counter()
-    fn(*args)
-    first = time.perf_counter() - start
-    rounds = max(5, min(400, int(budget_s / max(first, 1e-9))))
-    best = first
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _ab_compare(fn_a, fn_b, args, budget_s: float = 1.5) -> tuple[float, float, float]:
-    """Interleaved paired comparison of two equivalent functions.
-
-    Alternating A/B rounds cancel the drift a sequential comparison is
-    exposed to (cache warm-up, frequency scaling, noisy neighbours),
-    and the *median of the per-round differences* is robust against
-    the asymmetric spikes that can still skew independent minima by a
-    few percent.  Returns ``(best_a, best_b, median_diff)`` where
-    ``median_diff`` is median(t_b - t_a) over the paired rounds.
-    """
-    from statistics import median
-
-    start = time.perf_counter()
-    fn_a(*args)
-    first = time.perf_counter() - start
-    rounds = max(10, min(400, int(budget_s / (2 * max(first, 1e-9)))))
-    times_a: list[float] = []
-    times_b: list[float] = []
-    for _ in range(rounds):
-        start = time.perf_counter()
-        fn_a(*args)
-        times_a.append(time.perf_counter() - start)
-        start = time.perf_counter()
-        fn_b(*args)
-        times_b.append(time.perf_counter() - start)
-    diffs = [b - a for a, b in zip(times_a, times_b)]
-    return min(times_a), min(times_b), median(diffs)
-
-
 def _measure(scale: int) -> dict:
     encoding, x_mask, fd_masks, mvd_masks = chain_problem(scale)
 
@@ -97,14 +55,14 @@ def _measure(scale: int) -> dict:
     via_obs = closure_of_masks_instrumented(encoding, x_mask, fd_masks, mvd_masks)
     assert raw == via_obs, scale
 
-    raw_s, disabled_s, median_diff = _ab_compare(
+    raw_s, disabled_s, median_diff = ab_compare(
         closure_of_masks_fast, closure_of_masks_instrumented,
         (encoding, x_mask, fd_masks, mvd_masks),
     )
 
     with install(Observer([InMemorySink()])):
-        memory_s = _best_of(closure_of_masks_instrumented, encoding, x_mask,
-                            fd_masks, mvd_masks)
+        memory_s = best_of(closure_of_masks_instrumented, encoding, x_mask,
+                           fd_masks, mvd_masks)
 
     return {
         "scale": scale,

@@ -14,10 +14,12 @@ front:
 
 For large batches over big schemas the distinct LHS closures are
 independent, so step 2 can optionally fan out over a
-``concurrent.futures`` process pool: each worker receives the pickled
-``(N, Σ)`` once (via the pool initializer — the encoding's structural
-tables are rebuilt worker-side, queries travel as plain ``int`` masks)
-and streams back ``(mask, X⁺, blocks, passes)`` triples.  Workers pay
+``concurrent.futures`` process pool: each worker receives the parent
+session's pickled :class:`~repro.core.plan.CompiledPlan` **once** (via
+the pool initializer — the plan carries the encoding, whose structural
+tables are rebuilt worker-side, plus the compiled Σ arrays, so workers
+never re-encode Σ; queries travel as plain ``int`` masks) and streams
+back ``(mask, X⁺, blocks, passes)`` triples.  Workers pay
 process start-up and pickling costs, so the parallel path is opt-in and
 only engaged when the batch leaves enough distinct closures to matter;
 the warmed pool then *persists* across batches and is released by
@@ -36,10 +38,12 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .attributes.encoding import BasisEncoding
+import pickle
+
 from .attributes.nested import NestedAttribute
-from .core.closure import ClosureResult, _as_mask_sigma
+from .core.closure import ClosureResult
 from .core.engine import closure_of_masks_fast
+from .core.plan import CompiledPlan
 from .dependencies.dependency import Dependency, FunctionalDependency
 from .dependencies.sigma import DependencySet
 from .obs import InMemorySink, Observer, get_observer, install
@@ -53,16 +57,18 @@ __all__ = ["BulkReasoner", "implies_all"]
 _MIN_PARALLEL_LHS = 4
 
 # Worker-side state, installed once per worker process by _init_worker.
-_WORKER_STATE: tuple[BasisEncoding, list, list, bool] | None = None
+_WORKER_STATE: tuple[CompiledPlan, bool] | None = None
 
 
-def _init_worker(root: NestedAttribute, sigma: DependencySet,
-                 collect_spans: bool = False) -> None:
-    """Pool initializer: unpickle ``(N, Σ)`` once, build tables worker-side."""
+def _init_worker(plan_blob: bytes, collect_spans: bool = False) -> None:
+    """Pool initializer: unpickle the compiled plan once per worker.
+
+    The plan ships the encoding root (tables are rebuilt worker-side on
+    unpickle) and the already-compiled Σ arrays, so workers do no
+    re-encoding at all — one ``pickle.loads`` per worker per pool build.
+    """
     global _WORKER_STATE
-    encoding = BasisEncoding(root)
-    fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
-    _WORKER_STATE = (encoding, fd_masks, mvd_masks, collect_spans)
+    _WORKER_STATE = (pickle.loads(plan_blob), collect_spans)
 
 
 def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple, tuple]:
@@ -77,11 +83,13 @@ def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple, tuple]
     :meth:`~repro.obs.Observer.adopt` — worker-side timing, parent-side
     parenting.
     """
-    encoding, fd_masks, mvd_masks, collect_spans = _WORKER_STATE
+    plan, collect_spans = _WORKER_STATE
+    encoding = plan.encoding
     fired: set[int] = set()
     if not collect_spans:
         closure_mask, blocks, passes = closure_of_masks_fast(
-            encoding, mask, fd_masks, mvd_masks, fired=fired
+            encoding, mask, plan.fd_masks, plan.mvd_masks, fired=fired,
+            plan=plan,
         )
         return mask, closure_mask, blocks, passes, (), tuple(fired)
 
@@ -94,7 +102,8 @@ def _solve_mask(mask: int) -> tuple[int, int, frozenset[int], int, tuple, tuple]
         with observer.span("batch.worker", lhs=format(mask, "#x"),
                            pid=os.getpid()):
             closure_mask, blocks, passes = closure_of_masks_instrumented(
-                encoding, mask, fd_masks, mvd_masks, fired=fired
+                encoding, mask, plan.fd_masks, plan.mvd_masks, fired=fired,
+                plan=plan,
             )
     return mask, closure_mask, blocks, passes, tuple(sink.spans), tuple(fired)
 
@@ -167,11 +176,12 @@ class BulkReasoner:
     def _pool_for(self, workers: int, collect_spans: bool):
         """The persistent pool, (re)built when its warmed state is stale.
 
-        Worker processes are initialised once with the pickled
-        ``(N, Σ)`` and whether to collect spans; the pool is therefore
-        keyed on those — an observer toggle or a Σ edit through
-        ``reasoner.session`` retires the old pool before the next
-        dispatch so workers never answer from stale tables.
+        Worker processes are initialised once with the parent session's
+        pickled :class:`CompiledPlan` and whether to collect spans; the
+        pool is therefore keyed on those — an observer toggle or a Σ
+        edit through ``reasoner.session`` retires the old pool before
+        the next dispatch so workers never answer from stale tables.
+        The plan is pickled exactly once per pool build, not per task.
         """
         key = (workers, collect_spans)
         sigma = self.sigma
@@ -180,10 +190,12 @@ class BulkReasoner:
             self.shutdown()
             import concurrent.futures
 
+            plan_blob = pickle.dumps(self.reasoner.session.plan,
+                                     protocol=pickle.HIGHEST_PROTOCOL)
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.schema.root, sigma, collect_spans),
+                initargs=(plan_blob, collect_spans),
             )
             self._pool_key = key
             self._pool_sigma = sigma

@@ -21,6 +21,7 @@ from .membership import (
     is_redundant,
     minimal_cover,
 )
+from .plan import ClosureIntervalCache, CompiledPlan, PlanCacheInfo, compile_plan
 from .reference import reference_closure, reference_dependency_basis
 from .session import Session, SessionCacheInfo
 from .trace import TraceRecorder, TraceStep
@@ -30,6 +31,7 @@ __all__ = [
     "KernelStats", "closure_of_masks_fast",
     "Engine", "available_engines", "get_default_engine", "get_engine",
     "register_engine", "set_default_engine",
+    "CompiledPlan", "compile_plan", "ClosureIntervalCache", "PlanCacheInfo",
     "Session", "SessionCacheInfo",
     "closure", "dependency_basis", "analyse", "implies", "implies_every",
     "implies_all", "equivalent", "is_redundant", "minimal_cover",

@@ -47,7 +47,7 @@ outer loop runs at most ``|SubB(N)|`` times; the overall complexity is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..attributes.encoding import BasisEncoding, iter_bits
 from ..attributes.nested import NestedAttribute
@@ -56,6 +56,9 @@ from ..dependencies.sigma import DependencySet
 from ..obs import get_observer
 from .engine import KernelStats, closure_of_masks_fast
 from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .plan import CompiledPlan
 
 __all__ = [
     "ClosureResult",
@@ -194,6 +197,7 @@ def compute_closure(
     trace: TraceRecorder | None = None,
     kernel: str = "auto",
     stats: KernelStats | None = None,
+    plan: "CompiledPlan | None" = None,
 ) -> ClosureResult:
     """Run Algorithm 5.1 for ``X`` with respect to ``Σ``.
 
@@ -221,13 +225,23 @@ def compute_closure(
     stats:
         Optional :class:`~repro.core.engine.KernelStats` accumulating
         instrumentation counters across runs.
+    plan:
+        Optional :class:`~repro.core.plan.CompiledPlan` compiled from
+        the *same* ``(encoding, Σ)``.  When supplied (and not tracing),
+        the mask tables come from the plan — Σ is not re-encoded — and
+        plan-aware engines consume the compiled arrays directly.
+        Results are bit-identical with the plan on or off.
     """
     # Local import: ``engines`` registers adapters over this module's
     # kernels, so the dependency must point engines → closure only.
     from .engines import get_engine
 
     x_mask = x if isinstance(x, int) else encoding.encode(x)
-    fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
+    if plan is not None and trace is None:
+        fd_masks: Sequence[tuple[int, int]] = plan.fd_masks
+        mvd_masks: Sequence[tuple[int, int]] = plan.mvd_masks
+    else:
+        fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
 
     if trace is not None:
         if kernel not in ("auto", "naive"):
@@ -258,6 +272,7 @@ def compute_closure(
     fired = set()
     closure_mask, blocks, passes = engine.run(
         encoding, x_mask, fd_masks, mvd_masks, stats=stats, fired=fired,
+        plan=plan,
     )
     return ClosureResult(
         encoding, x_mask, closure_mask, blocks, passes, frozenset(fired)
@@ -273,6 +288,7 @@ def closure_of_masks_instrumented(
     stats: KernelStats | None = None,
     fired: set[int] | None = None,
     warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+    plan: "CompiledPlan | None" = None,
 ) -> tuple[int, frozenset[int], int]:
     """The worklist kernel behind the observability layer.
 
@@ -291,7 +307,7 @@ def closure_of_masks_instrumented(
     if not obs.enabled:
         return closure_of_masks_fast(encoding, x_mask, fd_masks, mvd_masks,
                                      stats=stats, fired=fired,
-                                     warm_start=warm_start)
+                                     warm_start=warm_start, plan=plan)
 
     run_stats = KernelStats()
     hits_before, misses_before = encoding.cache_totals()
@@ -303,10 +319,11 @@ def closure_of_masks_instrumented(
         fds=len(fd_masks),
         mvds=len(mvd_masks),
         kernel="worklist",
+        plan=plan is not None,
     ) as span:
         closure_mask, blocks, passes = closure_of_masks_fast(
             encoding, x_mask, fd_masks, mvd_masks, stats=run_stats,
-            fired=fired, warm_start=warm_start,
+            fired=fired, warm_start=warm_start, plan=plan,
         )
         hits_after, misses_after = encoding.cache_totals()
         cache_hits = hits_after - hits_before
@@ -315,8 +332,10 @@ def closure_of_masks_instrumented(
             passes=passes,
             firings=run_stats.firings,
             requeues=run_stats.requeues,
+            requeue_scanned=run_stats.requeue_scanned,
             skipped_firings=run_stats.skipped_firings,
             u_bar_lookups=run_stats.u_bar_lookups,
+            u_bar_blocks=run_stats.u_bar_blocks,
             block_splits=run_stats.block_splits,
             db_rewrites=run_stats.db_rewrites,
             dirty_bits=run_stats.dirty_bits,
@@ -330,8 +349,10 @@ def closure_of_masks_instrumented(
     metrics.add("closure.passes", passes)
     metrics.add("closure.firings", run_stats.firings)
     metrics.add("closure.requeues", run_stats.requeues)
+    metrics.add("closure.requeue_scanned", run_stats.requeue_scanned)
     metrics.add("closure.skipped_firings", run_stats.skipped_firings)
     metrics.add("closure.u_bar_lookups", run_stats.u_bar_lookups)
+    metrics.add("closure.u_bar_blocks", run_stats.u_bar_blocks)
     metrics.add("closure.block_splits", run_stats.block_splits)
     metrics.add("closure.db_rewrites", run_stats.db_rewrites)
     metrics.add("closure.dirty_bits", run_stats.dirty_bits)

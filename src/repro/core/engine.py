@@ -34,14 +34,30 @@ re-queued during generation ``g`` run in generation ``g + 1``.  The
 generation count is reported as ``passes`` for API compatibility; like
 the naive pass count it is bounded by the number of state changes
 (Theorem 6.3's termination argument).
+
+A :class:`repro.core.plan.CompiledPlan` (optional ``plan=`` argument)
+replaces the per-run Σ set-up with one-time compiled structure: the
+folded dependency arrays, an *inverted* requeue index (basis bit →
+bitmask of dependency positions) that turns the per-dirty-event
+``O(|Σ|)`` relevance scan into ``O(popcount(dirty))`` lookups plus one
+walk of exactly the woken positions, and per-dependency ``Ū = 0``
+constants that skip the RHS derivations entirely once a left-hand side
+is covered.  The plan path wakes positions in the same ascending order
+the scan would and fires the same folded dependency exactly when the
+scan would fire any of its duplicates first, so ``(X⁺, DB, passes)`` —
+and ``fired`` provenance, via the plan's ``origin`` remap — are
+bit-identical with the plan on or off.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..attributes.encoding import BasisEncoding, iter_bits
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (plan ← engine)
+    from .plan import CompiledPlan
 
 __all__ = ["KernelStats", "closure_of_masks_fast"]
 
@@ -58,8 +74,10 @@ class KernelStats:
         "passes",
         "firings",
         "requeues",
+        "requeue_scanned",
         "skipped_firings",
         "u_bar_lookups",
+        "u_bar_blocks",
         "block_splits",
         "db_rewrites",
         "dirty_bits",
@@ -73,8 +91,10 @@ class KernelStats:
         self.passes = 0
         self.firings = 0
         self.requeues = 0
+        self.requeue_scanned = 0
         self.skipped_firings = 0
         self.u_bar_lookups = 0
+        self.u_bar_blocks = 0
         self.block_splits = 0
         self.db_rewrites = 0
         self.dirty_bits = 0
@@ -107,6 +127,7 @@ def closure_of_masks_fast(
     stats: KernelStats | None = None,
     fired: set[int] | None = None,
     warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+    plan: "CompiledPlan | None" = None,
 ) -> tuple[int, frozenset[int], int]:
     """Worklist kernel for Algorithm 5.1; returns ``(X⁺, DB, passes)``.
 
@@ -133,18 +154,48 @@ def closure_of_masks_fast(
         dependencies cannot fire productively at their own fixpoint
         (they are re-queued if the new ones dirty their inputs), the
         result is the same ``(X⁺, DB)`` as a cold run over the full Σ.
+    plan:
+        Optional :class:`repro.core.plan.CompiledPlan` compiled from the
+        *same* ``(encoding, fd_masks, mvd_masks)``.  When supplied, the
+        dependency arrays, the inverted requeue index and the ``Ū = 0``
+        constants come from the plan instead of being re-derived, and
+        exact duplicates in Σ fire once per wave (module doc).  ``fired``
+        still collects original Σ indices (the plan's ``origin`` remap)
+        and ``warm_start`` pending lists are still original indices
+        (mapped through ``folded_of``).
     """
     pseudo_difference = encoding.pseudo_difference
     double_complement = encoding.double_complement
     possessed = encoding.possessed
     below = encoding.below
 
-    # Dependencies in the paper's firing order: FDs first, then MVDs.
-    deps: list[tuple[int, int, bool]] = [
-        (u, v, True) for (u, v) in fd_masks
-    ] + [(u, v, False) for (u, v) in mvd_masks]
-    # Relevance mask per dependency: dirty bits meeting it trigger a re-fire.
-    relevance = [u | v for (u, v, _) in deps]
+    use_plan = plan is not None
+    if use_plan:
+        if (plan.fd_total != len(fd_masks)
+                or plan.mvd_total != len(mvd_masks)):
+            raise ValueError(
+                "compiled plan does not match the supplied Σ: plan has "
+                f"{plan.fd_total} FDs / {plan.mvd_total} MVDs, call has "
+                f"{len(fd_masks)} / {len(mvd_masks)}"
+            )
+        # Folded arrays and compiled indexes (module doc, plan.py).
+        deps: Sequence[tuple[int, int, bool]] = plan.deps
+        origin = plan.origin
+        requeue_masks = plan.requeue_masks
+        rhs_tilde = plan.rhs_tilde
+        rhs_singletons = plan.rhs_singletons
+        rhs_suspects = plan.rhs_suspects
+        rhs_overlap = plan.rhs_overlap
+        relevance: Sequence[int] = ()
+    else:
+        # Dependencies in the paper's firing order: FDs first, then MVDs.
+        deps = [(u, v, True) for (u, v) in fd_masks] + [
+            (u, v, False) for (u, v) in mvd_masks
+        ]
+        # Relevance mask per dependency: dirty bits meeting it trigger a
+        # re-fire.
+        relevance = [u | v for (u, v, _) in deps]
+    n_deps = len(deps)
 
     x_new = x_mask
 
@@ -213,28 +264,53 @@ def closure_of_masks_fast(
             return 0
         if stats is not None:
             stats.u_bar_lookups += 1
-        result = 0
+        # A block owning several candidate bits appears in several
+        # buckets; visit each distinct owner exactly once.
+        seen: set[int] = set()
         get = owners.get
         for i in iter_bits(candidates):
             bucket = get(i)
             if bucket:
-                for w in bucket:
-                    result |= w
+                seen.update(bucket)
+        result = 0
+        for w in seen:
+            result |= w
+        if stats is not None:
+            stats.u_bar_blocks += len(seen)
         return result
 
     # Worklist: initially every dependency, in order (or, on warm
     # starts, only the pending ones); generations mirror the naive
     # REPEAT passes for reporting purposes.
     if warm_start is None:
-        queue: deque[int] = deque(range(len(deps)))
+        queue: deque[int] = deque(range(n_deps))
+    elif use_plan:
+        # Pending entries are original Σ indices; map them onto folded
+        # positions, deduplicating while preserving first-seen order.
+        folded_of = plan.folded_of
+        pending: list[int] = []
+        pending_mask = 0
+        for index in warm_start[2]:
+            position = folded_of[index]
+            bit = 1 << position
+            if not pending_mask & bit:
+                pending_mask |= bit
+                pending.append(position)
+        queue = deque(pending)
     else:
         queue = deque(warm_start[2])
-    queued = [False] * len(deps)
-    for position in queue:
-        queued[position] = True
+    if use_plan:
+        queued_mask = 0  # int bitmask over folded positions
+        for position in queue:
+            queued_mask |= 1 << position
+    else:
+        queued = [False] * n_deps
+        for position in queue:
+            queued[position] = True
     passes = 1
     firings = 0
     requeues = 0
+    scanned = 0
     splits = 0
     rewrites = 0
     skipped = 0
@@ -249,11 +325,18 @@ def closure_of_masks_fast(
         generation_left -= 1
 
         position = queue.popleft()
-        queued[position] = False
+        if use_plan:
+            queued_mask &= ~(1 << position)
+        else:
+            queued[position] = False
         u_mask, v_mask, is_fd = deps[position]
         firings += 1
 
-        v_tilde = pseudo_difference(v_mask, u_bar(u_mask))
+        ub = u_bar(u_mask)
+        # Ū = λ is the steady state once X_new covers the LHS; the plan
+        # carries Ṽ = V ∸ λ (and everything derived from it) precomputed.
+        zero_u = use_plan and not ub
+        v_tilde = rhs_tilde[position] if zero_u else pseudo_difference(v_mask, ub)
         if not v_tilde:
             skipped += 1
             continue
@@ -282,11 +365,17 @@ def closure_of_masks_fast(
                 survivor = double_complement(pseudo_difference(w, v_tilde))
                 if survivor:
                     replacement.add(survivor)
-            for index in iter_bits(encoding.maximal_of(double_complement(v_tilde))):
-                singleton = below[index]
-                replacement.add(singleton)
-                if double_complement(singleton) != singleton:
-                    suspects.add(singleton)
+            if zero_u:
+                replacement.update(rhs_singletons[position])
+                suspects.update(rhs_suspects[position])
+            else:
+                for index in iter_bits(
+                    encoding.maximal_of(double_complement(v_tilde))
+                ):
+                    singleton = below[index]
+                    replacement.add(singleton)
+                    if double_complement(singleton) != singleton:
+                        suspects.add(singleton)
             removed = touched - replacement
             added_blocks = replacement - db
             if removed or added_blocks:
@@ -300,7 +389,10 @@ def closure_of_masks_fast(
                 changed = True
         else:
             # X_new := X_new ⊔ (Ṽ ⊓ Ṽ^C) — the mixed meet rule.
-            overlap = v_tilde & encoding.complement(v_tilde)
+            overlap = (
+                rhs_overlap[position] if zero_u
+                else v_tilde & encoding.complement(v_tilde)
+            )
             dirty |= overlap & ~x_new
             x_new |= overlap
             # Split exactly the blocks straddling Ṽ; a straddling block
@@ -324,21 +416,38 @@ def closure_of_masks_fast(
                 changed = True
 
         if changed and fired is not None:
-            fired.add(position)
+            fired.add(origin[position] if use_plan else position)
         if dirty:
             if track_dirty:
                 dirty_total += dirty.bit_count()
-            for other, mask in enumerate(relevance):
-                if mask & dirty and not queued[other]:
-                    queued[other] = True
+            if use_plan:
+                # Inverted index: OR the position-masks of the dirty
+                # bits, drop the already-queued, wake the rest in
+                # ascending order — exactly the positions (and order)
+                # the plan-less relevance scan below would enqueue.
+                wake = 0
+                for i in iter_bits(dirty):
+                    wake |= requeue_masks[i]
+                scanned += wake.bit_count()
+                wake &= ~queued_mask
+                queued_mask |= wake
+                for other in iter_bits(wake):
                     queue.append(other)
                     requeues += 1
+            else:
+                scanned += n_deps
+                for other, mask in enumerate(relevance):
+                    if mask & dirty and not queued[other]:
+                        queued[other] = True
+                        queue.append(other)
+                        requeues += 1
 
     if stats is not None:
         stats.runs += 1
         stats.passes += passes
         stats.firings += firings
         stats.requeues += requeues
+        stats.requeue_scanned += scanned
         stats.skipped_firings += skipped
         stats.block_splits += splits
         stats.db_rewrites += rewrites

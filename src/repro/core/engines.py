@@ -45,6 +45,7 @@ from typing import Iterable, Protocol, Sequence
 from ..attributes.encoding import BasisEncoding
 from ..dependencies.dependency import FunctionalDependency, MultivaluedDependency
 from .engine import KernelStats
+from .plan import CompiledPlan
 from .reference import reference_closure
 
 __all__ = [
@@ -68,6 +69,7 @@ class _RunFn(Protocol):
         stats: KernelStats | None = None,
         fired: set[int] | None = None,
         warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+        plan: "CompiledPlan | None" = None,
     ) -> tuple[int, frozenset[int], int]: ...
 
 
@@ -89,12 +91,19 @@ class Engine:
     supports_trace:
         Whether the underlying kernel can replay pass-by-pass traces
         (only the naive transcription can).
+    supports_plan:
+        Whether :meth:`run` consumes a
+        :class:`~repro.core.plan.CompiledPlan`.  Engines without plan
+        support silently ignore the argument — every engine's result is
+        bit-identical with or without a plan, so dropping it only costs
+        the speed-up, never correctness.
     """
 
     name: str
     description: str
     supports_warm_start: bool
     supports_trace: bool
+    supports_plan: bool
     _run: _RunFn = field(repr=False)
 
     def run(
@@ -107,6 +116,7 @@ class Engine:
         stats: KernelStats | None = None,
         fired: set[int] | None = None,
         warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+        plan: CompiledPlan | None = None,
     ) -> tuple[int, frozenset[int], int]:
         """Compute ``(X⁺, DB, passes)`` for ``x_mask`` under the mask Σ.
 
@@ -114,15 +124,18 @@ class Engine:
         of productive firings); ``warm_start`` optionally resumes from a
         smaller-Σ fixpoint ``(x_plus, blocks, pending_indices)`` when
         :attr:`supports_warm_start` — it is a programming error to pass
-        one otherwise.
+        one otherwise.  ``plan`` optionally supplies the compiled form
+        of the same Σ; it is ignored unless :attr:`supports_plan`.
         """
         if warm_start is not None and not self.supports_warm_start:
             raise ValueError(
                 f"engine {self.name!r} does not support warm starts"
             )
+        if plan is not None and not self.supports_plan:
+            plan = None
         return self._run(
             encoding, x_mask, fd_masks, mvd_masks,
-            stats=stats, fired=fired, warm_start=warm_start,
+            stats=stats, fired=fired, warm_start=warm_start, plan=plan,
         )
 
 
@@ -190,6 +203,7 @@ def _worklist_run(
     stats: KernelStats | None = None,
     fired: set[int] | None = None,
     warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+    plan: CompiledPlan | None = None,
 ) -> tuple[int, frozenset[int], int]:
     # Route through the observability wrapper so every run — registry or
     # direct — shows up as a ``closure.compute`` span when tracing is on.
@@ -197,7 +211,7 @@ def _worklist_run(
 
     return closure_of_masks_instrumented(
         encoding, x_mask, fd_masks, mvd_masks,
-        stats=stats, fired=fired, warm_start=warm_start,
+        stats=stats, fired=fired, warm_start=warm_start, plan=plan,
     )
 
 
@@ -210,6 +224,7 @@ def _naive_run(
     stats: KernelStats | None = None,
     fired: set[int] | None = None,
     warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+    plan: CompiledPlan | None = None,
 ) -> tuple[int, frozenset[int], int]:
     from .closure import closure_of_masks
 
@@ -235,6 +250,7 @@ def _reference_run(
     stats: KernelStats | None = None,
     fired: set[int] | None = None,
     warm_start: tuple[int, Iterable[int], Sequence[int]] | None = None,
+    plan: CompiledPlan | None = None,
 ) -> tuple[int, frozenset[int], int]:
     root = encoding.root
     decode = encoding.decode
@@ -258,9 +274,10 @@ def _reference_run(
 
 register_engine(Engine(
     name="worklist",
-    description="dirty-set worklist kernel (fast; warm starts, provenance)",
+    description="dirty-set worklist kernel (fast; warm starts, provenance, plans)",
     supports_warm_start=True,
     supports_trace=False,
+    supports_plan=True,
     _run=_worklist_run,
 ))
 register_engine(Engine(
@@ -268,6 +285,7 @@ register_engine(Engine(
     description="pass-by-pass pseudocode transcription (traceable)",
     supports_warm_start=True,
     supports_trace=True,
+    supports_plan=False,
     _run=_naive_run,
 ))
 register_engine(Engine(
@@ -275,5 +293,6 @@ register_engine(Engine(
     description="structural NestedAttribute implementation (slow; differential oracle)",
     supports_warm_start=False,
     supports_trace=False,
+    supports_plan=False,
     _run=_reference_run,
 ))

@@ -57,6 +57,7 @@ from ..obs import get_observer
 from .closure import ClosureResult
 from .engine import KernelStats
 from .engines import Engine, get_engine
+from .plan import ClosureIntervalCache, CompiledPlan, PlanCacheInfo, compile_plan
 
 __all__ = ["Session", "SessionCacheInfo"]
 
@@ -70,13 +71,16 @@ class SessionCacheInfo(tuple):
     ``invalidations`` (entries evicted by :meth:`Session.retract`
     because the retracted dependency was in their provenance) and
     ``retained`` (entries that survived a retraction because it was
-    not).
+    not).  ``plan`` carries the session's
+    :class:`~repro.core.plan.PlanCacheInfo` — the closure-interval-cache
+    counters (exact/interval/miss).
     """
 
     def __new__(cls, computed: int, hits: int, *, warm_starts: int = 0,
                 evictions: int = 0, invalidations: int = 0, retained: int = 0,
                 maxsize: int | None = None, engine: str = "worklist",
                 encoding=None, kernel: KernelStats | None = None,
+                plan: PlanCacheInfo | None = None,
                 ) -> "SessionCacheInfo":
         self = super().__new__(cls, (computed, hits))
         self.warm_starts = warm_starts
@@ -87,6 +91,7 @@ class SessionCacheInfo(tuple):
         self.engine = engine
         self.encoding = encoding
         self.kernel = kernel
+        self.plan = plan
         return self
 
     @property
@@ -187,6 +192,11 @@ class Session:
         self._engine = get_engine(engine)
         self._deps: list[Dependency] = []
         self._dep_set: set[Dependency] = set()
+        # Plan + interval-cache state must exist before the initial adds
+        # below: add() invalidates views on every insertion.
+        self._plan: CompiledPlan | None = None
+        self._plan_reuse: CompiledPlan | None = None
+        self._interval = ClosureIntervalCache()
         for dependency in sigma:
             self.add(dependency)
         self._entries: OrderedDict[int, _CacheEntry] = OrderedDict()
@@ -320,6 +330,15 @@ class Session:
     def _invalidate_views(self) -> None:
         self._tables = None
         self._sigma_view = None
+        # The compiled plan is stale, but its per-dependency constants
+        # survive for every Σ-member the edit kept: stash it so the next
+        # compile is incremental.  Interval entries are fixpoints of the
+        # *old* Σ — wrong in both directions (closures grow on add,
+        # shrink on retract) — so they are dropped outright.
+        if self._plan is not None:
+            self._plan_reuse = self._plan
+            self._plan = None
+        self._interval.clear()
 
     def _mask_tables(self) -> tuple[list[tuple[int, int]],
                                     list[tuple[int, int]], list[Dependency]]:
@@ -342,6 +361,26 @@ class Session:
             tables = (fd_masks, mvd_masks, fds + mvds)
             self._tables = tables
         return tables
+
+    @property
+    def plan(self) -> CompiledPlan:
+        """The session's :class:`CompiledPlan` for the current Σ.
+
+        Compiled lazily on first use after an edit; recompilation is
+        incremental — per-dependency constants are reused from the
+        previous plan for every Σ-member the edit kept (see
+        :func:`repro.core.plan.compile_plan`).  The batch pool and the
+        serve offload workers ship this object, pickled, once per
+        ``(session, epoch, generation)``.
+        """
+        plan = self._plan
+        if plan is None:
+            fd_masks, mvd_masks, _ = self._mask_tables()
+            plan = compile_plan(self.encoding, fd_masks, mvd_masks,
+                                reuse=self._plan_reuse)
+            self._plan = plan
+            self._plan_reuse = None
+        return plan
 
     # -- the cache -----------------------------------------------------------
 
@@ -367,11 +406,13 @@ class Session:
     def _run(self, mask: int, fired: set[int], warm_start, *, warm: bool,
              counter: str) -> tuple[int, frozenset[int], int]:
         fd_masks, mvd_masks, _ = self._mask_tables()
+        plan = self.plan if self._engine.supports_plan else None
         obs = get_observer()
         if not obs.enabled:
             return self._engine.run(
                 self.encoding, mask, fd_masks, mvd_masks,
                 stats=self.kernel_stats, fired=fired, warm_start=warm_start,
+                plan=plan,
             )
         obs.add(counter)
         with obs.span(f"{self._label}.query", lhs=format(mask, "#x"),
@@ -379,6 +420,7 @@ class Session:
             return self._engine.run(
                 self.encoding, mask, fd_masks, mvd_masks,
                 stats=self.kernel_stats, fired=fired, warm_start=warm_start,
+                plan=plan,
             )
 
     def _resume(self, mask: int, entry: _CacheEntry) -> ClosureResult:
@@ -403,6 +445,7 @@ class Session:
         entry.provenance.update(ordered[i] for i in fired)
         entry.sigma_keys = set(self._dep_set)
         self._entries.move_to_end(mask)
+        self._interval.store(mask, result.closure_mask)
         return result
 
     def _compute(self, mask: int) -> ClosureResult:
@@ -421,9 +464,16 @@ class Session:
     def _store(self, mask: int, entry: _CacheEntry) -> None:
         self._entries[mask] = entry
         self._entries.move_to_end(mask)
+        # Every freshly computed (or seeded) fixpoint also feeds the
+        # interval cache — it is current for today's Σ by construction.
+        self._interval.store(mask, entry.result.closure_mask)
         if self.maxsize is not None:
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                evicted_mask, _ = self._entries.popitem(last=False)
+                # Keep the interval memo in lockstep with the bounded
+                # result cache: an evicted LHS must be recomputed, not
+                # answered from a memo the maxsize was meant to bound.
+                self._interval.discard(evicted_mask)
                 self._evictions += 1
                 get_observer().add(f"{self._label}.cache.evictions")
 
@@ -458,19 +508,44 @@ class Session:
 
     # -- queries -------------------------------------------------------------
 
+    def closure_mask_for(self, mask: int) -> int:
+        """``X⁺`` as a mask, answered as cheaply as possible.
+
+        Resolution order: the full result cache (exact hit, current Σ —
+        normal hit accounting), then the closure-interval cache (a
+        cached ``X'`` with ``X' ≤ X ≤ X'⁺`` forces ``X⁺ = X'⁺`` without
+        any kernel run), then a real computation.  Only closure-derived
+        queries — FD membership, :meth:`closure`, :meth:`is_superkey` —
+        may route through here: interval hits produce no blocks, and
+        ``DepB(X)`` depends on ``X`` itself, not only on ``X⁺``, so
+        basis queries always take :meth:`result_for_mask`.
+        """
+        entry = self._entries.get(mask)
+        if entry is not None and entry.sigma_keys == self._dep_set:
+            self._hits += 1
+            self._entries.move_to_end(mask)
+            get_observer().add(f"{self._label}.cache.hits")
+            return entry.result.closure_mask
+        cached = self._interval.lookup(mask)
+        if cached is not None:
+            return cached
+        return self.result_for_mask(mask).closure_mask
+
     def implies(self, dependency: Dependency | str) -> bool:
         """Decide ``Σ ⊨ σ`` using the per-LHS cache (Proposition 4.10)."""
         dependency = self.dependency(dependency)
         dependency.validate(self.root)
-        result = self.result_for(dependency.lhs)
         rhs_mask = self.encoding.encode(dependency.rhs)
         if isinstance(dependency, FunctionalDependency):
-            return result.implies_fd_rhs(rhs_mask)
-        return result.implies_mvd_rhs(rhs_mask)
+            # Σ ⊨ X → Y iff Y ≤ X⁺: closure-derived, interval-eligible.
+            lhs_mask = self.encoding.encode(dependency.lhs)
+            return rhs_mask & ~self.closure_mask_for(lhs_mask) == 0
+        return self.result_for(dependency.lhs).implies_mvd_rhs(rhs_mask)
 
     def closure(self, x: NestedAttribute | str) -> NestedAttribute:
         """The attribute-set closure ``X⁺``."""
-        return self.result_for(x).closure
+        mask = self.encoding.encode(self.attribute(x))
+        return self.encoding.decode(self.closure_mask_for(mask))
 
     def dependency_basis(self, x: NestedAttribute | str
                          ) -> tuple[NestedAttribute, ...]:
@@ -479,7 +554,8 @@ class Session:
 
     def is_superkey(self, x: NestedAttribute | str) -> bool:
         """Whether ``Σ ⊨ X → N``."""
-        return self.result_for(x).closure_mask == self.encoding.full
+        mask = self.encoding.encode(self.attribute(x))
+        return self.closure_mask_for(mask) == self.encoding.full
 
     def implied_mvd_rhs_masks(self, x: NestedAttribute | str) -> frozenset[int]:
         """All DepB member masks — the generators of ``Dep(X)``."""
@@ -499,6 +575,7 @@ class Session:
             engine=self._engine.name,
             encoding=self.encoding.cache_info(),
             kernel=self.kernel_stats,
+            plan=self._interval.info(),
         )
 
     def cache_clear(self, *, encoding: bool = False) -> None:
@@ -514,6 +591,7 @@ class Session:
         self._evictions = 0
         self._invalidations = 0
         self._retained = 0
+        self._interval.reset()
         self.kernel_stats.reset()
         if encoding:
             self.encoding.cache_clear()
@@ -539,11 +617,19 @@ class Session:
             f"warm_starts={info.warm_starts} "
             f"invalidations={info.invalidations} retained={info.retained}"
         )
+        plan = info.plan
+        plan_line = (
+            f"plan:     exact_hits={plan.exact_hits} "
+            f"interval_hits={plan.interval_hits} misses={plan.misses} "
+            f"entries={plan.entries}"
+        )
         kernel_line = (
             f"kernel:   runs={kernel.runs} passes={kernel.passes} "
             f"firings={kernel.firings} requeues={kernel.requeues} "
+            f"scanned={kernel.requeue_scanned} "
             f"skipped={kernel.skipped_firings} "
             f"u_bar_lookups={kernel.u_bar_lookups} "
+            f"u_bar_blocks={kernel.u_bar_blocks} "
             f"splits={kernel.block_splits} rewrites={kernel.db_rewrites}"
         )
         ops = ", ".join(
@@ -554,7 +640,8 @@ class Session:
         encoding_line = (
             f"encoding: {ops} (hit rate {info.encoding.hit_rate():.1%})"
         )
-        return "\n".join((head_line, session_line, kernel_line, encoding_line))
+        return "\n".join((head_line, session_line, plan_line, kernel_line,
+                          encoding_line))
 
     def __repr__(self) -> str:
         return (

@@ -23,7 +23,9 @@ __all__ = ["REQUIRED_ATTRS", "COMPLETION_ATTRS", "validate_records",
 
 #: Attribute keys every span of a given name must carry (set at open).
 REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
-    "closure.compute": ("lhs", "size", "sigma", "fds", "mvds", "kernel"),
+    "closure.compute": ("lhs", "size", "sigma", "fds", "mvds", "kernel",
+                        "plan"),
+    "plan.compile": ("size", "sigma", "fds", "mvds", "incremental"),
     "reasoner.query": ("lhs", "cached"),
     "session.query": ("lhs", "cached", "engine", "warm"),
     "session.add": ("dependency", "sigma"),
@@ -39,10 +41,12 @@ REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
 
 #: Attribute keys set on clean completion (absent after an error).
 COMPLETION_ATTRS: dict[str, tuple[str, ...]] = {
-    "closure.compute": ("passes", "firings", "requeues", "skipped_firings",
-                        "u_bar_lookups", "block_splits", "db_rewrites",
+    "closure.compute": ("passes", "firings", "requeues", "requeue_scanned",
+                        "skipped_firings", "u_bar_lookups", "u_bar_blocks",
+                        "block_splits", "db_rewrites",
                         "dirty_bits", "blocks", "encoding_cache_hits",
                         "encoding_cache_misses"),
+    "plan.compile": ("folded",),
     "batch.query": ("verdict",),
     "chase.run": ("rounds", "added", "tuples_out"),
     "session.retract": ("evicted", "retained"),

@@ -63,7 +63,8 @@ class ReasonerCacheInfo(tuple):
 
     def __new__(cls, computed: int, hits: int, *, evictions: int = 0,
                 maxsize: int | None = None, encoding=None,
-                kernel: KernelStats | None = None) -> "ReasonerCacheInfo":
+                kernel: KernelStats | None = None,
+                plan=None) -> "ReasonerCacheInfo":
         self = super().__new__(cls, (computed, hits))
         self.evictions = evictions
         self.maxsize = maxsize
@@ -71,6 +72,9 @@ class ReasonerCacheInfo(tuple):
         self.encoding = encoding
         #: Accumulated :class:`~repro.core.engine.KernelStats`.
         self.kernel = kernel
+        #: The :class:`~repro.core.plan.PlanCacheInfo` of the session's
+        #: closure-interval cache (``None`` only for hand-built infos).
+        self.plan = plan
         return self
 
     @property
@@ -175,6 +179,7 @@ class Reasoner:
             maxsize=info.maxsize,
             encoding=info.encoding,
             kernel=info.kernel,
+            plan=info.plan,
         )
 
     def cache_clear(self, *, encoding: bool = False) -> None:

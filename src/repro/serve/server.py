@@ -14,11 +14,14 @@ server:
 * **Worker offload** — cold closures are CPU-bound kernel runs; with
   ``workers > 0`` they are dispatched to a ``ProcessPoolExecutor`` so
   the event loop stays responsive and multiple cold requests compute in
-  parallel.  Workers memoise the per-``(epoch, generation)`` encoding
-  tables (the :class:`repro.batch.BulkReasoner` pickled-``(N, Σ)``
-  warm-up; the epoch is a server-unique id minted per opened session so
-  a name re-opened after close/eviction/``replace`` never hits tables
-  warmed for its predecessor, and the generation changes because served
+  parallel.  The parent ships the session's pickled
+  :class:`~repro.core.plan.CompiledPlan` — serialised **once** per
+  ``(session, epoch, generation)`` (:meth:`ManagedSession.plan_payload`)
+  — and workers memoise the unpickled plan per ``(epoch, generation)``
+  (the :class:`repro.batch.BulkReasoner` pickled-plan warm-up; the
+  epoch is a server-unique id minted per opened session so a name
+  re-opened after close/eviction/``replace`` never hits a plan warmed
+  for its predecessor, and the generation changes because served
   sessions *edit* Σ), and
   ship back ``(X⁺, DB, fired)`` so the parent seeds its session cache
   with exact provenance — hot left-hand sides are then answered inline
@@ -46,6 +49,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import pickle
 import signal
 import time
 from collections import Counter as TallyCounter
@@ -53,11 +57,10 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
-from ..attributes.encoding import BasisEncoding
 from ..attributes.nested import NestedAttribute
 from ..attributes.parser import parse_attribute
 from ..attributes.printer import unparse_abbreviated
-from ..core.closure import ClosureResult, _as_mask_sigma
+from ..core.closure import ClosureResult
 from ..core.engine import closure_of_masks_fast
 from ..core.session import Session
 from ..dependencies.dependency import Dependency, FunctionalDependency
@@ -80,56 +83,57 @@ __all__ = ["ServeConfig", "SessionManager", "ReasoningServer"]
 # --------------------------------------------------------------------------
 # Worker side (runs in pool processes)
 
-#: Per-worker memo of encoding tables, keyed by (session epoch, generation).
+#: Per-worker memo of unpickled plans, keyed by (session epoch, generation).
 _WORKER_TABLES: OrderedDict | None = None
 
-#: How many (session, generation) table sets one worker keeps warm.
+#: How many (session, generation) plans one worker keeps warm.
 _WORKER_MEMO_LIMIT = 8
 
 
 def _init_serve_worker() -> None:
-    """Pool initializer: create the per-worker table memo."""
+    """Pool initializer: create the per-worker plan memo."""
     global _WORKER_TABLES
     _WORKER_TABLES = OrderedDict()
 
 
-def _solve_serve(epoch: int, generation: int, root: NestedAttribute,
-                 dependencies: Sequence[Dependency],
+def _solve_serve(epoch: int, generation: int, plan_blob: bytes,
                  mask: int) -> tuple[int, int, frozenset[int], int, tuple, int]:
     """Run the worklist kernel for one LHS mask in a worker process.
 
-    The expensive part — building the :class:`BasisEncoding` and the
-    Σ mask tables — is memoised per ``(epoch, generation)`` so a burst
-    of cold closures against one session pays it once per worker,
-    exactly the :func:`repro.batch._init_worker` warm-up adapted to
-    mutable Σ.  ``epoch`` is the session's server-unique id
+    The expensive part — unpickling the
+    :class:`~repro.core.plan.CompiledPlan` (which rebuilds the
+    encoding's structural tables) — is memoised per
+    ``(epoch, generation)`` so a burst of cold closures against one
+    session pays it once per worker, exactly the
+    :func:`repro.batch._init_worker` pickled-plan warm-up adapted to
+    mutable Σ.  On a memo hit ``plan_blob`` is not even deserialised.
+    ``epoch`` is the session's server-unique id
     (:attr:`ManagedSession.epoch`), *not* its name: a name re-opened
     after close/eviction/``replace`` restarts at generation 0, so
-    keying by name would silently serve tables warmed for the previous
+    keying by name would silently serve a plan warmed for the previous
     session's schema and Σ.
     Returns ``(mask, X⁺, blocks, passes, fired, kernel_ns)``; ``fired``
     uses the FDs-then-MVDs index order the parent's
-    :meth:`Session.seed` expects.
+    :meth:`Session.seed` expects (the plan's ``origin`` remap reports
+    original Σ indices even though duplicates fire folded).
     """
     global _WORKER_TABLES
     if _WORKER_TABLES is None:   # tolerate pools without the initializer
         _WORKER_TABLES = OrderedDict()
     key = (epoch, generation)
-    tables = _WORKER_TABLES.get(key)
-    if tables is None:
-        encoding = BasisEncoding(root)
-        fd_masks, mvd_masks = _as_mask_sigma(encoding, dependencies)
-        tables = (encoding, fd_masks, mvd_masks)
-        _WORKER_TABLES[key] = tables
+    plan = _WORKER_TABLES.get(key)
+    if plan is None:
+        plan = pickle.loads(plan_blob)
+        _WORKER_TABLES[key] = plan
         while len(_WORKER_TABLES) > _WORKER_MEMO_LIMIT:
             _WORKER_TABLES.popitem(last=False)
     else:
         _WORKER_TABLES.move_to_end(key)
-    encoding, fd_masks, mvd_masks = tables
     fired: set[int] = set()
     started = time.monotonic_ns()
     closure_mask, blocks, passes = closure_of_masks_fast(
-        encoding, mask, fd_masks, mvd_masks, fired=fired
+        plan.encoding, mask, plan.fd_masks, plan.mvd_masks, fired=fired,
+        plan=plan,
     )
     return (mask, closure_mask, blocks, passes, tuple(sorted(fired)),
             time.monotonic_ns() - started)
@@ -180,20 +184,37 @@ class ManagedSession:
     """A named :class:`Session` plus its server-side bookkeeping."""
 
     __slots__ = ("name", "session", "epoch", "generation", "last_used",
-                 "opened_at")
+                 "opened_at", "_plan_blob", "_plan_generation")
 
     def __init__(self, name: str, session: Session, now: float) -> None:
         self.name = name
         self.session = session
         #: Server-unique id for this *opening* of the name — two sessions
         #: never share an epoch, even when one replaces the other under
-        #: the same name.  Worker-side table memos key on it.
+        #: the same name.  Worker-side plan memos key on it.
         self.epoch = next(_SESSION_EPOCHS)
         #: Bumped on every Σ edit; offloaded results are only seeded
         #: when the generation they were computed for is still current.
         self.generation = 0
         self.last_used = now
         self.opened_at = now
+        self._plan_blob: bytes | None = None
+        self._plan_generation = -1
+
+    def plan_payload(self) -> bytes:
+        """Pickled compiled plan for the session's *current* Σ.
+
+        The dump is memoised per generation: a burst of offloaded
+        closures between edits pickles once, and workers keyed on
+        ``(epoch, generation)`` unpickle once, so plan bytes cross the
+        process boundary one time per Σ revision per worker.
+        """
+        if self._plan_generation != self.generation:
+            self._plan_blob = pickle.dumps(
+                self.session.plan, protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._plan_generation = self.generation
+        return self._plan_blob
 
 
 class SessionManager:
@@ -759,7 +780,7 @@ class ReasoningServer:
                     (_mask, closure_mask, blocks, passes, fired,
                      kernel_ns) = await loop.run_in_executor(
                         self._pool, _solve_serve, managed.epoch, generation,
-                        session.root, session.dependencies, mask)
+                        managed.plan_payload(), mask)
                 except RuntimeError:
                     # Pool torn down mid-flight (shutdown race): fall
                     # back to the inline path below.

@@ -8,11 +8,12 @@ from hypothesis-style reductions of shapes that have historically been
 easy to get wrong (mixed-meet overlaps, worklist requeue chains,
 degenerate Σ).
 
-Each query is decided three ways — the worklist kernel, the naive
-kernel, and the structural reference implementation — and the test
-asserts bit-identical agreement on ``(X⁺, DB_new)`` *and* the recorded
-verdict.  A regression would have to be introduced three times, in
-three formalisms, to slip through.
+Each query is decided four ways — the worklist kernel with and without
+a compiled plan, the naive kernel, and the structural reference
+implementation — and the test asserts bit-identical agreement on
+``(X⁺, DB_new)`` (plus ``passes`` for the plan-on run) *and* the
+recorded verdict.  A regression would have to be introduced several
+times, in several formalisms, to slip through.
 """
 
 from __future__ import annotations
@@ -22,7 +23,9 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import compute_closure, reference_closure, reference_dependency_basis
+from repro.core import compile_plan, compute_closure, reference_closure, \
+    reference_dependency_basis
+from repro.core.closure import _as_mask_sigma
 from repro.schema import Schema
 
 CORPUS_DIR = Path(__file__).resolve().parent
@@ -56,16 +59,23 @@ def test_three_way_agreement_and_verdicts(path):
     schema = Schema(entry["schema"])
     encoding = schema.encoding
     sigma = schema.dependencies(*entry["sigma"])
+    fd_masks, mvd_masks = _as_mask_sigma(encoding, sigma)
+    plan = compile_plan(encoding, fd_masks, mvd_masks)
 
     for query in entry["queries"]:
         dependency = schema.dependency(query["dependency"])
 
         worklist = compute_closure(encoding, dependency.lhs, sigma,
                                    kernel="worklist")
+        planned = compute_closure(encoding, dependency.lhs, sigma,
+                                  kernel="worklist", plan=plan)
         naive = compute_closure(encoding, dependency.lhs, sigma,
                                 kernel="naive")
         assert worklist.closure_mask == naive.closure_mask, query
         assert worklist.blocks == naive.blocks, query
+        # The compiled plan is transparent down to the pass count.
+        assert (planned.closure_mask, planned.blocks, planned.passes) == \
+            (worklist.closure_mask, worklist.blocks, worklist.passes), query
 
         ref_plus, ref_db = reference_closure(schema.root, dependency.lhs, sigma)
         assert encoding.encode(ref_plus) == worklist.closure_mask, query

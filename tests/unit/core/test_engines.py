@@ -61,6 +61,7 @@ class TestRegistry:
             description="test-only",
             supports_warm_start=False,
             supports_trace=False,
+            supports_plan=False,
             _run=lambda *a, **k: (0, frozenset(), 0),
         )
         register_engine(probe)

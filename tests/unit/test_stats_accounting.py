@@ -43,20 +43,23 @@ class TestKernelStatsExactCounts:
         closure_of_masks_fast(encoding, a, [], [], stats=stats)
         assert stats.as_dict() == {
             "runs": 1, "passes": 1, "firings": 0, "requeues": 0,
-            "skipped_firings": 0, "u_bar_lookups": 0, "block_splits": 0,
+            "requeue_scanned": 0, "skipped_firings": 0,
+            "u_bar_lookups": 0, "u_bar_blocks": 0, "block_splits": 0,
             "db_rewrites": 0, "dirty_bits": 0,
         }
 
     def test_single_firing_fd(self, flat):
         # A -> B from X = A: one productive firing (rewriting the B|C
         # block into B and C singletons, 2 dirty bits), one requeued
-        # re-fire that changes nothing.
+        # re-fire that changes nothing.  The one dirty event scans the
+        # whole (singleton) Σ: requeue_scanned = 1.
         encoding, a, b, _ = flat
         stats = KernelStats()
         closure_of_masks_fast(encoding, a, [(a, b)], [], stats=stats)
         assert stats.as_dict() == {
             "runs": 1, "passes": 2, "firings": 2, "requeues": 1,
-            "skipped_firings": 0, "u_bar_lookups": 0, "block_splits": 0,
+            "requeue_scanned": 1, "skipped_firings": 0,
+            "u_bar_lookups": 0, "u_bar_blocks": 0, "block_splits": 0,
             "db_rewrites": 1, "dirty_bits": 2,
         }
 
@@ -70,20 +73,23 @@ class TestKernelStatsExactCounts:
         assert result == a
         assert stats.as_dict() == {
             "runs": 1, "passes": 2, "firings": 2, "requeues": 1,
-            "skipped_firings": 0, "u_bar_lookups": 0, "block_splits": 1,
+            "requeue_scanned": 1, "skipped_firings": 0,
+            "u_bar_lookups": 0, "u_bar_blocks": 0, "block_splits": 1,
             "db_rewrites": 0, "dirty_bits": 2,
         }
 
     def test_skipped_firing_counts_u_bar_lookup(self, flat):
         # B -> C from X = A: B is not below X_new, so Ū actually scans
-        # the owner index (one lookup), swallows C, and the firing is
-        # skipped without any state change.
+        # the owner index (one lookup visiting the one distinct owner
+        # block B|C), swallows C, and the firing is skipped without any
+        # state change.
         encoding, a, b, c = flat
         stats = KernelStats()
         closure_of_masks_fast(encoding, a, [(b, c)], [], stats=stats)
         assert stats.as_dict() == {
             "runs": 1, "passes": 1, "firings": 1, "requeues": 0,
-            "skipped_firings": 1, "u_bar_lookups": 1, "block_splits": 0,
+            "requeue_scanned": 0, "skipped_firings": 1,
+            "u_bar_lookups": 1, "u_bar_blocks": 1, "block_splits": 0,
             "db_rewrites": 0, "dirty_bits": 0,
         }
 
