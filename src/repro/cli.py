@@ -201,6 +201,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-timeout", type=float, default=30.0, metavar="SECONDS",
         help="per-request deadline (<= 0 disables)",
     )
+    serve.add_argument(
+        "--shed-cold-at", type=float, default=None, metavar="FRACTION",
+        help="shed cold-closure work (typed 'overloaded') once inflight "
+        "reaches this fraction of --max-inflight; hot cache hits keep "
+        "being served (default: disabled)",
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="PATH_OR_JSON",
+        help="TESTS ONLY: inject deterministic faults from a JSON fault "
+        "plan (a file path, or inline JSON starting with '{'); see "
+        "docs/SERVER.md",
+    )
     _add_obs(serve)
 
     query = commands.add_parser(
@@ -214,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="session name (default: 'default')")
     query.add_argument("--timeout", type=float, default=10.0,
                        help="client socket timeout in seconds")
+    query.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry retryable failures (overloaded/timeout/dropped "
+        "connections) up to N times with jittered backoff (default: 0 "
+        "= fail fast)",
+    )
     query.add_argument("--schema", help="(open) the nested attribute N")
     query.add_argument(
         "-d", "--dependency", action="append", default=[], metavar="DEP",
@@ -227,7 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(open) replace an existing session of this name")
     query.add_argument(
         "op",
-        choices=["ping", "open", "add", "retract", "implies",
+        choices=["ping", "health", "open", "add", "retract", "implies",
                  "implies_batch", "closure", "basis", "metrics", "close"],
         help="server operation",
     )
@@ -372,6 +390,16 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from .serve.server import ReasoningServer, ServeConfig
 
+    fault_plan = None
+    if args.fault_plan:
+        from .serve.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -381,12 +409,18 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         request_timeout=(args.request_timeout
                          if args.request_timeout > 0 else None),
+        shed_cold_at=args.shed_cold_at,
+        fault_plan=fault_plan,
     )
 
     async def run() -> None:
         server = ReasoningServer(config)
         host, port = await server.start()
         server.install_signal_handlers()
+        if fault_plan is not None:
+            print(f"FAULT INJECTION ENABLED ({len(fault_plan.rules)} "
+                  f"rule(s), seed {fault_plan.seed}) — tests only",
+                  file=sys.stderr, flush=True)
         # announce only once a signal already means "drain gracefully"
         print(f"serving on {host}:{port}", flush=True)
         await server.serve_forever(handle_signals=False)
@@ -406,12 +440,25 @@ def _run_query(args: argparse.Namespace) -> int:
         print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
               file=sys.stderr)
         return 2
+    if args.retries > 0:
+        from .serve.resilience import RetryingClient, RetryPolicy
+
+        def _connect():
+            return RetryingClient.connect(
+                host, int(port_text), timeout=args.timeout,
+                policy=RetryPolicy(max_retries=args.retries,
+                                   deadline=max(args.timeout, 1.0)))
+    else:
+        def _connect():
+            return Client.connect(host, int(port_text), timeout=args.timeout)
     try:
-        with Client.connect(host, int(port_text),
-                            timeout=args.timeout) as client:
+        with _connect() as client:
             op, op_args, session = args.op, args.args, args.session
             if op == "ping":
                 print(json.dumps(client.ping()))
+                return 0
+            if op == "health":
+                print(json.dumps(client.health(), indent=2, sort_keys=True))
                 return 0
             if op == "open":
                 if not args.schema:

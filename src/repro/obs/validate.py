@@ -37,6 +37,8 @@ REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
     "batch.query": ("index", "kind", "lhs"),
     "batch.worker": ("lhs", "pid"),
     "chase.run": ("tuples_in", "sigma", "fds", "mvds"),
+    "serve.fault": ("op", "kind"),
+    "client.retry": ("op", "attempt", "code", "sleep_s"),
 }
 
 #: Attribute keys set on clean completion (absent after an error).

@@ -2,8 +2,13 @@
 
 A versioned newline-delimited-JSON protocol (:mod:`repro.serve.protocol`),
 an asyncio TCP server with session management, worker-pool offload,
-backpressure and graceful shutdown (:mod:`repro.serve.server`), and
-sync/async clients (:mod:`repro.serve.client`).
+backpressure, graceful shutdown and cold-work load shedding
+(:mod:`repro.serve.server`), sync/async clients
+(:mod:`repro.serve.client`), a client-side resilience layer — retry
+policy with full-jitter backoff, circuit breaker, reconnect and
+session replay (:mod:`repro.serve.resilience`) — and deterministic
+seed-driven fault injection for chaos testing
+(:mod:`repro.serve.faults`).
 
 Quick start::
 
@@ -19,6 +24,7 @@ deployment notes.
 """
 
 from .client import AsyncClient, Client, ServerError
+from .faults import FaultInjector, FaultPlan, FaultRule
 from .protocol import (
     OPS,
     PROTOCOL_VERSION,
@@ -26,17 +32,32 @@ from .protocol import (
     ProtocolError,
     Request,
 )
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryingAsyncClient,
+    RetryingClient,
+    RetryPolicy,
+)
 from .server import ReasoningServer, ServeConfig, SessionManager
 
 __all__ = [
     "AsyncClient",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Client",
     "ErrorCode",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ReasoningServer",
     "Request",
+    "RetryingAsyncClient",
+    "RetryingClient",
+    "RetryPolicy",
     "ServeConfig",
     "ServerError",
     "SessionManager",

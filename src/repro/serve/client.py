@@ -63,6 +63,9 @@ class _OpsMixin:
     def ping(self):
         return self._request("ping")
 
+    def health(self):
+        return self._request("health")
+
     def open(self, name: str, schema: str,
              dependencies: Iterable[str] = (), *,
              engine: str | None = None, replace: bool = False):
@@ -123,6 +126,9 @@ class AsyncClient(_OpsMixin):
         self._writer = writer
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 1
+        #: First failure that tore the connection down; once set, every
+        #: later request is rejected immediately (see :meth:`request`).
+        self._conn_error: Exception | None = None
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop())
 
@@ -154,7 +160,18 @@ class AsyncClient(_OpsMixin):
     # -- plumbing ----------------------------------------------------------
 
     async def request(self, op: str, **params: Any) -> dict[str, Any]:
-        """Send one request; await its (possibly out-of-order) response."""
+        """Send one request; await its (possibly out-of-order) response.
+
+        Raises :class:`ConnectionError` *promptly* once the connection
+        has failed: a request submitted after (or racing with) the read
+        loop's teardown must never register a future nobody will ever
+        resolve — ``_fail_pending`` marks the connection dead before it
+        rejects the in-flight futures, and this check observes the mark.
+        """
+        if self._conn_error is not None:
+            raise ConnectionError(
+                f"connection is closed ({self._conn_error})"
+            ) from self._conn_error
         request_id = self._next_id
         self._next_id += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -193,6 +210,12 @@ class AsyncClient(_OpsMixin):
                 ConnectionError("server closed the connection"))
 
     def _fail_pending(self, error: Exception) -> None:
+        # Mark the connection dead *first*: a request() racing with this
+        # teardown either registered its future before now (it gets the
+        # exception below) or checks the mark and rejects immediately —
+        # in neither case can it hang on a future nobody resolves.
+        if self._conn_error is None:
+            self._conn_error = error
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(error)

@@ -55,6 +55,7 @@ PROTOCOL_VERSION = 1
 #: Every operation the server understands.
 OPS = frozenset({
     "ping",
+    "health",
     "open",
     "add",
     "retract",

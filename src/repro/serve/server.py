@@ -66,6 +66,7 @@ from ..core.session import Session
 from ..dependencies.dependency import Dependency, FunctionalDependency
 from ..exceptions import ReproError
 from ..obs import get_observer
+from .faults import FaultAction, FaultInjector, FaultPlan
 from .protocol import (
     PROTOCOL_VERSION,
     ErrorCode,
@@ -170,6 +171,14 @@ class ServeConfig:
     sweep_interval: float = 1.0
     #: Maximum accepted request line length in bytes.
     max_line_bytes: int = 1 << 20
+    #: Graceful load shedding: with inflight at or above this fraction
+    #: of ``max_inflight``, requests needing a *cold* closure are
+    #: rejected ``overloaded`` while hot cache hits keep being served
+    #: (``None`` disables — the default).
+    shed_cold_at: float | None = None
+    #: Deterministic fault injection for tests (see
+    #: :mod:`repro.serve.faults`); ``None`` = no faults — production.
+    fault_plan: FaultPlan | None = None
 
 
 # --------------------------------------------------------------------------
@@ -351,6 +360,21 @@ class _Connection:
             except ConnectionError:
                 pass  # peer went away mid-response; nothing to salvage
 
+    async def send_truncated(self, message: dict[str, Any]) -> None:
+        """Deliver only a prefix of the frame, then close the connection
+        (the ``truncate`` fault): the peer sees a torn line and must
+        treat it as a lost connection, never as a parsable response."""
+        async with self._lock:
+            if self.writer.is_closing():
+                return
+            data = encode(message)
+            self.writer.write(data[:max(1, len(data) // 2)])
+            try:
+                await self.writer.drain()
+            except ConnectionError:
+                pass
+            self.writer.close()
+
 
 class ReasoningServer:
     """The asyncio TCP front-end over :class:`SessionManager`.
@@ -383,6 +407,9 @@ class ReasoningServer:
             idle_ttl=self.config.idle_ttl,
             counters=self.counters,
         )
+        self.faults: FaultInjector | None = (
+            FaultInjector(self.config.fault_plan)
+            if self.config.fault_plan is not None else None)
         self._pool = None
         self._server: asyncio.AbstractServer | None = None
         self._address: tuple[str, int] | None = None
@@ -544,6 +571,14 @@ class ReasoningServer:
             self._respond(conn, error_response(_recover_id(line), error.code,
                                                error.message))
             return
+        if request.op == "health":
+            # Liveness must stay observable when the server is sick:
+            # health bypasses backpressure, draining refusal and fault
+            # injection, and never counts against the inflight caps.
+            self._count("serve.requests")
+            self._count("serve.requests.health")
+            self._respond(conn, ok_response(request.id, self._health()))
+            return
         if self._draining:
             self._respond(conn, error_response(
                 request.id, ErrorCode.SHUTTING_DOWN,
@@ -572,7 +607,14 @@ class ReasoningServer:
     async def _process(self, conn: _Connection, request: Request) -> None:
         obs = get_observer()
         started = time.monotonic()
+        fault = (self.faults.decide(request.op)
+                 if self.faults is not None else None)
         try:
+            if fault is not None:
+                self._count("serve.fault.injected")
+                self._count(f"serve.fault.{fault.kind}")
+                if await self._inject_pre(conn, request, fault):
+                    return  # the fault consumed the request
             with obs.span("serve.request", op=request.op,
                           id=str(request.id)) as span:
                 try:
@@ -612,12 +654,63 @@ class ReasoningServer:
                         f"{type(error).__name__}: {error}"))
                 else:
                     span.set(ok=True)
-                    await conn.send(ok_response(request.id, result))
+                    await self._deliver(conn, request, result, fault)
         finally:
             conn.pending -= 1
             self._inflight -= 1
             obs.observe("serve.request_ms",
                         (time.monotonic() - started) * 1000.0)
+
+    # -- fault application (tests only; see repro.serve.faults) --------------
+
+    async def _inject_pre(self, conn: _Connection, request: Request,
+                          fault: FaultAction) -> bool:
+        """Apply the pre-execution part of a fault; ``True`` = consumed.
+
+        ``delay`` sleeps and lets the request proceed; ``error``
+        answers with the injected retryable code *instead of*
+        executing; ``drop``/``when="pre"`` closes the connection before
+        the request runs (so it never changes state).  ``drop(post)``
+        and ``truncate`` return ``False`` — they apply at delivery.
+        """
+        obs = get_observer()
+        if fault.kind == "delay":
+            with obs.span("serve.fault", op=request.op, kind="delay",
+                          seconds=fault.seconds):
+                await asyncio.sleep(fault.seconds)
+            return False
+        if fault.kind == "error":
+            with obs.span("serve.fault", op=request.op, kind="error",
+                          code=fault.code):
+                pass
+            await conn.send(error_response(
+                request.id, fault.code,
+                f"injected fault ({fault.code}); retry later"))
+            return True
+        if fault.kind == "drop" and fault.when == "pre":
+            with obs.span("serve.fault", op=request.op, kind="drop",
+                          when="pre"):
+                pass
+            conn.writer.close()
+            return True
+        return False
+
+    async def _deliver(self, conn: _Connection, request: Request,
+                       result: dict[str, Any],
+                       fault: FaultAction | None) -> None:
+        """Send a success response, applying delivery-side faults."""
+        message = ok_response(request.id, result)
+        if fault is not None and fault.kind == "truncate":
+            with get_observer().span("serve.fault", op=request.op,
+                                     kind="truncate"):
+                await conn.send_truncated(message)
+            return
+        await conn.send(message)
+        if fault is not None and fault.kind == "drop" and fault.when == "post":
+            with get_observer().span("serve.fault", op=request.op,
+                                     kind="drop", when="post"):
+                pass
+            conn.writer.close()
 
     # -- request execution ---------------------------------------------------
 
@@ -766,6 +859,16 @@ class ReasoningServer:
         then inline) — the session cache never sees a stale seed.
         """
         session = managed.session
+        if not session.is_cached(mask) and self._shedding_cold():
+            # Graceful load shedding: near capacity the server keeps
+            # answering hot cache hits (microseconds) and sheds the
+            # expensive cold kernel runs — the retryable rejection is
+            # far cheaper than computing a closure we cannot afford.
+            self._count("serve.shed_cold")
+            raise ProtocolError(
+                ErrorCode.OVERLOADED,
+                f"shedding cold closure work near capacity "
+                f"(inflight={self._inflight}); retry later")
         if self._pool is None or session.is_cached(mask):
             return session.result_for_mask(mask)
         loop = asyncio.get_running_loop()
@@ -796,6 +899,34 @@ class ReasoningServer:
                 return result
             self._count("serve.stale_discards")
         return session.result_for_mask(mask)
+
+    # -- health / shedding ---------------------------------------------------
+
+    def _shedding_cold(self) -> bool:
+        """Whether the cold-closure shedding threshold is crossed."""
+        threshold = self.config.shed_cold_at
+        if threshold is None:
+            return False
+        return self._inflight >= max(1, int(threshold
+                                            * self.config.max_inflight))
+
+    def _health(self) -> dict[str, Any]:
+        """The ``health`` op payload (answered before admission gates)."""
+        shedding = self._shedding_cold()
+        status = ("draining" if self._draining
+                  else "shedding" if shedding else "ok")
+        health: dict[str, Any] = {
+            "status": status,
+            "version": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "sessions": len(self.sessions),
+            "inflight": self._inflight,
+            "draining": self._draining,
+            "shedding": shedding,
+        }
+        if self.faults is not None:
+            health["faults"] = self.faults.stats()
+        return health
 
     # -- metrics -------------------------------------------------------------
 

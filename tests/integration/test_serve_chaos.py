@@ -1,0 +1,203 @@
+"""Chaos/differential test: a faulted server must converge to the
+fault-free truth.
+
+Each seeded :class:`FaultPlan` in the matrix is run against the same
+add/retract/implies/closure/basis workload, driven through a
+:class:`RetryingClient`.  The resulting session fingerprint — Σ size,
+generation, every probe verdict, closure and basis — is serialised to
+canonical JSON and must be **byte-identical** to the fingerprint of a
+fault-free replay.  Faults that fire before execution (injected errors,
+pre-drops) never mutate state, faults that fire after execution
+(truncates, post-drops) are only placed on idempotent requests, so the
+retry layer has no excuse: any divergence is a real resilience bug.
+"""
+
+import asyncio
+import contextlib
+import json
+import random
+import threading
+
+import pytest
+
+from repro.serve import (
+    CircuitBreaker,
+    FaultPlan,
+    ReasoningServer,
+    RetryingClient,
+    RetryPolicy,
+    ServeConfig,
+)
+
+SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
+MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+IMPLIED_FD = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+IMPLIED_MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])"
+NOT_IMPLIED = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"
+
+PROBES = [
+    IMPLIED_FD,
+    IMPLIED_MVD,
+    NOT_IMPLIED,
+    "Pubcrawl(Visit[λ]) ->> Pubcrawl(Person)",
+    "λ -> Pubcrawl(Visit[λ])",
+]
+LHS_PROBES = [
+    "Pubcrawl(Person)",
+    "Pubcrawl(Visit[λ])",
+    "Pubcrawl(Visit[Drink(Pub)])",
+]
+
+#: The fault matrix.  Mutating ops only ever receive *pre-execution*
+#: faults (injected errors, pre-drops) — a post-delivery fault on
+#: ``retract`` would make the lost-response retry hit ``bad_params``,
+#: which is a semantics problem of the workload, not of the resilience
+#: layer under test.
+PLANS = {
+    "overload-every-3rd": {
+        "seed": 11,
+        "rules": [{"op": "*", "kind": "error", "code": "overloaded",
+                   "every": 3}],
+    },
+    "flaky-implies": {
+        "seed": 22,
+        "rules": [{"op": "implies", "kind": "error", "code": "timeout",
+                   "p": 0.5}],
+    },
+    "drops-on-mutations": {
+        "seed": 33,
+        "rules": [
+            {"op": "add", "kind": "drop", "when": "pre", "every": 2},
+            {"op": "retract", "kind": "error", "code": "overloaded",
+             "every": 1, "times": 1},
+            {"op": "*", "kind": "delay", "seconds": 0.002, "every": 7},
+        ],
+    },
+    "torn-reads": {
+        "seed": 44,
+        "rules": [
+            {"op": "closure", "kind": "truncate", "every": 2},
+            {"op": "basis", "kind": "drop", "when": "post", "every": 2},
+        ],
+    },
+    "mixed-mayhem": {
+        "seed": 55,
+        "rules": [
+            {"op": "*", "kind": "error", "code": "overloaded", "p": 0.2},
+            {"op": "implies", "kind": "drop", "when": "pre", "p": 0.25},
+            {"op": "ping", "kind": "truncate", "every": 1, "times": 1},
+        ],
+    },
+}
+
+
+@contextlib.contextmanager
+def served(fault_plan=None):
+    ready = threading.Event()
+    box = {}
+
+    def serve():
+        async def main():
+            config = ServeConfig(idle_ttl=None, workers=0,
+                                 fault_plan=fault_plan)
+            async with ReasoningServer(config) as server:
+                box["server"] = server
+                box["loop"] = asyncio.get_running_loop()
+                box["address"] = server.address
+                ready.set()
+                await server._stopped.wait()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=10), "server thread failed to start"
+    try:
+        yield box["address"], box["server"]
+    finally:
+        box["loop"].call_soon_threadsafe(
+            lambda: asyncio.ensure_future(box["server"].shutdown()))
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+def chaos_client(host, port):
+    """A retrying client tuned for the matrix: fast sleeps, a patient
+    breaker (the plans inject long failure bursts on purpose) and a
+    seeded RNG so even the backoff draws are reproducible."""
+    return RetryingClient.connect(
+        host, port,
+        policy=RetryPolicy(max_retries=10, base_delay=0.001,
+                           max_delay=0.01, deadline=60.0),
+        breaker=CircuitBreaker(failure_threshold=1000),
+        rng=random.Random(0))
+
+
+def workload(client):
+    """The differential workload; returns the session fingerprint."""
+    client.ping()
+    client.open("chaos", SCHEMA, [MVD])
+    client.add("chaos", NOT_IMPLIED)
+    client.add("chaos", IMPLIED_MVD)
+    client.retract("chaos", NOT_IMPLIED)
+
+    fingerprint = {
+        "implies": [client.implies("chaos", probe) for probe in PROBES],
+        "batch": client.implies_batch("chaos", PROBES),
+        "closures": {x: client.closure("chaos", x) for x in LHS_PROBES},
+        "bases": {x: client.basis("chaos", x) for x in LHS_PROBES},
+    }
+    client.add("chaos", "Pubcrawl(Visit[λ]) -> Pubcrawl(Person)")
+    fingerprint["implies_after_add"] = [client.implies("chaos", probe)
+                                        for probe in PROBES]
+    fingerprint["closure_after_add"] = client.closure(
+        "chaos", "Pubcrawl(Visit[λ])")
+    session = client.metrics("chaos")["sessions"]["chaos"]
+    fingerprint["sigma"] = session["sigma"]
+    fingerprint["generation"] = session["generation"]
+    return fingerprint
+
+
+def fingerprint_bytes(result):
+    return json.dumps(result, sort_keys=True, ensure_ascii=False,
+                      separators=(",", ":")).encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The fault-free truth every chaotic run must reproduce."""
+    with served() as ((host, port), _server):
+        with chaos_client(host, port) as client:
+            result = workload(client)
+            assert not client.counters, "fault-free run must not retry"
+    return fingerprint_bytes(result)
+
+
+@pytest.mark.parametrize("name", sorted(PLANS))
+def test_faulted_run_matches_fault_free_replay(name, baseline):
+    plan = FaultPlan.from_json(json.dumps(PLANS[name]))
+    with served(fault_plan=plan) as ((host, port), server):
+        with chaos_client(host, port) as client:
+            result = workload(client)
+            # the plan actually bit: faults fired and the client healed
+            assert server.counters["serve.fault.injected"] > 0
+            assert (client.counters["client.retry.attempts"]
+                    + client.counters["client.retry.reconnects"]) > 0
+    assert fingerprint_bytes(result) == baseline
+
+
+def test_same_plan_same_injections():
+    """The chaos matrix itself is deterministic: replaying a seeded plan
+    against the same workload injects the identical fault sequence."""
+    plan_json = json.dumps(PLANS["drops-on-mutations"])
+
+    def injections():
+        with served(FaultPlan.from_json(plan_json)) as ((host, port), server):
+            with chaos_client(host, port) as client:
+                workload(client)
+            return list(server.faults.injected)
+
+    first = injections()
+    second = injections()
+    assert first == second
+    assert first  # the plan fired at least once

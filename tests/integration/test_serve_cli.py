@@ -6,6 +6,8 @@ that SIGTERM drains and exits cleanly.  The smoke-test shape CI runs
 with a hard timeout.
 """
 
+import contextlib
+import json
 import os
 import signal
 import subprocess
@@ -23,15 +25,15 @@ IMPLIED_FD = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
 NOT_IMPLIED = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"
 
 
-@pytest.fixture()
-def served():
+@contextlib.contextmanager
+def spawned(*extra_args):
     """``repro serve`` as a subprocess; yields ``(proc, host, port)``."""
     env = dict(os.environ)
     src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p)
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
         line = proc.stdout.readline()
@@ -43,6 +45,12 @@ def served():
         if proc.poll() is None:
             proc.kill()
         proc.wait(timeout=10)
+
+
+@pytest.fixture()
+def served():
+    with spawned() as handle:
+        yield handle
 
 
 def query(capsys, host, port, *argv):
@@ -109,6 +117,46 @@ class TestServeProcess:
             except ConnectionError:
                 pass  # drain finished before the request line was read
         assert proc.wait(timeout=15) == 0
+
+    def test_health_and_retries_against_a_faulted_server(self, capsys):
+        """A served process armed with ``--fault-plan``: ``query health``
+        always answers, a plain query hits the injected fault, and
+        ``--retries`` heals it."""
+        plan = json.dumps({"seed": 1, "rules": [
+            {"op": "ping", "kind": "error", "code": "overloaded",
+             "every": 1, "times": 2}]})
+        with spawned("--fault-plan", plan) as (proc, host, port):
+            code, out, _ = query(capsys, host, port, "health")
+            health = json.loads(out)
+            assert code == 0
+            assert health["status"] == "ok"
+            assert health["faults"] == {"injected": 0}
+
+            # without retries the injected overload surfaces (exit 2)
+            code, _, err = query(capsys, host, port, "ping")
+            assert code == 2 and "overloaded" in err
+
+            # with retries the second injected fault is absorbed
+            code, out, _ = query(capsys, host, port, "--retries", "5", "ping")
+            assert code == 0 and '"pong": true' in out
+
+            code, out, _ = query(capsys, host, port, "health")
+            assert json.loads(out)["faults"] == {"injected": 2, "error": 2}
+
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+
+    def test_bad_fault_plan_is_a_clean_cli_error(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--fault-plan", '{"seed": 1, "rules": []}'],
+            env=env, capture_output=True, text=True, timeout=60)
+        assert proc.returncode == 2
+        assert "at least one rule" in proc.stderr
 
     def test_connection_refused_is_a_clean_cli_error(self, served, capsys):
         proc, host, port = served

@@ -204,3 +204,100 @@ class TestAsyncClient:
                 server.gate.set()
 
         asyncio.run(scenario())
+
+
+class _StubPeer:
+    """A raw in-loop TCP peer whose handler the test scripts —
+    for failure shapes a real server never produces on purpose
+    (half-written frames, slammed sockets)."""
+
+    def __init__(self, handler):
+        self._handler = handler
+        self.server = None
+
+    async def __aenter__(self):
+        self.server = await asyncio.start_server(
+            self._handler, "127.0.0.1", 0)
+        return self.server.sockets[0].getsockname()
+
+    async def __aexit__(self, exc_type, exc, tb):
+        self.server.close()
+        await self.server.wait_closed()
+
+
+class TestAsyncClientTeardownRace:
+    """Regressions for the request/_read_loop teardown race: once the
+    connection is failing, every request — pending or newly submitted —
+    must reject promptly; none may hang on a future nobody resolves."""
+
+    def test_mid_frame_drop_rejects_pending_request_promptly(self):
+        async def handler(reader, writer):
+            await reader.readline()  # the request
+            writer.write(b'{"v": 1, "id": 1, "ok": true, "resu')  # torn frame
+            await writer.drain()
+            writer.close()
+
+        async def scenario():
+            async with _StubPeer(handler) as (host, port):
+                client = await AsyncClient.connect(host, port)
+                try:
+                    with pytest.raises(ConnectionError):
+                        await asyncio.wait_for(client.ping(), timeout=5)
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_request_after_connection_failure_rejects_immediately(self):
+        async def handler(reader, writer):
+            writer.close()  # slam the door on connect
+
+        async def scenario():
+            async with _StubPeer(handler) as (host, port):
+                client = await AsyncClient.connect(host, port)
+                try:
+                    # let the read loop observe the failure and set the mark
+                    deadline = asyncio.get_running_loop().time() + 5.0
+                    while client._conn_error is None:
+                        assert asyncio.get_running_loop().time() < deadline
+                        await asyncio.sleep(0.005)
+                    # a fresh request must reject without touching the
+                    # socket or registering a future — wait_for guards
+                    # against the pre-fix hang
+                    with pytest.raises(ConnectionError) as info:
+                        await asyncio.wait_for(client.ping(), timeout=5)
+                    assert "connection is closed" in str(info.value)
+                    assert not client._pending
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
+
+    def test_pending_and_new_requests_both_fail_after_drop(self):
+        gate = asyncio.Event()
+
+        async def handler(reader, writer):
+            await reader.readline()
+            await gate.wait()
+            writer.write(b'{"v": 1, "id"')  # torn frame, then gone
+            await writer.drain()
+            writer.close()
+
+        async def scenario():
+            async with _StubPeer(handler) as (host, port):
+                client = await AsyncClient.connect(host, port)
+                try:
+                    pending = asyncio.ensure_future(client.ping())
+                    await asyncio.sleep(0.01)  # request is on the wire
+                    gate.set()
+                    with pytest.raises(ConnectionError):
+                        await asyncio.wait_for(pending, timeout=5)
+                    # the teardown marked the connection: no new future
+                    # may ever be parked on this client again
+                    with pytest.raises(ConnectionError):
+                        await asyncio.wait_for(client.ping(), timeout=5)
+                    assert not client._pending
+                finally:
+                    await client.close()
+
+        asyncio.run(scenario())
