@@ -38,6 +38,8 @@ from pathlib import Path
 from repro.serve import AsyncClient, ReasoningServer, ServeConfig
 from repro.workloads import mixed_family
 
+from _timing import ab_compare
+
 JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve_throughput.json"
 
 SCALE = 16           # mixed_family(16): |N| = 64 basis subattributes
@@ -222,3 +224,96 @@ def test_serve_throughput_report(benchmark):
     # the pool can only add IPC overhead, so the ≥2x gate is CI-only.
     if cpus >= 2:
         assert row["cold_speedup"] >= SPEEDUP_TARGET, row
+
+
+# -- registry dispatch overhead (PR 8 guard) -------------------------------
+#
+# The typed command registry replaced the server's per-op if-chain.  The
+# guard below times both shapes back to back on the warm-cache hot path
+# (params dict in, result dict out — exactly what ``_execute`` does once
+# a request is parsed) and fails if the registry costs more than noise.
+
+DISPATCH_BATCH = 400       # wire dispatches per timed sample
+DISPATCH_NOISE = 1.25      # registry / if-chain median ratio ceiling
+
+
+def _dispatch_fixture():
+    """A warmed session plus the request stream both dispatchers replay."""
+    from repro.core.session import Session
+    from repro.schema import Schema
+
+    schema = Schema(str(SCHEMA_ROOT))
+    session = Session(schema.root, encoding=schema.encoding)
+    for text in _sigma_texts():
+        session.add(schema.dependency(text))
+    probes = _cold_queries()[:4]
+    requests = [("implies", {"session": "bench", "dependency": text})
+                for text in probes]
+    requests.append(("closure", {"session": "bench", "x": "R(A1)"}))
+    for op, params in requests:      # warm the per-LHS closure cache
+        from repro.core import commands
+        commands.execute(commands.from_wire(op, params), session)
+    return session, requests
+
+
+def _if_chain_dispatch(session, op, params):
+    """The pre-registry server hot path, kept as the baseline."""
+    if op == "implies":
+        text = params.get("dependency")
+        if not isinstance(text, str):
+            raise ValueError("'dependency' must be a string")
+        dependency = session.dependency(text)
+        dependency.validate(session.root)
+        return {"implied": session.implies(dependency)}
+    if op == "closure":
+        text = params.get("x")
+        if not isinstance(text, str):
+            raise ValueError("'x' must be a string")
+        from repro.attributes import unparse_abbreviated
+        mask = session.encoding.encode(session.attribute(text))
+        result = session.result_for_mask(mask)
+        return {"closure": unparse_abbreviated(result.closure, session.root),
+                "passes": result.passes}
+    raise AssertionError(f"unhandled op {op!r}")
+
+
+def test_registry_dispatch_within_noise_of_if_chain():
+    from repro.core import commands
+
+    session, requests = _dispatch_fixture()
+
+    def via_if_chain():
+        for _ in range(DISPATCH_BATCH // len(requests)):
+            for op, params in requests:
+                _if_chain_dispatch(session, op, params)
+
+    def via_registry():
+        for _ in range(DISPATCH_BATCH // len(requests)):
+            for op, params in requests:
+                commands.execute(commands.from_wire(op, params), session)
+
+    best_old, best_new, median_diff = ab_compare(
+        via_if_chain, via_registry, (), budget_s=2.0)
+    ratio = best_new / max(best_old, 1e-12)
+
+    row = {
+        "batch": DISPATCH_BATCH,
+        "if_chain_best_us_per_op": round(best_old / DISPATCH_BATCH * 1e6, 3),
+        "registry_best_us_per_op": round(best_new / DISPATCH_BATCH * 1e6, 3),
+        "median_diff_us_per_op": round(
+            median_diff / DISPATCH_BATCH * 1e6, 3),
+        "ratio": round(ratio, 3),
+        "noise_ceiling": DISPATCH_NOISE,
+    }
+    report = {}
+    if JSON_PATH.exists():
+        report = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+    report["dispatch_overhead"] = row
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(f"\nregistry dispatch overhead ({DISPATCH_BATCH} ops/sample): "
+          f"if-chain {row['if_chain_best_us_per_op']:.3f}us/op, "
+          f"registry {row['registry_best_us_per_op']:.3f}us/op "
+          f"(ratio {ratio:.3f}, ceiling {DISPATCH_NOISE})")
+
+    assert ratio <= DISPATCH_NOISE, row

@@ -41,10 +41,11 @@ from typing import Iterable, Sequence
 import pickle
 
 from .attributes.nested import NestedAttribute
+from .core import commands
 from .core.closure import ClosureResult
 from .core.engine import closure_of_masks_fast
 from .core.plan import CompiledPlan
-from .dependencies.dependency import Dependency, FunctionalDependency
+from .dependencies.dependency import Dependency
 from .dependencies.sigma import DependencySet
 from .obs import InMemorySink, Observer, get_observer, install
 from .reasoner import Reasoner
@@ -222,50 +223,39 @@ class BulkReasoner:
         the instance default for this batch.
         """
         schema = self.schema
-        encoding = schema.encoding
-        queries: list[tuple[Dependency, int, int]] = []
+        parsed: list[Dependency] = []
         for dependency in dependencies:
             dependency = schema.dependency(dependency)
             dependency.validate(schema.root)
-            queries.append((
-                dependency,
-                encoding.encode(dependency.lhs),
-                encoding.encode(dependency.rhs),
-            ))
+            parsed.append(dependency)
 
         if workers is None:
             workers = self.workers
 
+        # The verdict sweep is the typed ImpliesBatch command — the
+        # same object the wire dispatches — run against the session
+        # after this class's pool fan-out has warmed the distinct LHS
+        # closures.  Parsed Dependency objects are passed through so
+        # nothing is re-parsed.
+        session = self.reasoner.session
+        command = commands.ImpliesBatch(dependencies=tuple(parsed))
+        lhs_masks = command.lhs_masks(session)
+
         obs = get_observer()
         if not obs.enabled:
-            self._prefetch([lhs for _, lhs, _ in queries], workers)
-            verdicts: list[bool] = []
-            for dependency, lhs_mask, rhs_mask in queries:
-                result = self.reasoner.result_for_mask(lhs_mask)
-                if isinstance(dependency, FunctionalDependency):
-                    verdicts.append(result.implies_fd_rhs(rhs_mask))
-                else:
-                    verdicts.append(result.implies_mvd_rhs(rhs_mask))
-            return verdicts
+            self._prefetch(lhs_masks, workers)
+            return command.run(commands.CommandContext(session)).value
 
-        distinct = len({lhs for _, lhs, _ in queries})
-        with obs.span("batch.implies_all", queries=len(queries),
-                      distinct_lhs=distinct, workers=workers or 0):
-            self._prefetch([lhs for _, lhs, _ in queries], workers)
-            verdicts = []
-            for index, (dependency, lhs_mask, rhs_mask) in enumerate(queries):
-                is_fd = isinstance(dependency, FunctionalDependency)
-                with obs.span("batch.query", index=index,
-                              kind="fd" if is_fd else "mvd",
-                              lhs=format(lhs_mask, "#x")) as query_span:
-                    result = self.reasoner.result_for_mask(lhs_mask)
-                    verdict = (result.implies_fd_rhs(rhs_mask) if is_fd
-                               else result.implies_mvd_rhs(rhs_mask))
-                    query_span.set(verdict=verdict)
-                verdicts.append(verdict)
-        obs.add("batch.queries", len(queries))
+        with obs.span("batch.implies_all", queries=len(parsed),
+                      distinct_lhs=len(lhs_masks), workers=workers or 0):
+            self._prefetch(lhs_masks, workers)
+            # run() directly (no command.run wrapper span): the pinned
+            # PR 2 contract parents each batch.query span straight
+            # under batch.implies_all.
+            verdicts = command.run(commands.CommandContext(session)).value
+        obs.add("batch.queries", len(parsed))
         obs.add("batch.batches")
-        obs.observe("batch.fanout", distinct)
+        obs.observe("batch.fanout", len(lhs_masks))
         return verdicts
 
     def closures_for(self, lhs_list: Iterable[NestedAttribute | str], *,

@@ -243,10 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(open) closure engine for the new session")
     query.add_argument("--replace", action="store_true",
                        help="(open) replace an existing session of this name")
+    from .core.commands import wire_commands
+
     query.add_argument(
         "op",
-        choices=["ping", "health", "open", "add", "retract", "implies",
-                 "implies_batch", "closure", "basis", "metrics", "close"],
+        # The verb list is the registry's wire-exposed set, in
+        # declaration order — new commands appear here automatically.
+        choices=[cls.spec.name for cls in wire_commands()],
         help="server operation",
     )
     query.add_argument(
@@ -334,48 +337,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.command in ("implies", "closure", "basis") and args.stats:
             return _run_with_stats(schema, sigma, args)
 
-        if args.command == "implies":
-            implied = schema.implies(sigma, args.query)
-            print("implied" if implied else "not implied")
-            return 0 if implied else 1
-
-        if args.command == "closure":
-            print(schema.show(schema.closure(sigma, args.x)))
-            return 0
-
-        if args.command == "basis":
-            for member in schema.dependency_basis(sigma, args.x):
-                print(schema.show(member))
-            return 0
-
-        if args.command == "trace":
-            print(schema.trace(sigma, args.x).render())
-            return 0
-
-        if args.command == "keys":
-            for key in schema.candidate_keys(sigma):
-                print(schema.show(key))
-            return 0
-
-        if args.command == "check4nf":
-            in_4nf = schema.is_in_4nf(sigma)
-            print("in 4NF" if in_4nf else "NOT in 4NF")
-            if not in_4nf:
-                from .normalization import violations
-
-                for violation in violations(sigma, encoding=schema.encoding):
-                    print("  violated by:", violation.as_mvd().display(schema.root))
-            return 0 if in_4nf else 1
-
         if args.command == "decompose":
             print(schema.decompose(sigma).describe())
             return 0
 
-        if args.command == "cover":
-            print(schema.minimal_cover(sigma).display())
-            return 0
-
-        raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+        return _run_local_command(schema, sigma, args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -483,45 +449,66 @@ def _run_query(args: argparse.Namespace) -> int:
                 client.close_session(session)
                 print(f"closed session {session!r}")
                 return 0
-            if op in ("add", "retract", "implies", "closure", "basis"):
-                if len(op_args) != 1:
-                    print(f"error: {op!r} takes exactly one argument",
-                          file=sys.stderr)
-                    return 2
-            if op == "add":
-                result = client.add(session, op_args[0])
-                print("added" if result["added"] else "already present",
-                      f"(|Σ|={result['sigma']})")
-                return 0
-            if op == "retract":
-                result = client.retract(session, op_args[0])
-                print(f"retracted {result['retracted']} "
-                      f"(|Σ|={result['sigma']})")
-                return 0
-            if op == "implies":
-                implied = client.implies(session, op_args[0])
-                print("implied" if implied else "not implied")
-                return 0 if implied else 1
-            if op == "implies_batch":
-                verdicts = client.implies_batch(session, op_args)
-                for text, verdict in zip(op_args, verdicts):
-                    print(f"{'implied    ' if verdict else 'not implied'}  "
-                          f"{text}")
-                return 0 if all(verdicts) else 1
-            if op == "closure":
-                print(client.closure(session, op_args[0]))
-                return 0
-            if op == "basis":
-                for member in client.basis(session, op_args[0]):
-                    print(member)
-                return 0
-            raise AssertionError(f"unhandled op {op}")  # pragma: no cover
+            # Every session-scope op is driven from the registry: the
+            # spec's positional params bind the CLI arguments, the raw
+            # wire result is rendered by the command class.
+            from .core import commands as registry
+
+            command_cls = registry.REGISTRY[op]
+            take = command_cls.spec.positional()
+            params = {"session": session}
+            if len(take) == 1 and take[0].type == "list[string]":
+                params[take[0].name] = list(op_args)
+            elif len(op_args) != len(take):
+                wants = ("exactly one argument" if len(take) == 1
+                         else f"exactly {len(take)} arguments")
+                print(f"error: {op!r} takes {wants}", file=sys.stderr)
+                return 2
+            else:
+                params.update(
+                    (param.name, value)
+                    for param, value in zip(take, op_args))
+            rendered = dict(client.request(op, **params))
+            # renderers that echo the query texts (implies_batch) find
+            # them here; ops whose results carry the key keep their own.
+            rendered.setdefault("dependencies", list(op_args))
+            lines, exit_code = command_cls.render(rendered)
+            for line in lines:
+                print(line)
+            return exit_code
     except ServerError as error:
         print(f"error: [{error.code}] {error.message}", file=sys.stderr)
         return 2
     except (ConnectionError, TimeoutError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _run_local_command(schema: Schema, sigma,
+                       args: argparse.Namespace) -> int:
+    """The local reasoning verbs, dispatched through the command layer.
+
+    Each CLI verb names a registered command (``implies``, ``closure``,
+    ``basis``, ``trace``, ``keys``, ``check4nf``, ``cover``); the spec's
+    positional params bind the parsed arguments, and the command's own
+    renderer prints the result — the same objects the wire dispatches.
+    """
+    from .core import commands as registry
+    from .reasoner import Reasoner
+
+    command_cls = registry.REGISTRY.get(args.command)
+    if command_cls is None:                              # pragma: no cover
+        raise AssertionError(f"unhandled command {args.command}")
+    supplied = {"dependency": getattr(args, "query", None),
+                "x": getattr(args, "x", None)}
+    command = command_cls(**{param.name: supplied[param.name]
+                             for param in command_cls.spec.positional()})
+    session = Reasoner(schema, sigma).session
+    outcome = registry.execute(command, session)
+    lines, exit_code = command_cls.render(outcome.result)
+    for line in lines:
+        print(line)
+    return exit_code
 
 
 def _run_with_stats(schema: Schema, sigma, args: argparse.Namespace) -> int:

@@ -39,6 +39,7 @@ REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
     "chase.run": ("tuples_in", "sigma", "fds", "mvds"),
     "serve.fault": ("op", "kind"),
     "client.retry": ("op", "attempt", "code", "sleep_s"),
+    "command.run": ("command", "cost", "read_only"),
 }
 
 #: Attribute keys set on clean completion (absent after an error).
@@ -53,6 +54,7 @@ COMPLETION_ATTRS: dict[str, tuple[str, ...]] = {
     "chase.run": ("rounds", "added", "tuples_out"),
     "session.retract": ("evicted", "retained"),
     "reasoner.retract": ("evicted", "retained"),
+    "command.run": ("ok",),
 }
 
 

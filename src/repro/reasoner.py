@@ -42,6 +42,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from .core import commands
 from .core.closure import ClosureResult
 from .core.engine import KernelStats
 from .core.session import Session
@@ -208,8 +209,16 @@ class Reasoner:
     # -- queries ---------------------------------------------------------------
 
     def implies(self, dependency: Dependency | str) -> bool:
-        """Decide ``Σ ⊨ σ`` using the per-LHS cache."""
-        return self.session.implies(self.schema.dependency(dependency))
+        """Decide ``Σ ⊨ σ`` using the per-LHS cache.
+
+        Routed through the typed command layer
+        (:class:`repro.core.commands.Implies`) — the same object the
+        wire, CLI and shell dispatch — so every surface answers
+        membership through one code path.
+        """
+        command = commands.Implies(
+            dependency=self.schema.dependency(dependency))
+        return commands.execute(command, self.session).value
 
     def closure(self, x: NestedAttribute | str) -> NestedAttribute:
         """The attribute-set closure ``X⁺``."""
@@ -217,8 +226,9 @@ class Reasoner:
 
     def dependency_basis(self, x: NestedAttribute | str
                          ) -> tuple[NestedAttribute, ...]:
-        """The dependency basis ``DepB(X)``."""
-        return self.session.dependency_basis(self.schema.attribute(x))
+        """The dependency basis ``DepB(X)`` (via the command layer)."""
+        command = commands.Basis(x=self.schema.attribute(x))
+        return commands.execute(command, self.session).value
 
     def is_superkey(self, x: NestedAttribute | str) -> bool:
         """Whether ``Σ ⊨ X → N``."""

@@ -1,0 +1,81 @@
+"""``python -m repro.serve`` — registry-derived docs utilities.
+
+The serve *runtime* entry point stays ``python -m repro serve``; this
+module owns the documentation side of the command registry:
+
+``--op-table``
+    Print the operations table for ``docs/SERVER.md``, generated from
+    :mod:`repro.core.commands` (so the docs can never drift from the
+    registry by hand-editing).
+
+``--check``
+    Exit non-zero if the committed table (the section between the
+    ``op-table:begin`` / ``op-table:end`` markers in ``docs/SERVER.md``)
+    differs from the generated one — the CI ``registry-docs-sync`` step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..core.commands import op_table
+
+MARK_BEGIN = "<!-- op-table:begin -->"
+MARK_END = "<!-- op-table:end -->"
+
+
+def committed_table(text: str) -> str | None:
+    """The table between the markers of a SERVER.md text, or ``None``."""
+    try:
+        _, rest = text.split(MARK_BEGIN, 1)
+        inside, _ = rest.split(MARK_END, 1)
+    except ValueError:
+        return None
+    return inside.strip("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="print or verify the registry-generated op table",
+    )
+    parser.add_argument("--op-table", action="store_true",
+                        help="print the generated docs/SERVER.md op table")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the committed docs table has drifted")
+    parser.add_argument("--docs", default="docs/SERVER.md", metavar="PATH",
+                        help="SERVER.md location for --check "
+                        "(default: docs/SERVER.md)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        path = Path(args.docs)
+        if not path.is_file():
+            print(f"error: {path} not found", file=sys.stderr)
+            return 2
+        committed = committed_table(path.read_text(encoding="utf-8"))
+        if committed is None:
+            print(f"error: {path} has no {MARK_BEGIN} / {MARK_END} markers",
+                  file=sys.stderr)
+            return 2
+        generated = op_table()
+        if committed != generated:
+            print(f"error: the op table in {path} is out of date — "
+                  "regenerate it with: python -m repro.serve --op-table",
+                  file=sys.stderr)
+            return 1
+        print("op table is in sync")
+        return 0
+
+    if args.op_table:
+        print(op_table())
+        return 0
+
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -102,6 +102,23 @@ class _OpsMixin:
         return self._map(self._request("basis", session=session, x=x),
                          lambda result: result["basis"])
 
+    def cover(self, session: str):
+        return self._map(self._request("cover", session=session),
+                         lambda result: result["cover"])
+
+    def keys(self, session: str):
+        return self._map(self._request("keys", session=session),
+                         lambda result: result["keys"])
+
+    def check4nf(self, session: str):
+        return self._request("check4nf", session=session)
+
+    def is_redundant(self, session: str, dependency: str):
+        return self._map(
+            self._request("is_redundant", session=session,
+                          dependency=dependency),
+            lambda result: result["redundant"])
+
     def metrics(self, session: str | None = None):
         if session is None:
             return self._request("metrics")
@@ -133,8 +150,13 @@ class AsyncClient(_OpsMixin):
             self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncClient":
-        reader, writer = await asyncio.open_connection(host, port)
+    async def connect(cls, host: str, port: int, *,
+                      limit: int = 1 << 20) -> "AsyncClient":
+        # The limit must cover the largest line the server may emit
+        # (ServeConfig.max_line_bytes, 1 MiB) — check4nf on a wide
+        # schema can list hundreds of KB of violations in one response.
+        reader, writer = await asyncio.open_connection(host, port,
+                                                       limit=limit)
         return cls(reader, writer)
 
     async def __aenter__(self) -> "AsyncClient":

@@ -36,6 +36,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..core import commands as _commands
+
 __all__ = [
     "PROTOCOL_VERSION",
     "OPS",
@@ -52,20 +54,10 @@ __all__ = [
 #: Wire-format version; bump on any incompatible change.
 PROTOCOL_VERSION = 1
 
-#: Every operation the server understands.
-OPS = frozenset({
-    "ping",
-    "health",
-    "open",
-    "add",
-    "retract",
-    "implies",
-    "implies_batch",
-    "closure",
-    "basis",
-    "metrics",
-    "close",
-})
+#: Every operation the server understands — derived from the typed
+#: command registry (:mod:`repro.core.commands`), never hand-kept:
+#: registering a wire command there *is* adding it to the protocol.
+OPS = _commands.wire_ops()
 
 
 class ErrorCode:

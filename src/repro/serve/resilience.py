@@ -51,6 +51,7 @@ from collections import Counter as TallyCounter
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..core import commands
 from ..obs import get_observer
 from .client import AsyncClient, Client, ServerError, _OpsMixin
 from .protocol import ErrorCode
@@ -238,11 +239,22 @@ class _ResilienceCore(_OpsMixin):
                 f"{self.breaker.failures} consecutive failures",
                 retry_after=self.breaker.retry_after())
 
-    def _classify(self, error: Exception) -> str | None:
+    def _classify(self, op: str, error: Exception) -> str | None:
         """The retry class of ``error``: a code string, or ``None`` for
-        errors that must surface immediately (no retry, no breaker)."""
+        errors that must surface immediately (no retry, no breaker).
+
+        For typed server errors the verdict comes from the command
+        registry (:func:`repro.core.commands.retry_safe`): ``overloaded``
+        is a pre-execution rejection and always safe to resend, while
+        ``timeout`` may have executed server-side and is only resent for
+        commands whose declared wire schema marks them read-only.
+        Connection-level failures stay op-agnostic — the ``(epoch,
+        generation)`` replay machinery heals any divergence they cause.
+        """
         if isinstance(error, ServerError):
-            return error.code if error.retryable else None
+            if error.retryable and commands.retry_safe(op, error.code):
+                return error.code
+            return None
         if isinstance(error, (ConnectionError, TimeoutError, OSError)):
             return "connection"
         return None  # pragma: no cover - nothing else is caught
@@ -362,7 +374,7 @@ class RetryingClient(_ResilienceCore):
                     recovered = True
                     self._reopen(params["session"])
                     continue  # same attempt: recovery is not a retry
-                code = self._classify(error)
+                code = self._classify(op, error)
                 if code is None:
                     raise
                 last_error: Exception = error
@@ -477,7 +489,7 @@ class RetryingAsyncClient(_ResilienceCore):
                     recovered = True
                     await self._reopen(params["session"])
                     continue  # same attempt: recovery is not a retry
-                code = self._classify(error)
+                code = self._classify(op, error)
                 if code is None:
                     raise
                 last_error: Exception = error

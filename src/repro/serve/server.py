@@ -55,15 +55,15 @@ import time
 from collections import Counter as TallyCounter
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 from ..attributes.nested import NestedAttribute
 from ..attributes.parser import parse_attribute
-from ..attributes.printer import unparse_abbreviated
+from ..core import commands
 from ..core.closure import ClosureResult
 from ..core.engine import closure_of_masks_fast
 from ..core.session import Session
-from ..dependencies.dependency import Dependency, FunctionalDependency
+from ..dependencies.dependency import Dependency
 from ..exceptions import ReproError
 from ..obs import get_observer
 from .faults import FaultAction, FaultInjector, FaultPlan
@@ -421,6 +421,7 @@ class ReasoningServer:
         self._stopped: asyncio.Event | None = None
         self._sweeper: asyncio.Task | None = None
         self._started_at = time.monotonic()
+        self._admin_handlers = self._bind_admin_handlers()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -720,133 +721,92 @@ class ReasoningServer:
         get_observer().add(name, amount)
 
     async def _execute(self, request: Request) -> dict[str, Any]:
+        """Registry dispatch: build the typed command, run it.
+
+        No per-op branching lives here any more — the command registry
+        (:mod:`repro.core.commands`) supplies validation
+        (:func:`~repro.core.commands.from_wire`), the offload seam
+        (:meth:`~repro.core.commands.Command.lhs_masks`, prefetched
+        through the worker pool) and execution under the uniform
+        ``command.run`` span.  Server-scope commands (ping, open, …)
+        resolve through the handler table built from the same registry
+        in :meth:`_bind_admin_handlers`.
+        """
         self._count("serve.requests")
         self._count(f"serve.requests.{request.op}")
-        params = request.params
-        if request.op == "ping":
-            return {"pong": True, "version": PROTOCOL_VERSION,
-                    "uptime_s": round(time.monotonic() - self._started_at, 3),
-                    "sessions": len(self.sessions)}
-        if request.op == "metrics":
-            return self._metrics(params.get("session"))
-        if request.op == "open":
-            return self._open(params)
+        try:
+            command = commands.from_wire(request.op, request.params)
+        except KeyError:                                    # pragma: no cover
+            raise ProtocolError(ErrorCode.UNKNOWN_OP,        # guarded by
+                                f"unhandled op {request.op!r}")  # decode_request
+        spec = command.spec
+        if spec.scope == "server":
+            return self._admin_handlers[spec.name](command)
 
-        name = params.get("session")
-        if not isinstance(name, str):
-            raise ProtocolError(ErrorCode.BAD_PARAMS,
-                                "'session' must be a string")
-        if request.op == "close":
-            managed = self.sessions.close(name)
-            return {"closed": name,
-                    "sigma": len(managed.session)}
-
-        managed = self.sessions.get(name)
+        managed = self.sessions.get(command.session)
         session = managed.session
-        if request.op == "add":
-            added = session.add(_text_param(params, "dependency"))
-            if added:
-                managed.generation += 1
-            return {"added": added, "sigma": len(session)}
-        if request.op == "retract":
-            try:
-                removed = session.retract(_text_param(params, "dependency"))
-            except ValueError as error:
-                raise ProtocolError(ErrorCode.BAD_PARAMS, str(error)) from error
+        # The offload seam: every LHS closure the command declares is
+        # resolved first — cold masks compute on the worker pool (with
+        # shed-cold backpressure and stale-generation protection) and
+        # seed the cache, so the command itself runs against warm state.
+        masks = tuple(dict.fromkeys(command.lhs_masks(session)))
+        if masks:
+            if len(masks) == 1:
+                await self._result_for_mask(managed, masks[0])
+            else:
+                await asyncio.gather(*(self._result_for_mask(managed, mask)
+                                       for mask in masks))
+        elif spec.cost == "cold" and self._shedding_cold():
+            # Cold work not expressible as LHS closures (cover, keys,
+            # …) cannot be partially shed — near capacity it is
+            # rejected outright, like any other cold closure.
+            self._count("serve.shed_cold")
+            raise ProtocolError(
+                ErrorCode.OVERLOADED,
+                f"shedding cold closure work near capacity "
+                f"(inflight={self._inflight}); retry later")
+        outcome = commands.execute(command, session)
+        if outcome.mutated:
             managed.generation += 1
-            return {"retracted": removed.display(session.root),
-                    "sigma": len(session)}
-        if request.op == "implies":
-            verdict = await self._implies(managed,
-                                          _text_param(params, "dependency"))
-            return {"implied": verdict}
-        if request.op == "implies_batch":
-            texts = params.get("dependencies")
-            if (not isinstance(texts, list)
-                    or not all(isinstance(t, str) for t in texts)):
-                raise ProtocolError(ErrorCode.BAD_PARAMS,
-                                    "'dependencies' must be a list of strings")
-            return {"verdicts": await self._implies_batch(managed, texts)}
-        if request.op == "closure":
-            result = await self._result_for(managed, _text_param(params, "x"))
-            return {"closure": unparse_abbreviated(result.closure,
-                                                   session.root),
-                    "passes": result.passes}
-        if request.op == "basis":
-            result = await self._result_for(managed, _text_param(params, "x"))
-            return {"basis": [unparse_abbreviated(member, session.root)
-                              for member in result.dependency_basis()]}
-        raise ProtocolError(ErrorCode.UNKNOWN_OP,           # pragma: no cover
-                            f"unhandled op {request.op!r}")  # guarded upstream
+        return outcome.result
 
-    def _open(self, params: dict[str, Any]) -> dict[str, Any]:
-        name = params.get("name")
-        if not isinstance(name, str) or not name:
-            raise ProtocolError(ErrorCode.BAD_PARAMS,
-                                "'name' must be a non-empty string")
-        schema = params.get("schema")
-        if not isinstance(schema, str):
-            raise ProtocolError(ErrorCode.BAD_PARAMS, "'schema' must be a string")
-        dependencies = params.get("dependencies", [])
-        if (not isinstance(dependencies, list)
-                or not all(isinstance(d, str) for d in dependencies)):
-            raise ProtocolError(ErrorCode.BAD_PARAMS,
-                                "'dependencies' must be a list of strings")
-        engine = params.get("engine")
-        if engine is not None and not isinstance(engine, str):
-            raise ProtocolError(ErrorCode.BAD_PARAMS, "'engine' must be a string")
+    def _bind_admin_handlers(self) -> dict[str, Any]:
+        """Server-scope handlers, resolved from the registry by name.
+
+        Registering a new server-scope command without adding its
+        ``_op_<name>`` method fails here at construction time — the
+        same no-silent-drift guarantee the import-time registry check
+        gives session-scope commands.
+        """
+        return {name: getattr(self, f"_op_{name}")
+                for name, cls in commands.REGISTRY.items()
+                if cls.spec.wire and cls.spec.scope == "server"}
+
+    def _op_ping(self, command: commands.Ping) -> dict[str, Any]:
+        return {"pong": True, "version": PROTOCOL_VERSION,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "sessions": len(self.sessions)}
+
+    def _op_health(self, command: commands.Health) -> dict[str, Any]:
+        # Normally answered in _admit before the gates; kept here so the
+        # registry's server-scope set is fully handled regardless.
+        return self._health()
+
+    def _op_metrics(self, command: commands.Metrics) -> dict[str, Any]:
+        return self._metrics(command.session)
+
+    def _op_open(self, command: commands.Open) -> dict[str, Any]:
         managed = self.sessions.open(
-            name, schema, dependencies, engine=engine,
-            replace=bool(params.get("replace", False)))
-        return {"name": name, "sigma": len(managed.session),
+            command.name, command.schema, list(command.dependencies),
+            engine=command.engine, replace=command.replace)
+        return {"name": command.name, "sigma": len(managed.session),
                 "engine": managed.session.engine.name}
 
+    def _op_close(self, command: commands.Close) -> dict[str, Any]:
+        managed = self.sessions.close(command.session)
+        return {"closed": command.session, "sigma": len(managed.session)}
+
     # -- closure evaluation (the offload seam) -------------------------------
-
-    async def _implies(self, managed: ManagedSession, text: str) -> bool:
-        session = managed.session
-        dependency = session.dependency(text)
-        dependency.validate(session.root)
-        lhs_mask = session.encoding.encode(dependency.lhs)
-        result = await self._result_for_mask(managed, lhs_mask)
-        rhs_mask = session.encoding.encode(dependency.rhs)
-        if isinstance(dependency, FunctionalDependency):
-            return result.implies_fd_rhs(rhs_mask)
-        return result.implies_mvd_rhs(rhs_mask)
-
-    async def _implies_batch(self, managed: ManagedSession,
-                             texts: Sequence[str]) -> list[bool]:
-        """Batch membership: one closure per *distinct* LHS, fanned out.
-
-        The grouping mirrors :meth:`repro.batch.BulkReasoner.implies_all`;
-        distinct uncached left-hand sides compute concurrently on the
-        worker pool, then every query is answered from the cache.
-        """
-        session = managed.session
-        encode_mask = session.encoding.encode
-        queries = []
-        for text in texts:
-            dependency = session.dependency(text)
-            dependency.validate(session.root)
-            queries.append((dependency, encode_mask(dependency.lhs),
-                            encode_mask(dependency.rhs)))
-        distinct = list({lhs for _, lhs, _ in queries})
-        results = dict(zip(distinct, await asyncio.gather(
-            *(self._result_for_mask(managed, mask) for mask in distinct))))
-        verdicts = []
-        for dependency, lhs_mask, rhs_mask in queries:
-            result = results[lhs_mask]
-            if isinstance(dependency, FunctionalDependency):
-                verdicts.append(result.implies_fd_rhs(rhs_mask))
-            else:
-                verdicts.append(result.implies_mvd_rhs(rhs_mask))
-        return verdicts
-
-    async def _result_for(self, managed: ManagedSession,
-                          text: str) -> ClosureResult:
-        session = managed.session
-        mask = session.encoding.encode(session.attribute(text))
-        return await self._result_for_mask(managed, mask)
 
     async def _result_for_mask(self, managed: ManagedSession,
                                mask: int) -> ClosureResult:
@@ -960,13 +920,6 @@ class ReasoningServer:
                 "idle_s": round(now - managed.last_used, 3),
             }
         return {"server": server, "sessions": sessions}
-
-
-def _text_param(params: dict[str, Any], key: str) -> str:
-    value = params.get(key)
-    if not isinstance(value, str):
-        raise ProtocolError(ErrorCode.BAD_PARAMS, f"{key!r} must be a string")
-    return value
 
 
 def _recover_id(line: bytes) -> int | str | None:

@@ -31,31 +31,51 @@ from .schema import Schema
 
 __all__ = ["ReasoningShell", "run_shell"]
 
-_HELP = """\
-commands:
-  schema <N>          set the nested attribute, e.g. schema R(A, L[B])
-  add <dep>           add a dependency to Σ  (X -> Y or X ->> Y)
-  drop <index>        remove the i-th dependency (see 'sigma')
-  retract <dep>       remove a dependency by text (provenance-exact)
-  engine [name]       show or switch the closure engine
-  sigma               list Σ
-  implies <dep>       decide Σ ⊨ σ
-  closure <X>         the attribute-set closure X⁺
-  basis <X>           the dependency basis DepB(X)
-  trace <X>           replay Algorithm 5.1 for X
-  keys                candidate keys
-  check4nf            generalised 4NF test
-  decompose           lossless 4NF-style decomposition
-  cover               minimal cover of Σ
-  synthesize          Bernstein-style FD synthesis
-  witness <X>         build the §4.2 Armstrong-style instance for X
-  stats               kernel/cache instrumentation counters
-  trace on [PATH]     start recording observability spans
-                      (optionally streamed to PATH as JSON lines)
-  trace off           stop recording, report the span count
-  metrics             observability counters/histograms of this session
-  help                this text
-  quit / exit         leave the shell"""
+#: Shell-only verbs (not in the command registry), as (usage, summary)
+#: rows.  The registry verbs are spliced in between the two groups by
+#: :func:`_help_text`, so `help` always lists every registered command.
+_SHELL_ONLY_PRE = (
+    ("schema <N>", "set the nested attribute, e.g. schema R(A, L[B])"),
+    ("drop <index>", "remove the i-th dependency (see 'sigma')"),
+    ("engine [name]", "show or switch the closure engine"),
+    ("sigma", "list Σ"),
+)
+_SHELL_ONLY_POST = (
+    ("decompose", "lossless 4NF-style decomposition"),
+    ("synthesize", "Bernstein-style FD synthesis"),
+    ("witness <X>", "build the §4.2 Armstrong-style instance for X"),
+    ("stats", "kernel/cache instrumentation counters"),
+    ("trace on [PATH]", "start recording observability spans"),
+    ("", "(optionally streamed to PATH as JSON lines)"),
+    ("trace off", "stop recording, report the span count"),
+    ("metrics", "observability counters/histograms of this session"),
+    ("help", "this text"),
+    ("quit / exit", "leave the shell"),
+)
+
+
+def _registry_verbs() -> "tuple[type, ...]":
+    """Session-scope registered commands the shell can drive: everything
+    buildable from one text argument (list-typed params excluded)."""
+    from .core import commands as registry
+
+    return tuple(
+        cls for cls in registry.REGISTRY.values()
+        if cls.spec.scope == "session"
+        and not any(p.type == "list[string]"
+                    for p in cls.spec.positional()))
+
+
+def _help_text() -> str:
+    rows = list(_SHELL_ONLY_PRE)
+    rows.extend((cls.spec.usage, cls.spec.summary)
+                for cls in _registry_verbs())
+    rows.extend(_SHELL_ONLY_POST)
+    lines = ["commands:"]
+    lines.extend(f"  {usage:<18}  {summary}".rstrip() if usage
+                 else f"  {'':<18}  {summary}".rstrip()
+                 for usage, summary in rows)
+    return "\n".join(lines)
 
 
 class ReasoningShell:
@@ -109,7 +129,7 @@ class ReasoningShell:
         if command in ("quit", "exit"):
             return False
         if command == "help":
-            self._say(_HELP)
+            self._say(_help_text())
             return True
         if command == "trace":
             word, _, rest = argument.partition(" ")
@@ -138,12 +158,6 @@ class ReasoningShell:
 
         schema = self.schema
         session = self._session_now()
-        if command == "add":
-            session.add(schema.dependency(argument))
-            count = len(session)
-            noun = "dependency" if count == 1 else "dependencies"
-            self._say(f"Σ now has {count} {noun}")
-            return True
         if command == "drop":
             try:
                 index = int(argument)
@@ -154,53 +168,13 @@ class ReasoningShell:
             session.retract(removed)
             self._say(f"dropped {removed.display(schema.root)}")
             return True
-        if command == "retract":
-            dependency = schema.dependency(argument)
-            before = session.cache_info()
-            try:
-                session.retract(dependency)
-            except ValueError as error:
-                self._say(f"error: {error}")
-                return True
-            after = session.cache_info()
-            self._say(
-                f"retracted {dependency.display(schema.root)} "
-                f"(evicted {after.invalidations - before.invalidations} "
-                f"cached closures, kept {after.retained - before.retained})"
-            )
-            return True
         if command == "sigma":
             if not len(session):
                 self._say("(Σ is empty)")
             for index, dependency in enumerate(session.dependencies):
                 self._say(f"  [{index}] {dependency.display(schema.root)}")
             return True
-        if command == "implies":
-            verdict = session.implies(schema.dependency(argument))
-            self._say("implied" if verdict else "not implied")
-            return True
-        if command == "closure":
-            self._say(schema.show(session.closure(schema.attribute(argument))))
-            return True
-        if command == "basis":
-            for member in session.dependency_basis(schema.attribute(argument)):
-                self._say(f"  {schema.show(member)}")
-            return True
-        if command == "trace":
-            self._say(schema.trace(self._sigma(), argument).render())
-            return True
-        if command == "keys":
-            keys = schema.candidate_keys(self._sigma())
-            for key in keys:
-                self._say(f"  {schema.show(key)}")
-            if not keys:
-                self._say("  (no key within the search budget)")
-            return True
-        if command == "check4nf":
-            from .normalization import is_in_4nf
-
-            in_4nf = is_in_4nf(self._sigma(), session=session)
-            self._say("in 4NF" if in_4nf else "NOT in 4NF")
+        if self._run_registry_command(command, argument, schema, session):
             return True
         if command == "decompose":
             self._say(schema.decompose(self._sigma()).describe())
@@ -228,6 +202,58 @@ class ReasoningShell:
             self._say(format_instance(schema.root, witness.instance))
             return True
         self._say(f"unknown command {command!r} — try 'help'")
+        return True
+
+    def _run_registry_command(self, command: str, argument: str,
+                              schema: Schema, session: Session) -> bool:
+        """Dispatch a registry-backed verb; ``False`` when ``command``
+        is not one (the caller falls through to the shell-only verbs).
+
+        The command object and executor are the same ones every other
+        surface uses; only the presentation is shell-specific (indents,
+        the Σ count after ``add``, the cache-eviction delta after
+        ``retract``).
+        """
+        from .core import commands as registry
+
+        cls = registry.REGISTRY.get(command)
+        if cls is None or cls.spec.scope != "session":
+            return False
+        take = cls.spec.positional()
+        if any(param.type == "list[string]" for param in take):
+            return False  # no shell syntax for list-valued params
+        instance = cls(**{param.name: argument for param in take})
+        if command == "add":
+            outcome = registry.execute(instance, session)
+            count = outcome.result["sigma"]
+            noun = "dependency" if count == 1 else "dependencies"
+            self._say(f"Σ now has {count} {noun}")
+            return True
+        if command == "retract":
+            before = session.cache_info()
+            try:
+                outcome = registry.execute(instance, session)
+            except ValueError as error:
+                self._say(f"error: {error}")
+                return True
+            after = session.cache_info()
+            self._say(
+                f"retracted {outcome.result['retracted']} "
+                f"(evicted {after.invalidations - before.invalidations} "
+                f"cached closures, kept {after.retained - before.retained})")
+            return True
+        outcome = registry.execute(instance, session)
+        lines, _ = cls.render(outcome.result)
+        if command == "check4nf":
+            self._say(lines[0])  # the shell reports the verdict alone
+        elif command in ("basis", "keys"):
+            for line in lines:
+                self._say(f"  {line}")
+            if command == "keys" and not lines:
+                self._say("  (no key within the search budget)")
+        else:
+            for line in lines:
+                self._say(line)
         return True
 
     def _engine_command(self, argument: str) -> bool:

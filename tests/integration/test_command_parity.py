@@ -1,0 +1,106 @@
+"""Local/served parity: every read-only command, byte-identical JSON.
+
+For each corpus problem and each engine (worklist = compiled plan on,
+naive = plan off), every read-only wire command is executed twice —
+directly against a local :class:`Session` through
+``repro.core.commands.execute``, and over the wire through a live
+``ReasoningServer`` — and the raw JSON results must be byte-identical
+(``json.dumps(..., sort_keys=True)``).  This is the guarantee that a
+served deployment answers exactly what the library answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import commands
+from repro.core.session import Session
+from repro.schema import Schema
+from repro.serve import AsyncClient, ReasoningServer, ServeConfig
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parents[1] / "corpus").glob("*.json"))
+ENGINES = ("worklist", "naive")  # compiled plan on / plan off
+
+
+def load(path: Path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def read_only_invocations(case: dict) -> list[tuple[str, dict]]:
+    """Every read-only wire op with corpus-derived params (no session)."""
+    queries = [q["dependency"] for q in case.get("queries", [])]
+    subjects = [c["x"] for c in case.get("closures", [])]
+    invocations: list[tuple[str, dict]] = []
+    for dependency in queries:
+        invocations.append(("implies", {"dependency": dependency}))
+    if queries:
+        invocations.append(("implies_batch", {"dependencies": queries}))
+    for x in subjects:
+        invocations.append(("closure", {"x": x}))
+        invocations.append(("basis", {"x": x}))
+    invocations.append(("cover", {}))
+    invocations.append(("keys", {}))
+    invocations.append(("check4nf", {}))
+    for dependency in case.get("sigma", []):
+        invocations.append(("is_redundant", {"dependency": dependency}))
+    return invocations
+
+
+def local_results(case: dict, engine: str) -> list[str]:
+    schema = Schema(case["schema"])
+    session = Session(schema.root, engine=engine, encoding=schema.encoding)
+    for text in case.get("sigma", []):
+        session.add(schema.dependency(text))
+    results = []
+    for op, params in read_only_invocations(case):
+        command = commands.from_wire(op, {"session": "parity", **params})
+        outcome = commands.execute(command, session)
+        results.append(json.dumps(outcome.result, sort_keys=True))
+    return results
+
+
+def served_results(case: dict, engine: str) -> list[str]:
+    async def drive() -> list[str]:
+        config = ServeConfig(workers=0)  # inline: the 1-CPU-safe path
+        async with ReasoningServer(config) as server:
+            host, port = server.address
+            async with await AsyncClient.connect(host, port) as client:
+                await client.open("parity", case["schema"],
+                                  case.get("sigma", []), engine=engine)
+                results = []
+                for op, params in read_only_invocations(case):
+                    raw = await client.request(op, session="parity", **params)
+                    results.append(json.dumps(raw, sort_keys=True))
+                return results
+
+    return asyncio.run(drive())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_read_only_commands_agree_local_vs_served(path, engine):
+    case = load(path)
+    ops = [op for op, _ in read_only_invocations(case)]
+    local = local_results(case, engine)
+    served = served_results(case, engine)
+    assert len(local) == len(served) == len(ops)
+    for op, local_json, served_json in zip(ops, local, served):
+        assert local_json == served_json, (
+            f"{path.stem}/{engine}: {op} diverged\n"
+            f"  local:  {local_json}\n  served: {served_json}")
+
+
+def test_parity_covers_every_read_only_session_command():
+    """The suite exercises the full read-only session-scope wire set."""
+    covered = {op for case_path in CORPUS
+               for op, _ in read_only_invocations(load(case_path))}
+    expected = {name for name, cls in commands.REGISTRY.items()
+                if cls.spec.wire and cls.spec.read_only
+                and cls.spec.scope == "session"}
+    assert expected <= covered

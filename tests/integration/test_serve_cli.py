@@ -100,6 +100,67 @@ class TestServeProcess:
         proc.send_signal(signal.SIGTERM)
         assert proc.wait(timeout=15) == 0
 
+    def test_analysis_ops_over_the_wire(self, served, capsys):
+        """The registry-derived ops (cover/keys/check4nf/is_redundant)
+        answer through ``repro query --connect`` with the same rendering
+        and exit codes as local mode."""
+        proc, host, port = served
+        code, out, _ = query(capsys, host, port, "--session", "pub",
+                             "--schema", SCHEMA, "open")
+        assert code == 0
+        code, out, _ = query(capsys, host, port, "--session", "pub",
+                             "add", MVD)
+        assert code == 0
+
+        code, out, _ = query(capsys, host, port, "--session", "pub", "cover")
+        assert code == 0 and "->>" in out
+
+        code, out, _ = query(capsys, host, port, "--session", "pub", "keys")
+        assert code == 0 and "Pubcrawl(" in out
+
+        # Person is not a superkey, so its MVD violates 4NF
+        code, out, _ = query(capsys, host, port, "--session", "pub",
+                             "check4nf")
+        assert code == 1
+        assert out.splitlines()[0] == "NOT in 4NF"
+        assert "violated by:" in out
+
+        # sole Σ member: not redundant (exit 1)
+        code, out, _ = query(capsys, host, port, "--session", "pub",
+                             "is_redundant", MVD)
+        assert (code, out.strip()) == (1, "not redundant")
+
+        # an implied FD added on top of the MVD *is* redundant (exit 0)
+        code, out, _ = query(capsys, host, port, "--session", "pub",
+                             "add", IMPLIED_FD)
+        assert code == 0
+        code, out, _ = query(capsys, host, port, "--session", "pub",
+                             "is_redundant", IMPLIED_FD)
+        assert (code, out.strip()) == (0, "redundant")
+
+        # arity errors are caught client-side, before any wire traffic
+        code, _, err = query(capsys, host, port, "--session", "pub",
+                             "is_redundant")
+        assert code == 2 and "exactly one argument" in err
+        code, _, err = query(capsys, host, port, "--session", "pub",
+                             "keys", "spurious")
+        assert code == 2 and "exactly 0 arguments" in err
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=15) == 0
+
+    def test_query_verb_list_comes_from_the_registry(self, capsys):
+        """``repro query`` rejects unknown verbs with the registry's wire
+        set in the usage message."""
+        from repro.core.commands import wire_commands
+
+        with pytest.raises(SystemExit) as caught:
+            main(["query", "--connect", "127.0.0.1:1", "no_such_op"])
+        assert caught.value.code == 2
+        err = capsys.readouterr().err
+        for cls in wire_commands():
+            assert f"'{cls.spec.name}'" in err
+
     def test_inflight_request_survives_sigterm(self, served):
         """SIGTERM while a request is mid-flight: the response is still
         delivered (drain), then the process exits 0."""
