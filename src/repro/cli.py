@@ -208,12 +208,46 @@ def build_parser() -> argparse.ArgumentParser:
         "being served (default: disabled)",
     )
     serve.add_argument(
+        "--data-dir", metavar="PATH",
+        help="durable session persistence: WAL + snapshots under PATH; "
+        "on start the server recovers every session the directory "
+        "holds (see docs/PERSISTENCE.md)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "interval", "off"),
+        default="interval",
+        help="WAL durability: fsync every append ('always'), at most "
+        "once per interval ('interval', default — flushed writes still "
+        "survive process death), or never ('off')",
+    )
+    serve.add_argument(
+        "--store-compact-records", type=int, default=4096, metavar="N",
+        help="compact the store once the live WAL segment holds N "
+        "records (default: 4096)",
+    )
+    serve.add_argument(
+        "--store-compact-bytes", type=int, default=1 << 22, metavar="N",
+        help="compact the store once the live WAL segment holds N "
+        "bytes (default: 4 MiB)",
+    )
+    serve.add_argument(
         "--fault-plan", metavar="PATH_OR_JSON",
         help="TESTS ONLY: inject deterministic faults from a JSON fault "
         "plan (a file path, or inline JSON starting with '{'); see "
         "docs/SERVER.md",
     )
     _add_obs(serve)
+
+    store = commands.add_parser(
+        "store", help="inspect or compact a repro.store data directory "
+        "(see docs/PERSISTENCE.md)"
+    )
+    store.add_argument(
+        "action", choices=("inspect", "compact"),
+        help="'inspect' prints a read-only JSON summary; 'compact' "
+        "snapshots the recovered sessions and truncates the WAL",
+    )
+    store.add_argument("path", help="the server's --data-dir")
 
     query = commands.add_parser(
         "query", help="drive a running reasoning server"
@@ -328,6 +362,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.command == "serve":
             return _run_serve(args)
 
+        if args.command == "store":
+            return _run_store(args)
+
         if args.command == "query":
             return _run_query(args)
 
@@ -377,12 +414,23 @@ def _run_serve(args: argparse.Namespace) -> int:
                          if args.request_timeout > 0 else None),
         shed_cold_at=args.shed_cold_at,
         fault_plan=fault_plan,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        store_compact_records=args.store_compact_records,
+        store_compact_bytes=args.store_compact_bytes,
     )
 
     async def run() -> None:
         server = ReasoningServer(config)
         host, port = await server.start()
         server.install_signal_handlers()
+        if server.store is not None:
+            stats = server.store.stats()
+            print(f"store: {args.data_dir} (fsync={args.fsync}, "
+                  f"recovered {stats.get('recovered_sessions', 0)} "
+                  f"session(s), replayed "
+                  f"{stats.get('replayed_records', 0)} record(s))",
+                  file=sys.stderr, flush=True)
         if fault_plan is not None:
             print(f"FAULT INJECTION ENABLED ({len(fault_plan.rules)} "
                   f"rule(s), seed {fault_plan.seed}) — tests only",
@@ -392,6 +440,35 @@ def _run_serve(args: argparse.Namespace) -> int:
         await server.serve_forever(handle_signals=False)
 
     asyncio.run(run())
+    return 0
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    """``python -m repro store inspect|compact PATH`` (offline — never
+    run against a directory a live server is using)."""
+    import json
+
+    if args.action == "inspect":
+        from .store import inspect_store
+
+        print(json.dumps(inspect_store(args.path), indent=2,
+                         sort_keys=True))
+        return 0
+
+    from .serve.server import SessionManager
+    from .store import SessionStore
+
+    # Offline compaction recovers into a throwaway manager (an
+    # effectively unbounded LRU: nothing may be evicted mid-compact),
+    # snapshots it, and truncates the replayed segments.
+    manager = SessionManager(max_sessions=2 ** 31)
+    store = SessionStore(args.path, fsync="always")
+    report = store.start(manager)
+    result = store.compact(manager.snapshot_state())
+    store.close()
+    print(f"compacted {args.path}: {len(report.sessions)} session(s) -> "
+          f"{result['snapshot']} (last_seq {result['last_seq']}, "
+          f"{result['segments_removed']} segment(s) removed)")
     return 0
 
 

@@ -452,7 +452,8 @@ class Health(Command):
         result=(FieldSpec("status"), FieldSpec("version"),
                 FieldSpec("uptime_s"), FieldSpec("sessions"),
                 FieldSpec("inflight"), FieldSpec("draining"),
-                FieldSpec("shedding"), FieldSpec("faults", doc="optional")),
+                FieldSpec("shedding"), FieldSpec("faults", doc="optional"),
+                FieldSpec("store", doc="optional")),
         read_only=True, cost="admin", scope="server",
     )
 

@@ -46,6 +46,7 @@ from typing import Iterable
 from ..attributes.encoding import BasisEncoding
 from ..attributes.nested import NestedAttribute
 from ..attributes.parser import parse_attribute, parse_subattribute
+from ..attributes.printer import unparse
 from ..dependencies.dependency import (
     Dependency,
     FunctionalDependency,
@@ -239,6 +240,20 @@ class Session:
 
     def __len__(self) -> int:
         return len(self._deps)
+
+    def snapshot_state(self) -> dict:
+        """The session's durable state as plain JSON-ready strings.
+
+        The exact encoding :mod:`repro.store` snapshots persist: the
+        schema as its canonical unparse and Σ as member displays in
+        insertion order — both re-parse through the same code paths a
+        wire ``open`` uses, so a recovered session is bit-identical to
+        the live one it snapshots.
+        """
+        return {"schema": unparse(self.root),
+                "dependencies": [dependency.display(self.root)
+                                 for dependency in self._deps],
+                "engine": self._engine.name}
 
     def __contains__(self, dependency: Dependency) -> bool:
         return dependency in self._dep_set

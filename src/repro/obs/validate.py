@@ -40,6 +40,11 @@ REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
     "serve.fault": ("op", "kind"),
     "client.retry": ("op", "attempt", "code", "sleep_s"),
     "command.run": ("command", "cost", "read_only"),
+    "store.append": ("seq", "op"),
+    "store.fsync": ("policy",),
+    "store.snapshot": ("sessions", "last_seq"),
+    "store.compact": ("records", "bytes"),
+    "store.recover": ("data_dir",),
 }
 
 #: Attribute keys set on clean completion (absent after an error).
@@ -55,6 +60,10 @@ COMPLETION_ATTRS: dict[str, tuple[str, ...]] = {
     "session.retract": ("evicted", "retained"),
     "reasoner.retract": ("evicted", "retained"),
     "command.run": ("ok",),
+    "store.append": ("bytes",),
+    "store.snapshot": ("bytes",),
+    "store.compact": ("segments_removed",),
+    "store.recover": ("sessions", "replayed", "torn"),
 }
 
 

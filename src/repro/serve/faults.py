@@ -15,7 +15,20 @@ fault kinds cover the failure modes the resilience layer
   was delivered);
 * ``truncate`` — execute, then deliver only a prefix of the response
   frame and close — the client must treat the torn frame as a lost
-  connection.
+  connection;
+* ``crash``    — die the way SIGKILL would (``os._exit``, no flush, no
+  atexit) at a *store* fault point.  Crash rules match the durable
+  store's internal point names (``store.append``, ``store.snapshot``,
+  ``store.compact``) instead of wire ops, with ``when`` selecting the
+  phase: ``pre`` (before any byte is written), ``mid`` (a torn,
+  partial write) or ``post`` (written and flushed, but the state
+  transition unfinished — e.g. a compaction whose manifest never
+  adopted its snapshot).  The crash-recovery suite drives its whole
+  SIGKILL matrix through these (see docs/PERSISTENCE.md).
+
+Store points never match an ``op: "*"`` rule — a wildcard delay/error
+plan must not accidentally kill the process — and only ``crash`` rules
+may name them.
 
 Determinism: every rule owns a private :class:`random.Random` seeded
 from ``(plan seed, rule index)``, and probabilistic draws consume that
@@ -49,11 +62,16 @@ from typing import Any, Iterable
 
 from .protocol import OPS, RETRYABLE
 
-__all__ = ["FAULT_KINDS", "FaultAction", "FaultRule", "FaultPlan",
-           "FaultInjector"]
+__all__ = ["FAULT_KINDS", "STORE_POINTS", "FaultAction", "FaultRule",
+           "FaultPlan", "FaultInjector"]
 
 #: Every fault kind a rule may inject.
-FAULT_KINDS = frozenset({"delay", "error", "drop", "truncate"})
+FAULT_KINDS = frozenset({"delay", "error", "drop", "truncate", "crash"})
+
+#: The durable store's internal fault points (crash rules only; see
+#: :mod:`repro.store`).
+STORE_POINTS = frozenset({"store.append", "store.snapshot",
+                          "store.compact"})
 
 
 class FaultAction:
@@ -92,11 +110,23 @@ class FaultRule:
                  seconds: float | None = None, when: str = "pre",
                  p: float | None = None, every: int | None = None,
                  times: int | None = None, after: int = 0) -> None:
-        if op != "*" and op not in OPS:
-            raise ValueError(f"fault rule op {op!r} is not a server op")
+        if op != "*" and op not in OPS and op not in STORE_POINTS:
+            raise ValueError(f"fault rule op {op!r} is neither a server op "
+                             f"nor a store fault point")
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r} "
                              f"(one of {sorted(FAULT_KINDS)})")
+        if kind == "crash":
+            if op not in STORE_POINTS:
+                raise ValueError(
+                    f"'crash' rules only apply to store fault points "
+                    f"({sorted(STORE_POINTS)}), got op {op!r}")
+            if when not in ("pre", "mid", "post"):
+                raise ValueError(f"'when' must be 'pre', 'mid' or 'post' "
+                                 f"for kind 'crash', got {when!r}")
+        elif op in STORE_POINTS:
+            raise ValueError(f"store fault point {op!r} only accepts "
+                             f"kind 'crash', not {kind!r}")
         if kind == "error":
             if code not in RETRYABLE:
                 raise ValueError(
@@ -135,6 +165,9 @@ class FaultRule:
         self.after = after
 
     def matches(self, op: str) -> bool:
+        if op in STORE_POINTS:
+            # wildcard rules must never reach inside the store
+            return self.op == op
         return self.op == "*" or self.op == op
 
     def as_dict(self) -> dict[str, Any]:
@@ -143,7 +176,7 @@ class FaultRule:
             data["code"] = self.code
         if self.kind == "delay":
             data["seconds"] = self.seconds
-        if self.kind == "drop":
+        if self.kind in ("drop", "crash"):
             data["when"] = self.when
         if self.p is not None:
             data["p"] = self.p

@@ -48,7 +48,6 @@ docs/SERVER.md.
 from __future__ import annotations
 
 import asyncio
-import itertools
 import pickle
 import signal
 import time
@@ -66,6 +65,7 @@ from ..core.session import Session
 from ..dependencies.dependency import Dependency
 from ..exceptions import ReproError
 from ..obs import get_observer
+from ..store import SessionStore
 from .faults import FaultAction, FaultInjector, FaultPlan
 from .protocol import (
     PROTOCOL_VERSION,
@@ -179,14 +179,43 @@ class ServeConfig:
     #: Deterministic fault injection for tests (see
     #: :mod:`repro.serve.faults`); ``None`` = no faults — production.
     fault_plan: FaultPlan | None = None
+    #: Durable session persistence (see :mod:`repro.store` and
+    #: docs/PERSISTENCE.md); ``None`` = in-memory only.
+    data_dir: str | None = None
+    #: WAL durability level: ``always`` / ``interval`` / ``off``.
+    fsync: str = "interval"
+    #: Compact once the live WAL segment holds this many records …
+    store_compact_records: int = 4096
+    #: … or this many bytes, whichever comes first.
+    store_compact_bytes: int = 1 << 22
 
 
 # --------------------------------------------------------------------------
 # Session management
 
-#: Mints :attr:`ManagedSession.epoch` values; module-global so epochs
-#: stay unique even across several managers sharing one worker pool.
-_SESSION_EPOCHS = itertools.count(1)
+class _EpochMint:
+    """Mints :attr:`ManagedSession.epoch` values; ``reserve`` lets
+    recovery jump the mint past every epoch it restored from disk, so
+    a session opened after a restart can never collide with a restored
+    one in a worker's plan memo."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def next(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+    def reserve(self, floor: int) -> None:
+        self._next = max(self._next, floor)
+
+
+#: Module-global so epochs stay unique even across several managers
+#: sharing one worker pool.
+_SESSION_EPOCHS = _EpochMint()
 
 
 class ManagedSession:
@@ -201,7 +230,7 @@ class ManagedSession:
         #: Server-unique id for this *opening* of the name — two sessions
         #: never share an epoch, even when one replaces the other under
         #: the same name.  Worker-side plan memos key on it.
-        self.epoch = next(_SESSION_EPOCHS)
+        self.epoch = _SESSION_EPOCHS.next()
         #: Bumped on every Σ edit; offloaded results are only seeded
         #: when the generation they were computed for is still current.
         self.generation = 0
@@ -281,6 +310,37 @@ class SessionManager:
             victim, _ = self._sessions.popitem(last=False)
             self._evicted(victim, "lru")
         return managed
+
+    def restore(self, name: str, schema: str | NestedAttribute,
+                dependencies: Iterable[Dependency | str] = (), *,
+                engine: str | None = None, epoch: int,
+                generation: int) -> ManagedSession:
+        """Rebuild a session from persisted state (recovery only).
+
+        Unlike :meth:`open`, the session keeps the ``(epoch,
+        generation)`` it had before the restart — clients tracking
+        lineage (and workers memoising plans by epoch) see one
+        continuous session — and the epoch mint is reserved past it so
+        later opens cannot collide.  Counted as a restore, not an open.
+        """
+        managed = self.open(name, schema, dependencies, engine=engine,
+                            replace=True)
+        managed.epoch = epoch
+        managed.generation = generation
+        _SESSION_EPOCHS.reserve(epoch + 1)
+        self.counters["serve.sessions_opened"] -= 1
+        self.counters["serve.sessions_restored"] += 1
+        return managed
+
+    def snapshot_state(self) -> dict[str, dict[str, Any]]:
+        """Every open session's durable state, for
+        :meth:`repro.store.SessionStore.snapshot` (insertion = LRU
+        order; the session's own :meth:`~repro.core.session.Session.snapshot_state`
+        plus the server-side lineage pair)."""
+        return {name: {**managed.session.snapshot_state(),
+                       "epoch": managed.epoch,
+                       "generation": managed.generation}
+                for name, managed in self._sessions.items()}
 
     def get(self, name: str, *, now: float | None = None) -> ManagedSession:
         """Look up and LRU-touch a session; raises ``unknown_session``."""
@@ -410,6 +470,9 @@ class ReasoningServer:
         self.faults: FaultInjector | None = (
             FaultInjector(self.config.fault_plan)
             if self.config.fault_plan is not None else None)
+        #: Durable persistence, built (and recovered) in :meth:`start`
+        #: when ``config.data_dir`` is set.
+        self.store: SessionStore | None = None
         self._pool = None
         self._server: asyncio.AbstractServer | None = None
         self._address: tuple[str, int] | None = None
@@ -433,9 +496,20 @@ class ReasoningServer:
         return self._address
 
     async def start(self) -> tuple[str, int]:
-        """Bind, warm the worker pool, start the idle sweeper."""
+        """Recover durable state, bind, warm the pool, start the sweeper."""
         if self._server is not None:
             raise RuntimeError("server is already started")
+        if self.config.data_dir is not None and self.store is None:
+            # Recovery runs before the socket binds: a client can never
+            # reach a server whose sessions are not yet rebuilt, and a
+            # corrupt store refuses startup instead of serving partial
+            # state.
+            self.store = SessionStore(
+                self.config.data_dir, fsync=self.config.fsync,
+                compact_records=self.config.store_compact_records,
+                compact_bytes=self.config.store_compact_bytes,
+                counters=self.counters, faults=self.faults)
+            self.store.start(self.sessions)
         if self.config.workers > 0:
             import concurrent.futures
 
@@ -527,6 +601,8 @@ class ReasoningServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self.store is not None:
+            self.store.close()
         self._stopped.set()
 
     async def _sweep_loop(self) -> None:
@@ -741,7 +817,12 @@ class ReasoningServer:
                                 f"unhandled op {request.op!r}")  # decode_request
         spec = command.spec
         if spec.scope == "server":
-            return self._admin_handlers[spec.name](command)
+            result = self._admin_handlers[spec.name](command)
+            if self.store is not None and not spec.read_only:
+                # open/close mutated the manager: durable before the
+                # response leaves the server
+                self._persist(request.op, request.params)
+            return result
 
         managed = self.sessions.get(command.session)
         session = managed.session
@@ -768,7 +849,20 @@ class ReasoningServer:
         outcome = commands.execute(command, session)
         if outcome.mutated:
             managed.generation += 1
+            if self.store is not None:
+                # WAL-before-response: only *actual* mutations are
+                # logged (an add of a present member neither bumps the
+                # generation nor writes a record), so replay re-executes
+                # exactly what changed state.
+                self._persist(request.op, request.params)
         return outcome.result
+
+    def _persist(self, op: str, params: dict[str, Any]) -> None:
+        """Append one acknowledged mutation to the WAL; compact when
+        the live segment crosses a threshold."""
+        self.store.append(op, params)
+        if self.store.should_compact():
+            self.store.compact(self.sessions.snapshot_state())
 
     def _bind_admin_handlers(self) -> dict[str, Any]:
         """Server-scope handlers, resolved from the registry by name.
@@ -886,6 +980,8 @@ class ReasoningServer:
         }
         if self.faults is not None:
             health["faults"] = self.faults.stats()
+        if self.store is not None:
+            health["store"] = self.store.stats()
         return health
 
     # -- metrics -------------------------------------------------------------
@@ -903,6 +999,8 @@ class ReasoningServer:
             "draining": self._draining,
             "counters": dict(self.counters),
         }
+        if self.store is not None:
+            server["store"] = self.store.stats()
         names = (only,) if only is not None else self.sessions.names()
         sessions: dict[str, Any] = {}
         for name in names:

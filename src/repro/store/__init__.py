@@ -1,0 +1,65 @@
+"""Durable session persistence for the reasoning server.
+
+The subsystem behind ``repro serve --data-dir``: every acknowledged
+mutating command (``open``/``add``/``retract``/``close``) is appended
+to a length-prefixed, CRC-checksummed NDJSON write-ahead log *before*
+the response leaves the server; snapshots serialize the full session
+state ``(N, Σ, epoch, generation)``; a manifest pins the live snapshot
+and WAL segment chain so compaction can atomically truncate replayed
+history; and recovery rebuilds the session manager on boot by loading
+the snapshot and replaying the WAL tail through the command registry.
+
+Modules
+-------
+:mod:`~repro.store.wal`
+    Record format, torn-tail vs corruption policy, the fsync policies
+    and the :class:`~repro.store.wal.WalWriter`.
+:mod:`~repro.store.snapshot`
+    Atomic snapshot files and the startup orphan sweep.
+:mod:`~repro.store.manifest`
+    The ``manifest.json`` source of truth (write-temp + rename).
+:mod:`~repro.store.recovery`
+    Boot-time replay and the read-only ``repro store inspect`` view.
+:mod:`~repro.store.store`
+    :class:`~repro.store.store.SessionStore`, the orchestrator the
+    server owns.
+
+See docs/PERSISTENCE.md for format, fsync semantics and the crash
+matrix the chaos suite enforces.
+"""
+
+from .manifest import Manifest, load_manifest, save_manifest
+from .recovery import RecoveryReport, inspect_store, recover
+from .snapshot import load_snapshot, snapshot_name, write_snapshot
+from .store import SessionStore
+from .wal import (
+    FSYNC_POLICIES,
+    StoreError,
+    WalCorruptionError,
+    WalRecord,
+    WalWriter,
+    decode_record,
+    encode_record,
+    read_segment,
+)
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "Manifest",
+    "RecoveryReport",
+    "SessionStore",
+    "StoreError",
+    "WalCorruptionError",
+    "WalRecord",
+    "WalWriter",
+    "decode_record",
+    "encode_record",
+    "inspect_store",
+    "load_manifest",
+    "load_snapshot",
+    "read_segment",
+    "recover",
+    "save_manifest",
+    "snapshot_name",
+    "write_snapshot",
+]

@@ -1,0 +1,125 @@
+"""The manifest: which snapshot is live and which WAL segments follow it.
+
+``manifest.json`` is the single source of truth for a data directory::
+
+    {"version": 1, "snapshot": "snapshot-000000000000002a.json",
+     "segments": ["wal-00000002.log"]}
+
+Recovery reads *only* what the manifest names; every other
+``snapshot-*``/``wal-*`` file is an orphan from a crashed compaction
+and is swept on startup.  The manifest is replaced atomically
+(write-temp + ``os.replace`` + directory fsync), so a crash at any
+point leaves either the old consistent view or the new one — never a
+half-written pointer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from .wal import StoreError, WalCorruptionError
+
+__all__ = ["MANIFEST_NAME", "Manifest", "load_manifest", "save_manifest",
+           "segment_name", "segment_index", "fsync_dir", "atomic_write"]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+_SEGMENT_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+def segment_name(index: int) -> str:
+    """``wal-00000007.log`` for index 7."""
+    if index < 1:
+        raise ValueError(f"segment index must be >= 1, got {index!r}")
+    return f"wal-{index:08d}.log"
+
+
+def segment_index(name: str) -> int:
+    """The inverse of :func:`segment_name`."""
+    match = _SEGMENT_RE.match(name)
+    if match is None:
+        raise StoreError(f"not a WAL segment name: {name!r}")
+    return int(match.group(1))
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The live snapshot (or ``None``) plus the WAL segment chain."""
+
+    snapshot: str | None
+    segments: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"version": MANIFEST_VERSION, "snapshot": self.snapshot,
+                "segments": list(self.segments)}
+
+
+def fsync_dir(path: str) -> None:
+    """Make a rename in ``path`` durable (best-effort off POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str, data: bytes) -> None:
+    """Write-temp + fsync + rename + directory fsync."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_dir(os.path.dirname(path) or ".")
+
+
+def load_manifest(data_dir: str) -> Manifest | None:
+    """The directory's manifest, or ``None`` for a fresh directory.
+
+    A directory that already holds store files but no manifest is not
+    fresh — it is a broken installation, and pretending otherwise would
+    silently discard its WAL — so that raises.
+    """
+    path = os.path.join(data_dir, MANIFEST_NAME)
+    if not os.path.exists(path):
+        strays = [name for name in sorted(os.listdir(data_dir))
+                  if name.startswith(("wal-", "snapshot-"))
+                  and not name.endswith(".tmp")]
+        if strays:
+            raise WalCorruptionError(
+                f"{data_dir}: store files {strays[:3]} present but "
+                f"{MANIFEST_NAME} is missing")
+        return None
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise WalCorruptionError(
+            f"{path}: unreadable manifest ({error})") from error
+    if (not isinstance(data, dict)
+            or data.get("version") != MANIFEST_VERSION
+            or not isinstance(data.get("segments"), list)
+            or not all(isinstance(name, str) for name in data["segments"])
+            or not isinstance(data.get("snapshot"), (str, type(None)))):
+        raise WalCorruptionError(f"{path}: malformed manifest {data!r}")
+    if not data["segments"]:
+        raise WalCorruptionError(f"{path}: manifest names no WAL segments")
+    for name in data["segments"]:
+        segment_index(name)  # validates the shape
+    return Manifest(data["snapshot"], tuple(data["segments"]))
+
+
+def save_manifest(data_dir: str, manifest: Manifest) -> None:
+    """Atomically replace the directory's manifest."""
+    payload = json.dumps(manifest.as_dict(), indent=2,
+                         sort_keys=True).encode("utf-8")
+    atomic_write(os.path.join(data_dir, MANIFEST_NAME), payload + b"\n")

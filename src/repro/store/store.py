@@ -1,0 +1,253 @@
+""":class:`SessionStore` — the orchestrator the server owns.
+
+One instance per data directory.  ``start`` recovers into the server's
+session manager (repairing a torn tail and sweeping compaction
+orphans), then the server calls :meth:`append` for every mutation it
+acknowledges and :meth:`maybe_compact` afterwards; :meth:`snapshot`
+and :meth:`compact` are also driven directly by ``repro store compact``
+and by tests.
+
+Compaction = snapshot + roll.  A snapshot covering every appended
+record is written, a fresh empty segment is created, the manifest
+atomically adopts ``(snapshot, [fresh segment])``, and only then are
+the replayed segments and the previous snapshot deleted.  A crash
+between any two steps leaves a consistent manifest view; startup's
+orphan sweep collects the debris.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from ..obs import get_observer
+from .manifest import (
+    Manifest,
+    load_manifest,
+    save_manifest,
+    segment_index,
+    segment_name,
+)
+from .recovery import RecoveryReport, recover
+from .snapshot import remove_stale, write_snapshot
+from .wal import FSYNC_POLICIES, WalWriter, apply_crash, crash_action
+
+__all__ = ["SessionStore"]
+
+
+class SessionStore:
+    """Durable per-session state for one server (one data directory)."""
+
+    def __init__(self, data_dir: str, *, fsync: str = "interval",
+                 fsync_interval_s: float = 0.05,
+                 compact_records: int = 4096,
+                 compact_bytes: int = 1 << 22,
+                 counters: Any | None = None,
+                 faults: Any | None = None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of "
+                             f"{FSYNC_POLICIES}, got {fsync!r}")
+        if compact_records < 1 or compact_bytes < 1:
+            raise ValueError("compaction thresholds must be >= 1")
+        self.data_dir = data_dir
+        self.fsync = fsync
+        self.fsync_interval_s = fsync_interval_s
+        self.compact_records = compact_records
+        self.compact_bytes = compact_bytes
+        self.counters = counters
+        self.faults = faults
+        self._manifest: Manifest | None = None
+        self._writer: WalWriter | None = None
+        self._next_seq = 1
+        self._report: RecoveryReport | None = None
+        self._compactions = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, manager: Any) -> RecoveryReport:
+        """Recover ``manager`` from disk and open the WAL for appends."""
+        if self._writer is not None:
+            raise RuntimeError("store is already started")
+        os.makedirs(self.data_dir, exist_ok=True)
+        obs = get_observer()
+        if obs.enabled:
+            with obs.span("store.recover", data_dir=self.data_dir) as span:
+                report = recover(self.data_dir, manager)
+                span.set(sessions=len(report.sessions),
+                         replayed=report.replayed, torn=report.torn)
+        else:
+            report = recover(self.data_dir, manager)
+        if report.manifest is None:
+            # fresh directory: one empty segment, no snapshot
+            first = segment_name(1)
+            open(os.path.join(self.data_dir, first), "ab").close()
+            self._manifest = Manifest(None, (first,))
+            save_manifest(self.data_dir, self._manifest)
+            report.manifest = self._manifest
+        else:
+            self._manifest = report.manifest
+            if report.torn:
+                # repair: drop the torn tail so new appends start at a
+                # clean record boundary
+                last = os.path.join(self.data_dir,
+                                    self._manifest.segments[-1])
+                with open(last, "ab") as handle:
+                    handle.truncate(report.last_segment_valid_bytes)
+                if self.counters is not None:
+                    self.counters["store.torn_records"] += report.torn
+            keep = (frozenset(self._manifest.segments)
+                    | frozenset({self._manifest.snapshot} - {None}))
+            orphans = remove_stale(self.data_dir, keep)
+            if orphans and self.counters is not None:
+                self.counters["store.orphans_removed"] += orphans
+        self._next_seq = report.next_seq
+        last = self._manifest.segments[-1]
+        self._writer = WalWriter(
+            os.path.join(self.data_dir, last), fsync=self.fsync,
+            fsync_interval_s=self.fsync_interval_s,
+            start_records=report.last_segment_records,
+            start_bytes=report.last_segment_valid_bytes,
+            counters=self.counters, faults=self.faults)
+        if self.counters is not None:
+            self.counters["store.recoveries"] += 1
+            self.counters["store.replayed"] += report.replayed
+        self._report = report
+        return report
+
+    def close(self) -> None:
+        """Flush and close the WAL (fsync unless policy is ``off``)."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    # -- the hot path ------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the newest appended record."""
+        return self._next_seq - 1
+
+    def append(self, op: str, params: Mapping[str, Any]) -> int:
+        """Log one acknowledged mutation; returns its sequence number."""
+        if self._writer is None:
+            raise RuntimeError("store is not started")
+        seq = self._next_seq
+        self._writer.append(seq, op, params)
+        self._next_seq = seq + 1
+        return seq
+
+    def should_compact(self) -> bool:
+        """Whether the live segment crossed a compaction threshold."""
+        writer = self._writer
+        return (writer is not None
+                and (writer.records >= self.compact_records
+                     or writer.bytes >= self.compact_bytes))
+
+    def maybe_compact(self, sessions: Mapping[str, Mapping[str, Any]]) -> bool:
+        """Compact when a threshold is crossed; returns whether it ran."""
+        if not self.should_compact():
+            return False
+        self.compact(sessions)
+        return True
+
+    # -- snapshot + compaction ---------------------------------------------
+
+    def snapshot(self, sessions: Mapping[str, Mapping[str, Any]]) -> str:
+        """Write a snapshot of ``sessions`` covering every appended
+        record and make it the manifest's live one; segments are kept
+        (recovery skips the covered records).  Returns the file name."""
+        if self._writer is None or self._manifest is None:
+            raise RuntimeError("store is not started")
+        self._writer.sync()
+        previous = self._manifest.snapshot
+        name = write_snapshot(self.data_dir, sessions, self.last_seq,
+                              counters=self.counters, faults=self.faults)
+        self._manifest = Manifest(name, self._manifest.segments)
+        save_manifest(self.data_dir, self._manifest)
+        if previous is not None and previous != name:
+            self._unlink(previous)
+        return name
+
+    def compact(self, sessions: Mapping[str, Mapping[str, Any]]) -> dict[str, Any]:
+        """Snapshot, roll a fresh segment, drop the replayed ones.
+
+        The injected ``store.compact`` crash points model a death
+        before anything happens (``pre``), after the snapshot is
+        published but before the manifest adopts it (``mid``) and after
+        the manifest update but before the old files are deleted
+        (``post``) — recovery is correct at every one of them.
+        """
+        if self._writer is None or self._manifest is None:
+            raise RuntimeError("store is not started")
+        old = self._manifest
+        action = crash_action(self.faults, "store.compact")
+        obs = get_observer()
+        if obs.enabled:
+            with obs.span("store.compact", records=self._writer.records,
+                          bytes=self._writer.bytes) as span:
+                removed = self._compact(sessions, old, action)
+                span.set(segments_removed=removed)
+        else:
+            removed = self._compact(sessions, old, action)
+        self._compactions += 1
+        if self.counters is not None:
+            self.counters["store.compactions"] += 1
+        return {"snapshot": self._manifest.snapshot,
+                "last_seq": self.last_seq, "segments_removed": removed}
+
+    def _compact(self, sessions: Mapping[str, Mapping[str, Any]],
+                 old: Manifest, action: Any | None) -> int:
+        if action is not None and action.when == "pre":
+            apply_crash(action)
+        self._writer.sync()
+        snapshot = write_snapshot(self.data_dir, sessions, self.last_seq,
+                                  counters=self.counters, faults=self.faults)
+        fresh = segment_name(segment_index(old.segments[-1]) + 1)
+        open(os.path.join(self.data_dir, fresh), "ab").close()
+        if action is not None and action.when == "mid":
+            # snapshot renamed, manifest not yet updated: on recovery
+            # the old manifest view still replays everything
+            apply_crash(action)
+        self._manifest = Manifest(snapshot, (fresh,))
+        save_manifest(self.data_dir, self._manifest)
+        if action is not None and action.when == "post":
+            # manifest updated, old files linger as orphans
+            apply_crash(action)
+        removed = 0
+        for name in old.segments:
+            self._unlink(name)
+            removed += 1
+        if old.snapshot is not None and old.snapshot != snapshot:
+            self._unlink(old.snapshot)
+        self._writer.close()
+        self._writer = WalWriter(
+            os.path.join(self.data_dir, fresh), fsync=self.fsync,
+            fsync_interval_s=self.fsync_interval_s,
+            counters=self.counters, faults=self.faults)
+        return removed
+
+    def _unlink(self, name: str) -> None:
+        try:
+            os.unlink(os.path.join(self.data_dir, name))
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The ``health``/``metrics`` payload for this store."""
+        stats: dict[str, Any] = {
+            "data_dir": self.data_dir,
+            "fsync": self.fsync,
+            "last_seq": self.last_seq,
+            "compactions": self._compactions,
+        }
+        if self._writer is not None:
+            stats["segment"] = os.path.basename(self._writer.path)
+            stats["segment_records"] = self._writer.records
+            stats["segment_bytes"] = self._writer.bytes
+        if self._report is not None:
+            stats["recovered_sessions"] = len(self._report.restored)
+            stats["replayed_records"] = self._report.replayed
+            stats["torn_records"] = self._report.torn
+        return stats

@@ -1,0 +1,222 @@
+"""Crash-recovery matrix: SIGKILL-grade deaths at seeded store fault
+points must never lose an acknowledged command.
+
+Each case spawns ``repro serve --data-dir`` armed with a ``crash``
+fault at one of the store's injection points (``store.append`` pre /
+mid / post, ``store.snapshot`` mid, ``store.compact`` pre / mid /
+post), drives the same add workload until the process dies with
+:data:`~repro.store.wal.CRASH_EXIT_STATUS`, restarts a plain server on
+the same directory, and asserts the recovered session answers
+implies/closure/basis **byte-identically** to a fault-free replay of
+the commands that were actually applied: every acked command always,
+plus the in-flight one exactly when the crash landed after its record
+(or its triggered compaction) hit the log.
+
+Set ``REPRO_STORE_TEST_DIR`` to park the data directories somewhere a
+CI job can upload as an artifact when a case fails.
+"""
+
+import contextlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import Client
+from repro.store import inspect_store
+from repro.store.wal import CRASH_EXIT_STATUS
+
+SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
+MVD = "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"
+FD = "Pubcrawl(Visit[λ]) -> Pubcrawl(Person)"
+NOT_IMPLIED = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])"
+#: The workload: open + these adds, in order.  Every add mutates Σ.
+ADDS = (MVD, FD, NOT_IMPLIED)
+
+PROBES = [
+    "Pubcrawl(Person) -> Pubcrawl(Visit[λ])",
+    "Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Beer)])",
+    NOT_IMPLIED,
+    "Pubcrawl(Visit[λ]) ->> Pubcrawl(Person)",
+]
+LHS_PROBES = ["Pubcrawl(Person)", "Pubcrawl(Visit[λ])"]
+
+
+def crash_rule(point, when, after=0):
+    return {"op": point, "kind": "crash", "when": when, "every": 1,
+            "times": 1, "after": after}
+
+
+#: name -> (fault rules, extra serve args, in-flight command applied?,
+#:          torn tail left on disk?).  ``after=3`` skips the records of
+#:          ``open`` and the first two adds, so the append crashes land
+#:          on the third add; the compaction cases trip the
+#:          ``--store-compact-records 4`` threshold at that same record
+#:          (already durable), so the in-flight add survives there.
+MATRIX = {
+    "append-pre": ([crash_rule("store.append", "pre", after=3)],
+                   (), False, False),
+    "append-mid": ([crash_rule("store.append", "mid", after=3)],
+                   (), False, True),
+    "append-post": ([crash_rule("store.append", "post", after=3)],
+                    (), True, False),
+    "snapshot-mid": ([crash_rule("store.snapshot", "mid")],
+                     ("--store-compact-records", "4"), True, False),
+    "compact-pre": ([crash_rule("store.compact", "pre")],
+                    ("--store-compact-records", "4"), True, False),
+    "compact-mid": ([crash_rule("store.compact", "mid")],
+                    ("--store-compact-records", "4"), True, False),
+    "compact-post": ([crash_rule("store.compact", "post")],
+                     ("--store-compact-records", "4"), True, False),
+}
+
+
+@pytest.fixture()
+def data_dir(tmp_path, request):
+    """Per-test store directory; rooted at ``REPRO_STORE_TEST_DIR`` when
+    set so CI can upload crashed stores as failure artifacts."""
+    base = os.environ.get("REPRO_STORE_TEST_DIR")
+    if base:
+        safe = request.node.name.replace("[", "-").replace("]", "")
+        path = os.path.join(base, safe)
+        os.makedirs(path, exist_ok=True)
+        return path
+    return str(tmp_path / "store")
+
+
+@contextlib.contextmanager
+def spawned(*extra_args):
+    """``repro serve`` as a subprocess; yields ``(proc, host, port)``."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("serving on "), (line, proc.stderr.read()
+                                                if proc.poll() else "")
+        host, _, port = line.strip().rpartition(" ")[2].rpartition(":")
+        yield proc, host, int(port)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def fingerprint(client):
+    """Canonical bytes of everything a recovered session must preserve.
+
+    Epochs are deliberately absent: they are process-lifetime lineage
+    ids, fresh after every restart by design.
+    """
+    data = {
+        "implies": [client.implies("pub", probe) for probe in PROBES],
+        "closures": {x: client.closure("pub", x) for x in LHS_PROBES},
+        "bases": {x: client.basis("pub", x) for x in LHS_PROBES},
+    }
+    session = client.metrics("pub")["sessions"]["pub"]
+    data["sigma"] = session["sigma"]
+    data["generation"] = session["generation"]
+    return json.dumps(data, sort_keys=True, ensure_ascii=False,
+                      separators=(",", ":")).encode("utf-8")
+
+
+_BASELINES = {}
+
+
+def baseline(adds):
+    """Fault-free, store-free replay of ``adds`` over the wire."""
+    if adds not in _BASELINES:
+        with spawned() as (proc, host, port):
+            with Client.connect(host, port) as client:
+                client.open("pub", SCHEMA)
+                for dep in adds:
+                    client.add("pub", dep)
+                _BASELINES[adds] = fingerprint(client)
+    return _BASELINES[adds]
+
+
+def run_until_crash(data_dir, rules, extra):
+    """Drive the workload into the armed server until it dies; returns
+    the commands that were acknowledged."""
+    plan = json.dumps({"seed": 7, "rules": rules})
+    acked = []
+    with spawned("--data-dir", data_dir, "--fsync", "always",
+                 "--fault-plan", plan, *extra) as (proc, host, port):
+        with contextlib.suppress(ConnectionError):
+            with Client.connect(host, port) as client:
+                client.open("pub", SCHEMA)
+                for dep in ADDS:
+                    client.add("pub", dep)
+                    acked.append(dep)
+        assert proc.wait(timeout=15) == CRASH_EXIT_STATUS
+    assert len(acked) < len(ADDS), "the crash fault never fired"
+    return tuple(acked)
+
+
+@pytest.mark.parametrize("name", sorted(MATRIX))
+def test_crash_matrix_recovers_exactly_the_applied_commands(
+        name, data_dir):
+    rules, extra, inflight_applied, torn = MATRIX[name]
+    acked = run_until_crash(data_dir, rules, extra)
+    assert acked == ADDS[:2], "crash landed on the wrong command"
+    applied = ADDS[:3] if inflight_applied else acked
+
+    # the dead store is inspectable without mutating it
+    info = inspect_store(data_dir)
+    assert info["initialized"]
+    if torn:
+        assert info["torn_tail_bytes"] > 0
+
+    with spawned("--data-dir", data_dir) as (proc, host, port):
+        with Client.connect(host, port) as client:
+            store = client.health()["store"]
+            assert store["torn_records"] == (1 if torn else 0)
+            assert store["recovered_sessions"] + store["replayed_records"] > 0
+            recovered = fingerprint(client)
+    assert recovered == baseline(applied)
+
+
+def test_restart_without_crash_is_byte_identical(data_dir):
+    """The zero-fault control: stop cleanly, restart, same answers."""
+    with spawned("--data-dir", data_dir) as (proc, host, port):
+        with Client.connect(host, port) as client:
+            client.open("pub", SCHEMA)
+            for dep in ADDS:
+                client.add("pub", dep)
+            before = fingerprint(client)
+    with spawned("--data-dir", data_dir) as (proc, host, port):
+        with Client.connect(host, port) as client:
+            after = fingerprint(client)
+            assert client.health()["store"]["replayed_records"] == 4
+    assert before == after == baseline(ADDS)
+
+
+def test_corrupt_store_refuses_startup(data_dir):
+    """Mid-stream corruption is a startup error, not silent divergence."""
+    with spawned("--data-dir", data_dir) as (proc, host, port):
+        with Client.connect(host, port) as client:
+            client.open("pub", SCHEMA)
+            for dep in ADDS:
+                client.add("pub", dep)
+    segment = os.path.join(data_dir, "wal-00000001.log")
+    blob = bytearray(open(segment, "rb").read())
+    blob[len(blob) // 2] ^= 0x01
+    with open(segment, "wb") as handle:
+        handle.write(blob)
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--data-dir", data_dir],
+        env=env, capture_output=True, text=True, timeout=60)
+    assert proc.returncode != 0
+    assert "corrupt" in proc.stderr.lower() or "checksum" in proc.stderr.lower()

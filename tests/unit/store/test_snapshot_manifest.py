@@ -1,0 +1,126 @@
+"""Snapshot files, the manifest, and their corruption policies."""
+
+import json
+import os
+
+import pytest
+
+from repro.store import (
+    Manifest,
+    WalCorruptionError,
+    load_manifest,
+    load_snapshot,
+    save_manifest,
+    snapshot_name,
+    write_snapshot,
+)
+from repro.store.manifest import segment_index, segment_name
+from repro.store.snapshot import remove_stale
+
+STATE = {"pub": {"schema": "R(A, B)", "dependencies": ["R(A) -> R(B)"],
+                 "engine": "worklist", "epoch": 3, "generation": 7}}
+
+
+class TestSegmentNames:
+    def test_roundtrip(self):
+        assert segment_name(7) == "wal-00000007.log"
+        assert segment_index("wal-00000007.log") == 7
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            segment_name(0)
+
+    def test_bad_name(self):
+        from repro.store import StoreError
+        with pytest.raises(StoreError):
+            segment_index("wal-7.log")
+
+
+class TestSnapshot:
+    def test_roundtrip(self, tmp_path):
+        name = write_snapshot(str(tmp_path), STATE, 42)
+        assert name == snapshot_name(42)
+        data = load_snapshot(str(tmp_path / name))
+        assert data["last_seq"] == 42
+        assert data["sessions"] == STATE
+
+    def test_atomic_no_temp_left(self, tmp_path):
+        write_snapshot(str(tmp_path), STATE, 1)
+        assert not [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WalCorruptionError, match="unreadable"):
+            load_snapshot(str(tmp_path / "snapshot-x.json"))
+
+    @pytest.mark.parametrize("mangle", [
+        lambda d: d.update(snapshot_version=99),
+        lambda d: d.update(last_seq="7"),
+        lambda d: d.update(last_seq=-1),
+        lambda d: d.update(sessions=[]),
+        lambda d: d["sessions"]["pub"].pop("epoch"),
+        lambda d: d["sessions"]["pub"].update(dependencies=[1]),
+        lambda d: d["sessions"]["pub"].update(extra="key"),
+    ])
+    def test_malformed(self, tmp_path, mangle):
+        name = write_snapshot(str(tmp_path), STATE, 1)
+        path = tmp_path / name
+        data = json.loads(path.read_text())
+        mangle(data)
+        path.write_text(json.dumps(data))
+        with pytest.raises(WalCorruptionError, match="malformed"):
+            load_snapshot(str(path))
+
+
+class TestManifest:
+    def test_fresh_dir(self, tmp_path):
+        assert load_manifest(str(tmp_path)) is None
+
+    def test_roundtrip(self, tmp_path):
+        manifest = Manifest("snapshot-0000000000000001.json",
+                            ("wal-00000001.log", "wal-00000002.log"))
+        save_manifest(str(tmp_path), manifest)
+        assert load_manifest(str(tmp_path)) == manifest
+
+    def test_no_snapshot(self, tmp_path):
+        manifest = Manifest(None, ("wal-00000001.log",))
+        save_manifest(str(tmp_path), manifest)
+        assert load_manifest(str(tmp_path)) == manifest
+
+    def test_store_files_without_manifest_is_corruption(self, tmp_path):
+        (tmp_path / "wal-00000001.log").write_bytes(b"")
+        with pytest.raises(WalCorruptionError, match="missing"):
+            load_manifest(str(tmp_path))
+
+    def test_unreadable(self, tmp_path):
+        (tmp_path / "manifest.json").write_text("{not json")
+        with pytest.raises(WalCorruptionError, match="unreadable"):
+            load_manifest(str(tmp_path))
+
+    @pytest.mark.parametrize("data", [
+        {"version": 2, "snapshot": None, "segments": ["wal-00000001.log"]},
+        {"version": 1, "snapshot": 7, "segments": ["wal-00000001.log"]},
+        {"version": 1, "snapshot": None, "segments": []},
+        {"version": 1, "snapshot": None, "segments": "wal-00000001.log"},
+        ["not", "an", "object"],
+    ])
+    def test_malformed(self, tmp_path, data):
+        (tmp_path / "manifest.json").write_text(json.dumps(data))
+        with pytest.raises(WalCorruptionError):
+            load_manifest(str(tmp_path))
+
+
+class TestRemoveStale:
+    def test_sweeps_orphans_keeps_named(self, tmp_path):
+        for name in ("wal-00000001.log", "wal-00000002.log",
+                     "snapshot-0000000000000001.json",
+                     "snapshot-0000000000000002.json",
+                     "snapshot-0000000000000002.json.tmp",
+                     "manifest.json", "unrelated.txt"):
+            (tmp_path / name).write_bytes(b"")
+        keep = frozenset({"wal-00000002.log",
+                          "snapshot-0000000000000002.json"})
+        removed = remove_stale(str(tmp_path), keep)
+        assert removed == 3
+        left = sorted(os.listdir(tmp_path))
+        assert left == ["manifest.json", "snapshot-0000000000000002.json",
+                        "unrelated.txt", "wal-00000002.log"]
