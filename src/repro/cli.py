@@ -214,6 +214,24 @@ def build_parser() -> argparse.ArgumentParser:
         "holds (see docs/PERSISTENCE.md)",
     )
     serve.add_argument(
+        "--replicate-from", metavar="HOST:PORT", dest="replicate_from",
+        help="run as a read-only replica tailing the primary at "
+        "HOST:PORT; with --data-dir the replica catches up from its own "
+        "log, without one it bootstraps from a snapshot reset (see "
+        "docs/REPLICATION.md)",
+    )
+    serve.add_argument(
+        "--replica-id", metavar="NAME",
+        help="(replica) follower name reported to the primary "
+        "(default: the bound host:port)",
+    )
+    serve.add_argument(
+        "--fence-wait", type=float, default=2.0, metavar="SECONDS",
+        help="(replica) how long a fenced read (params carry 'min_seq') "
+        "waits for replication to catch up before failing with typed "
+        "'replica_behind'",
+    )
+    serve.add_argument(
         "--fsync", choices=("always", "interval", "off"),
         default="interval",
         help="WAL durability: fsync every append ('always'), at most "
@@ -260,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="session name (default: 'default')")
     query.add_argument("--timeout", type=float, default=10.0,
                        help="client socket timeout in seconds")
+    query.add_argument(
+        "--replicas", action="append", default=[], metavar="HOST:PORT",
+        help="fan read-only ops across these replicas (repeatable, or "
+        "comma-separated) with bounded-staleness read fences; mutations "
+        "still go to --connect (see docs/REPLICATION.md)",
+    )
     query.add_argument(
         "--retries", type=int, default=0, metavar="N",
         help="retry retryable failures (overloaded/timeout/dropped "
@@ -418,6 +442,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         fsync=args.fsync,
         store_compact_records=args.store_compact_records,
         store_compact_bytes=args.store_compact_bytes,
+        replicate_from=args.replicate_from,
+        replica_id=args.replica_id,
+        fence_wait=args.fence_wait,
     )
 
     async def run() -> None:
@@ -430,6 +457,10 @@ def _run_serve(args: argparse.Namespace) -> int:
                   f"recovered {stats.get('recovered_sessions', 0)} "
                   f"session(s), replayed "
                   f"{stats.get('replayed_records', 0)} record(s))",
+                  file=sys.stderr, flush=True)
+        if args.replicate_from:
+            print(f"replica: tailing {args.replicate_from} (read-only; "
+                  f"mutations answer typed 'not_primary')",
                   file=sys.stderr, flush=True)
         if fault_plan is not None:
             print(f"FAULT INJECTION ENABLED ({len(fault_plan.rules)} "
@@ -449,10 +480,24 @@ def _run_store(args: argparse.Namespace) -> int:
     import json
 
     if args.action == "inspect":
+        import os
+
         from .store import inspect_store
 
-        print(json.dumps(inspect_store(args.path), indent=2,
-                         sort_keys=True))
+        # A wrong path or a directory no server ever wrote deserves a
+        # diagnosis, not a stack of JSON (or a generic StoreError): say
+        # what is missing and exit 1.  Actual corruption inside an
+        # initialized directory still surfaces as an error (exit 2).
+        if not os.path.isdir(args.path):
+            print(f"error: no manifest at {args.path!r}: "
+                  f"not a directory", file=sys.stderr)
+            return 1
+        summary = inspect_store(args.path)
+        if not summary.get("initialized", True):
+            print(f"error: no manifest at {args.path!r} (empty or "
+                  f"uninitialized data directory)", file=sys.stderr)
+            return 1
+        print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
 
     from .serve.server import SessionManager
@@ -483,7 +528,21 @@ def _run_query(args: argparse.Namespace) -> int:
         print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
               file=sys.stderr)
         return 2
-    if args.retries > 0:
+    replicas = [address.strip() for spec in args.replicas
+                for address in spec.split(",") if address.strip()]
+    if replicas:
+        from .replicate import RoutedClient, parse_address
+
+        try:
+            targets = [parse_address(address) for address in replicas]
+        except ValueError as error:
+            print(f"error: --replicas: {error}", file=sys.stderr)
+            return 2
+
+        def _connect():
+            return RoutedClient((host, int(port_text)), targets,
+                                timeout=args.timeout)
+    elif args.retries > 0:
         from .serve.resilience import RetryingClient, RetryPolicy
 
         def _connect():
@@ -521,6 +580,10 @@ def _run_query(args: argparse.Namespace) -> int:
                 return 0
             if op == "metrics":
                 print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+                return 0
+            if op == "replicate.status":
+                print(json.dumps(client.replicate_status(), indent=2,
+                                 sort_keys=True))
                 return 0
             if op == "close":
                 client.close_session(session)

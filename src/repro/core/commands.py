@@ -87,6 +87,9 @@ __all__ = [
     "Trace",
     "Metrics",
     "Close",
+    "ReplicateSubscribe",
+    "ReplicateAck",
+    "ReplicateStatus",
     "REGISTRY",
     "register",
     "wire_ops",
@@ -177,7 +180,7 @@ class Outcome:
 # Specs
 
 #: JSON types a wire parameter may declare.
-_PARAM_TYPES = ("string", "list[string]", "bool")
+_PARAM_TYPES = ("string", "list[string]", "bool", "int", "number")
 
 #: Cost classes: ``admin`` (bookkeeping), ``edit`` (Σ mutation),
 #: ``hot`` (cache-hit lookups only) and ``cold`` (may run the kernel —
@@ -226,6 +229,18 @@ class ParamSpec:
             return list(value)
         if self.type == "bool":
             return bool(value)
+        if self.type == "int":
+            # bool subclasses int in Python but not on the wire
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise CommandParamError(f"{self.name!r} must be an integer")
+            if self.non_empty and value < 0:
+                raise CommandParamError(
+                    f"{self.name!r} must be a non-negative integer")
+            return value
+        if self.type == "number":
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise CommandParamError(f"{self.name!r} must be a number")
+            return float(value)
         raise AssertionError(f"unknown param type {self.type!r}")
 
 
@@ -479,7 +494,8 @@ class Open(Command):
                           required=False, doc="?"),
                 ParamSpec("engine", required=False, doc="?"),
                 ParamSpec("replace", type="bool", required=False, doc="?")),
-        result=(FieldSpec("name"), FieldSpec("sigma"), FieldSpec("engine")),
+        result=(FieldSpec("name"), FieldSpec("sigma"), FieldSpec("engine"),
+                FieldSpec("seq", doc="optional")),
         read_only=False, cost="admin", scope="server",
     )
 
@@ -508,7 +524,8 @@ class Add(Command):
         summary="add a dependency to Σ (warm-starts cached closures)",
         usage="add <dep>",
         params=(_SESSION_PARAM, ParamSpec("dependency")),
-        result=(FieldSpec("added"), FieldSpec("sigma")),
+        result=(FieldSpec("added"), FieldSpec("sigma"),
+                FieldSpec("seq", doc="optional")),
         read_only=False, cost="edit",
     )
 
@@ -537,7 +554,8 @@ class Retract(Command):
         summary="remove a Σ member (provenance-exact cache eviction)",
         usage="retract <dep>",
         params=(_SESSION_PARAM, ParamSpec("dependency")),
-        result=(FieldSpec("retracted"), FieldSpec("sigma")),
+        result=(FieldSpec("retracted"), FieldSpec("sigma"),
+                FieldSpec("seq", doc="optional")),
         read_only=False, cost="edit",
     )
 
@@ -932,8 +950,82 @@ class Close(Command):
         summary="close a named session",
         usage="close",
         params=(_SESSION_PARAM,),
-        result=(FieldSpec("closed"), FieldSpec("sigma")),
+        result=(FieldSpec("closed"), FieldSpec("sigma"),
+                FieldSpec("seq", doc="optional")),
         read_only=False, cost="admin", scope="server",
+    )
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateSubscribe(Command):
+    """Ship acknowledged WAL records to a follower (long-poll pull).
+
+    A follower asks for everything after ``from_seq``; a store-backed
+    node answers with the next batch of records (or long-polls up to
+    ``wait`` seconds when it is already caught up).  When ``from_seq``
+    predates the retained history (the primary compacted past it), the
+    answer carries a ``reset`` bootstrap instead: the current session
+    snapshot plus ``last_seq``, from which a cold follower rebuilds.
+    """
+
+    from_seq: int = 0
+    max_records: int | None = None
+    wait: float | None = None
+    follower: str | None = None
+
+    spec: ClassVar[CommandSpec] = CommandSpec(
+        name="replicate.subscribe",
+        summary="ship acknowledged WAL records after from_seq (long-poll)",
+        usage="replicate.subscribe <from_seq>",
+        params=(ParamSpec("from_seq", type="int", non_empty=True),
+                ParamSpec("max_records", type="int", required=False,
+                          doc="? (batch cap)"),
+                ParamSpec("wait", type="number", required=False,
+                          doc="? (long-poll seconds)"),
+                ParamSpec("follower", required=False,
+                          doc="? (follower id for lag tracking)")),
+        result=(FieldSpec("records", doc="([{seq, op, params}, ...])"),
+                FieldSpec("last_seq"),
+                FieldSpec("reset", doc="optional")),
+        read_only=True, cost="admin", scope="server",
+    )
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateAck(Command):
+    """Record a follower's durably applied replication position."""
+
+    follower: str = ""
+    seq: int = 0
+
+    spec: ClassVar[CommandSpec] = CommandSpec(
+        name="replicate.ack",
+        summary="record a follower's applied replication position",
+        usage="replicate.ack <follower> <seq>",
+        params=(ParamSpec("follower", non_empty=True),
+                ParamSpec("seq", type="int", non_empty=True)),
+        result=(FieldSpec("acked"), FieldSpec("last_seq")),
+        read_only=True, cost="admin", scope="server",
+    )
+
+
+@register
+@dataclass(frozen=True)
+class ReplicateStatus(Command):
+    """Replication role and positions (both roles answer it)."""
+
+    spec: ClassVar[CommandSpec] = CommandSpec(
+        name="replicate.status",
+        summary="replication role, log positions and follower lag",
+        usage="replicate.status",
+        params=(),
+        result=(FieldSpec("role", doc="(primary | replica | ephemeral)"),
+                FieldSpec("last_seq"),
+                FieldSpec("replica", doc="optional"),
+                FieldSpec("followers", doc="optional")),
+        read_only=True, cost="admin", scope="server",
     )
 
 

@@ -45,6 +45,10 @@ REQUIRED_ATTRS: dict[str, tuple[str, ...]] = {
     "store.snapshot": ("sessions", "last_seq"),
     "store.compact": ("records", "bytes"),
     "store.recover": ("data_dir",),
+    "replicate.ship": ("follower", "from_seq"),
+    "replicate.apply": ("from_seq",),
+    "replicate.reset": ("last_seq", "sessions"),
+    "replicate.fence": ("min_seq", "applied_seq"),
 }
 
 #: Attribute keys set on clean completion (absent after an error).
@@ -64,6 +68,9 @@ COMPLETION_ATTRS: dict[str, tuple[str, ...]] = {
     "store.snapshot": ("bytes",),
     "store.compact": ("segments_removed",),
     "store.recover": ("sessions", "replayed", "torn"),
+    "replicate.ship": ("records", "last_seq"),
+    "replicate.apply": ("records", "applied_seq"),
+    "replicate.fence": ("ok",),
 }
 
 

@@ -1,0 +1,261 @@
+"""The follower side: tail the primary's WAL and re-execute it.
+
+A :class:`Replicator` runs inside a follower server's event loop.  It
+long-polls ``replicate.subscribe`` on the primary, appends each shipped
+record to the follower's *own* store (same bytes, same sequence
+numbers — a promoted follower recovers exactly like a primary), applies
+it through :func:`repro.store.recovery.apply_record` — the identical
+replay path crash recovery uses — then acknowledges its position with
+``replicate.ack``.
+
+When the primary answers with a ``reset`` (the follower's position
+predates the retained history, or the follower diverged), the
+replicator rebuilds wholesale from the shipped session snapshot and
+re-bases its store at the primary's ``last_seq``.
+
+Staleness is observable, not hidden: ``applied_seq`` is published to
+the server (read fences compare it against a client's ``min_seq``) and
+:meth:`Replicator.wait_for_seq` lets a fenced read block until the tail
+catches up or its budget expires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping
+
+from ..obs import get_observer
+from ..store.recovery import apply_record
+from ..store.wal import StoreError, WalRecord
+from .primary import decode_batch
+
+__all__ = ["Replicator"]
+
+#: Replicator lifecycle states (``replicate.status`` / ``health``).
+STATES = ("connecting", "streaming", "stopped", "broken")
+
+
+class Replicator:
+    """Streams one primary's WAL into a follower's manager + store."""
+
+    def __init__(self, manager: Any, store: Any | None,
+                 host: str, port: int, *,
+                 follower_id: str | None = None,
+                 poll_wait: float = 5.0,
+                 batch: int = 256,
+                 retry_delay: float = 0.25,
+                 max_retry_delay: float = 2.0,
+                 counters: Any | None = None) -> None:
+        self.manager = manager
+        self.store = store
+        self.host = host
+        self.port = port
+        self.follower_id = follower_id or f"replica-{id(self) & 0xffff:04x}"
+        self.poll_wait = poll_wait
+        self.batch = batch
+        self.retry_delay = retry_delay
+        self.max_retry_delay = max_retry_delay
+        self.counters = counters
+        #: Highest sequence applied locally (starts at the store's
+        #: recovered position, so a restarted follower resumes its tail).
+        self.applied_seq = store.last_seq if store is not None else 0
+        self.state = "connecting"
+        self.error: str | None = None
+        self.resets = 0
+        self.batches = 0
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+        #: ``(seq, future)`` fence waiters resolved as the tail advances.
+        self._waiters: list[tuple[int, asyncio.Future]] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def primary_name(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Spawn the streaming task on the running event loop."""
+        if self._task is not None:
+            raise RuntimeError("replicator is already started")
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"replicate<{self.primary_name}")
+
+    async def stop(self) -> None:
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        if self.state not in ("broken",):
+            self.state = "stopped"
+        self._resolve_waiters()
+
+    def status(self) -> dict[str, Any]:
+        """The ``replicate.status`` / ``health`` payload for this node."""
+        return {"primary": self.primary_name,
+                "follower_id": self.follower_id,
+                "state": self.state,
+                "applied_seq": self.applied_seq,
+                "resets": self.resets,
+                "batches": self.batches,
+                **({"error": self.error} if self.error else {})}
+
+    # -- read fences ---------------------------------------------------------
+
+    async def wait_for_seq(self, seq: int, timeout: float) -> bool:
+        """Block until ``applied_seq >= seq`` (True) or timeout (False)."""
+        if self.applied_seq >= seq:
+            return True
+        if timeout <= 0 or self.state in ("stopped", "broken"):
+            return False
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append((seq, future))
+        try:
+            await asyncio.wait_for(future, timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            self._waiters = [(s, f) for s, f in self._waiters
+                             if not f.done() and f is not future]
+
+    def _resolve_waiters(self) -> None:
+        pending = []
+        for seq, future in self._waiters:
+            if future.done():
+                continue
+            if self.applied_seq >= seq or self._stopping:
+                future.set_result(self.applied_seq)
+            else:
+                pending.append((seq, future))
+        self._waiters = pending
+
+    # -- the streaming loop --------------------------------------------------
+
+    def _tick(self, name: str, amount: int = 1) -> None:
+        if self.counters is not None:
+            self.counters[name] += amount
+        get_observer().add(name, amount)
+
+    async def _run(self) -> None:
+        # imported here, not at module top: repro.serve.server imports
+        # this module, and client/resilience live in the same package
+        from ..serve.client import AsyncClient, ServerError
+
+        delay = self.retry_delay
+        while not self._stopping:
+            try:
+                client = await AsyncClient.connect(self.host, self.port)
+            except (ConnectionError, TimeoutError, OSError):
+                self._tick("replicate.reconnects")
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, self.max_retry_delay)
+                continue
+            try:
+                delay = self.retry_delay
+                await self._stream(client)
+            except (ConnectionError, TimeoutError, OSError):
+                self._tick("replicate.reconnects")
+                self.state = "connecting"
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, self.max_retry_delay)
+            except ServerError as error:
+                if error.retryable:
+                    self._tick("replicate.reconnects")
+                    self.state = "connecting"
+                    await asyncio.sleep(delay)
+                    delay = min(delay * 2, self.max_retry_delay)
+                    continue
+                # a typed, non-retryable answer (bad_params: the target
+                # has no WAL; shutting_down; …) — do not spin on it
+                self.state = "broken"
+                self.error = f"{error.code}: {error}"
+                self._tick("replicate.broken")
+                return
+            except (StoreError, ValueError) as error:
+                # shipped records that do not decode or re-execute mean
+                # divergence; serving stale reads silently would be worse
+                self.state = "broken"
+                self.error = str(error)
+                self._tick("replicate.broken")
+                return
+            finally:
+                await client.close()
+
+    async def _stream(self, client: Any) -> None:
+        while not self._stopping:
+            result = await client.request(
+                "replicate.subscribe", from_seq=self.applied_seq,
+                max_records=self.batch, wait=self.poll_wait,
+                follower=self.follower_id)
+            self.state = "streaming"
+            if result.get("reset") is not None:
+                self._apply_reset(result["reset"])
+            elif result.get("records"):
+                self._apply_records(result["records"])
+            else:
+                continue  # caught up: immediately long-poll again
+            await client.request("replicate.ack", follower=self.follower_id,
+                                 seq=self.applied_seq)
+
+    def _apply_records(self, payload: Any) -> None:
+        records = decode_batch(payload)
+        obs = get_observer()
+        from_seq = self.applied_seq
+        if obs.enabled:
+            with obs.span("replicate.apply", from_seq=from_seq) as span:
+                applied = self._apply(records)
+                span.set(records=applied, applied_seq=self.applied_seq)
+        else:
+            applied = self._apply(records)
+        self.batches += 1
+        self._tick("replicate.applied", applied)
+        if self.store is not None and self.store.should_compact():
+            self.store.compact(self.manager.snapshot_state())
+
+    def _apply(self, records: list[WalRecord]) -> int:
+        applied = 0
+        for record in records:
+            if record.seq <= self.applied_seq:
+                continue  # duplicate ship (reconnect overlap) — idempotent
+            if record.seq != self.applied_seq + 1:
+                raise StoreError(
+                    f"{self.primary_name}: replication gap — got "
+                    f"seq={record.seq} after {self.applied_seq}")
+            if self.store is not None:
+                self.store.append_record(record.seq, record.op, record.params)
+            apply_record(self.manager, record, origin=self.primary_name)
+            self.applied_seq = record.seq
+            applied += 1
+        self._resolve_waiters()
+        return applied
+
+    def _apply_reset(self, reset: Any) -> None:
+        if (not isinstance(reset, dict)
+                or not isinstance(reset.get("last_seq"), int)
+                or isinstance(reset.get("last_seq"), bool)
+                or not isinstance(reset.get("sessions"), dict)):
+            raise ValueError(f"malformed replication reset: {reset!r}")
+        sessions: Mapping[str, Any] = reset["sessions"]
+        obs = get_observer()
+        with obs.span("replicate.reset", last_seq=reset["last_seq"],
+                      sessions=len(sessions)):
+            for name in list(self.manager.names()):
+                self.manager.close(name)
+            for name in sorted(sessions):
+                state = sessions[name]
+                self.manager.restore(
+                    name, state["schema"], state["dependencies"],
+                    engine=state["engine"], epoch=state["epoch"],
+                    generation=state["generation"])
+            if self.store is not None:
+                self.store.reset_to(self.manager.snapshot_state(),
+                                    reset["last_seq"])
+            self.applied_seq = reset["last_seq"]
+        self.resets += 1
+        self._tick("replicate.resets")
+        self._resolve_waiters()

@@ -10,6 +10,13 @@ session replay (:mod:`repro.serve.resilience`) — and deterministic
 seed-driven fault injection for chaos testing
 (:mod:`repro.serve.faults`).
 
+Read scale-out lives in the sibling :mod:`repro.replicate` package:
+``--replicate-from`` turns a server into a read-only follower of a
+WAL-shipping primary, and :class:`repro.replicate.RoutedClient` fans
+read-only ops across replicas with bounded-staleness read fences
+(``RoutedClient`` is deliberately *not* re-exported here — importing
+it would cycle back into this package; see docs/REPLICATION.md).
+
 Quick start::
 
     python -m repro serve --port 7474 --workers 4          # terminal 1

@@ -127,6 +127,25 @@ class _OpsMixin:
     def close_session(self, session: str):
         return self._request("close", session=session)
 
+    def replicate_subscribe(self, from_seq: int, *,
+                            max_records: int | None = None,
+                            wait: float | None = None,
+                            follower: str | None = None):
+        params: dict[str, Any] = {"from_seq": from_seq}
+        if max_records is not None:
+            params["max_records"] = max_records
+        if wait is not None:
+            params["wait"] = wait
+        if follower is not None:
+            params["follower"] = follower
+        return self._request("replicate.subscribe", **params)
+
+    def replicate_ack(self, follower: str, seq: int):
+        return self._request("replicate.ack", follower=follower, seq=seq)
+
+    def replicate_status(self):
+        return self._request("replicate.status")
+
 
 class AsyncClient(_OpsMixin):
     """Pipelining asyncio client; create via :meth:`connect`.

@@ -89,6 +89,12 @@ class ErrorCode:
     SHUTTING_DOWN = "shutting_down"
     #: Unexpected server-side failure (a bug; the message is a summary).
     INTERNAL = "internal"
+    #: A mutation sent to a read-only replica; the message names the
+    #: primary to send it to instead.
+    NOT_PRIMARY = "not_primary"
+    #: A fenced read (``min_seq``) against a replica that could not
+    #: catch up to the fence within its wait budget.
+    REPLICA_BEHIND = "replica_behind"
 
 
 #: Codes whose requests may be retried against the same server later.

@@ -40,6 +40,12 @@ Every retry sleep is traced as a ``client.retry`` span and counted
 ``client.retry.reopens``, ``client.retry.exhausted``,
 ``client.retry.circuit_open``) through :mod:`repro.obs`; the same
 tallies are kept on the wrapper's always-on ``counters``.
+
+One layer up, :class:`repro.replicate.RoutedClient` composes a
+*fleet* of these wrappers — one per replica plus the primary — and
+uses the per-connection circuit breakers as its failover signal: a
+replica whose circuit opens is skipped for a cooldown instead of
+stalling every fanned-out read (docs/REPLICATION.md).
 """
 
 from __future__ import annotations

@@ -188,6 +188,27 @@ class ServeConfig:
     store_compact_records: int = 4096
     #: … or this many bytes, whichever comes first.
     store_compact_bytes: int = 1 << 22
+    #: ``"HOST:PORT"`` of a primary to replicate from.  Makes this node
+    #: a read-only follower: it tails the primary's WAL, applies every
+    #: record through the recovery path, serves read-only commands
+    #: locally and rejects mutations with the typed ``not_primary``
+    #: error.  Idle-TTL eviction is disabled (replicated sessions must
+    #: stay resident to keep applying the stream).  See
+    #: docs/REPLICATION.md.
+    replicate_from: str | None = None
+    #: Stable follower id for the primary's lag table (default: this
+    #: node's own bound address).
+    replica_id: str | None = None
+    #: How long a fenced read (``min_seq``) waits for the replication
+    #: tail before answering the typed ``replica_behind``.
+    fence_wait: float = 2.0
+    #: Follower-side long-poll duration per ``replicate.subscribe``.
+    replicate_poll: float = 5.0
+    #: Maximum records shipped per replication batch.
+    replicate_batch: int = 256
+    #: Primary-side cap on a subscribe long-poll (keeps a slow request
+    #: deadline from being consumed entirely by the poll).
+    replicate_max_wait: float = 25.0
 
 
 # --------------------------------------------------------------------------
@@ -464,7 +485,12 @@ class ReasoningServer:
         self.counters: TallyCounter = TallyCounter()
         self.sessions = SessionManager(
             max_sessions=self.config.max_sessions,
-            idle_ttl=self.config.idle_ttl,
+            # A follower must keep every replicated session resident:
+            # an idle-evicted session would make later stream records
+            # unreplayable.  LRU capacity still applies — size
+            # max_sessions to the primary's session count.
+            idle_ttl=(None if self.config.replicate_from is not None
+                      else self.config.idle_ttl),
             counters=self.counters,
         )
         self.faults: FaultInjector | None = (
@@ -484,6 +510,15 @@ class ReasoningServer:
         self._stopped: asyncio.Event | None = None
         self._sweeper: asyncio.Task | None = None
         self._started_at = time.monotonic()
+        #: Streaming loop when this node follows a primary (see
+        #: :mod:`repro.replicate`); built in :meth:`start`.
+        self.replicator = None
+        # Imported lazily: repro.replicate imports serve submodules.
+        from ..replicate.primary import FollowerTable
+
+        self._followers = FollowerTable()
+        #: Long-poll futures resolved by :meth:`_persist` on append.
+        self._wal_waiters: list[asyncio.Future] = []
         self._admin_handlers = self._bind_admin_handlers()
 
     # -- lifecycle ---------------------------------------------------------
@@ -525,9 +560,23 @@ class ReasoningServer:
         sockname = self._server.sockets[0].getsockname()
         self._address = (sockname[0], sockname[1])
         self._started_at = time.monotonic()
-        if self.config.idle_ttl is not None:
+        if (self.config.idle_ttl is not None
+                and self.config.replicate_from is None):
             self._sweeper = asyncio.get_running_loop().create_task(
                 self._sweep_loop())
+        if self.config.replicate_from is not None:
+            from ..replicate.follower import Replicator
+            from ..replicate.router import parse_address
+
+            host, port = parse_address(self.config.replicate_from)
+            self.replicator = Replicator(
+                self.sessions, self.store, host, port,
+                follower_id=(self.config.replica_id
+                             or f"{self._address[0]}:{self._address[1]}"),
+                poll_wait=self.config.replicate_poll,
+                batch=self.config.replicate_batch,
+                counters=self.counters)
+            self.replicator.start()
         return self._address
 
     async def __aenter__(self) -> "ReasoningServer":
@@ -572,6 +621,11 @@ class ReasoningServer:
             await self._stopped.wait()
             return
         self._draining = True
+        if self.replicator is not None:
+            await self.replicator.stop()
+        # Wake pending subscribe long-polls so draining followers get
+        # their (possibly empty) batch instead of a cancelled request.
+        self._wake_wal_waiters()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -816,12 +870,26 @@ class ReasoningServer:
             raise ProtocolError(ErrorCode.UNKNOWN_OP,        # guarded by
                                 f"unhandled op {request.op!r}")  # decode_request
         spec = command.spec
+        if self.replicator is not None and not spec.read_only:
+            # Followers are read-only: one primary serializes the WAL.
+            raise ProtocolError(
+                ErrorCode.NOT_PRIMARY,
+                f"this node is a read-only replica; send mutations to "
+                f"the primary at {self.replicator.primary_name}")
+        if (self.replicator is not None and spec.scope == "session"
+                and "min_seq" in request.params):
+            # Bounded staleness: the read fence waits for the tail.
+            await self._fence(request.params["min_seq"])
         if spec.scope == "server":
             result = self._admin_handlers[spec.name](command)
+            if asyncio.iscoroutine(result):
+                result = await result  # replicate.subscribe long-polls
             if self.store is not None and not spec.read_only:
                 # open/close mutated the manager: durable before the
-                # response leaves the server
-                self._persist(request.op, request.params)
+                # response leaves the server; the WAL position rides on
+                # the result so clients can fence replica reads with it
+                result = {**result,
+                          "seq": self._persist(request.op, request.params)}
             return result
 
         managed = self.sessions.get(command.session)
@@ -853,26 +921,73 @@ class ReasoningServer:
                 # WAL-before-response: only *actual* mutations are
                 # logged (an add of a present member neither bumps the
                 # generation nor writes a record), so replay re-executes
-                # exactly what changed state.
-                self._persist(request.op, request.params)
+                # exactly what changed state.  The position rides on the
+                # result as the client's read fence.
+                return {**outcome.result,
+                        "seq": self._persist(request.op, request.params)}
         return outcome.result
 
-    def _persist(self, op: str, params: dict[str, Any]) -> None:
+    def _persist(self, op: str, params: dict[str, Any]) -> int:
         """Append one acknowledged mutation to the WAL; compact when
-        the live segment crosses a threshold."""
-        self.store.append(op, params)
+        the live segment crosses a threshold.  Returns the record's
+        sequence number and wakes any subscribe long-polls."""
+        seq = self.store.append(op, params)
         if self.store.should_compact():
             self.store.compact(self.sessions.snapshot_state())
+        self._wake_wal_waiters()
+        return seq
+
+    def _wake_wal_waiters(self) -> None:
+        waiters, self._wal_waiters = self._wal_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(True)
+
+    async def _wait_for_append(self, timeout: float) -> bool:
+        """Park a subscribe long-poll until the next append (or timeout)."""
+        waiter = asyncio.get_running_loop().create_future()
+        self._wal_waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+        finally:
+            if waiter in self._wal_waiters:
+                self._wal_waiters.remove(waiter)
+
+    async def _fence(self, min_seq: Any) -> None:
+        """Hold a fenced replica read until ``applied_seq >= min_seq``."""
+        if (not isinstance(min_seq, int) or isinstance(min_seq, bool)
+                or min_seq < 0):
+            raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                "'min_seq' must be a non-negative integer")
+        replicator = self.replicator
+        obs = get_observer()
+        with obs.span("replicate.fence", min_seq=min_seq,
+                      applied_seq=replicator.applied_seq) as span:
+            ok = await replicator.wait_for_seq(min_seq,
+                                               self.config.fence_wait)
+            span.set(ok=ok)
+        if not ok:
+            self._count("serve.fence_timeouts")
+            raise ProtocolError(
+                ErrorCode.REPLICA_BEHIND,
+                f"replica at seq {replicator.applied_seq} did not reach "
+                f"the min_seq={min_seq} fence within "
+                f"{self.config.fence_wait}s; retry another node or the "
+                f"primary at {replicator.primary_name}")
 
     def _bind_admin_handlers(self) -> dict[str, Any]:
         """Server-scope handlers, resolved from the registry by name.
 
         Registering a new server-scope command without adding its
-        ``_op_<name>`` method fails here at construction time — the
-        same no-silent-drift guarantee the import-time registry check
-        gives session-scope commands.
+        ``_op_<name>`` method (dots in wire names map to underscores:
+        ``replicate.subscribe`` → ``_op_replicate_subscribe``) fails
+        here at construction time — the same no-silent-drift guarantee
+        the import-time registry check gives session-scope commands.
         """
-        return {name: getattr(self, f"_op_{name}")
+        return {name: getattr(self, f"_op_{name.replace('.', '_')}")
                 for name, cls in commands.REGISTRY.items()
                 if cls.spec.wire and cls.spec.scope == "server"}
 
@@ -899,6 +1014,78 @@ class ReasoningServer:
     def _op_close(self, command: commands.Close) -> dict[str, Any]:
         managed = self.sessions.close(command.session)
         return {"closed": command.session, "sigma": len(managed.session)}
+
+    # -- replication (see repro.replicate and docs/REPLICATION.md) -----------
+
+    def _require_wal(self) -> "SessionStore":
+        if self.store is None:
+            raise ProtocolError(
+                ErrorCode.BAD_PARAMS,
+                "replication needs a WAL: start this node with --data-dir")
+        return self.store
+
+    async def _op_replicate_subscribe(
+            self, command: commands.ReplicateSubscribe) -> dict[str, Any]:
+        from ..replicate.primary import encode_batch
+
+        store = self._require_wal()
+        limit = command.max_records or self.config.replicate_batch
+        if limit < 1:
+            raise ProtocolError(ErrorCode.BAD_PARAMS,
+                                "'max_records' must be >= 1")
+        wait = min(command.wait or 0.0, self.config.replicate_max_wait)
+        self._followers.seen(command.follower, command.from_seq)
+        obs = get_observer()
+        with obs.span("replicate.ship", follower=command.follower or "?",
+                      from_seq=command.from_seq) as span:
+            records = store.records_since(command.from_seq, limit)
+            deadline = time.monotonic() + wait
+            while (records is not None and not records
+                   and not self._draining):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if not await self._wait_for_append(remaining):
+                    break
+                records = store.records_since(command.from_seq, limit)
+            if records is None:
+                # the tail is not contiguously servable from from_seq:
+                # ship a snapshot bootstrap instead
+                self._count("replicate.resets_served")
+                span.set(records=0, last_seq=store.last_seq)
+                return {"records": [], "last_seq": store.last_seq,
+                        "reset": {"last_seq": store.last_seq,
+                                  "sessions": self.sessions.snapshot_state()}}
+            span.set(records=len(records), last_seq=store.last_seq)
+            if records:
+                self._count("replicate.shipped", len(records))
+            return {"records": encode_batch(records),
+                    "last_seq": store.last_seq}
+
+    def _op_replicate_ack(
+            self, command: commands.ReplicateAck) -> dict[str, Any]:
+        store = self._require_wal()
+        acked = self._followers.ack(command.follower, command.seq)
+        self._count("replicate.acks")
+        return {"acked": acked, "last_seq": store.last_seq}
+
+    def _op_replicate_status(
+            self, command: commands.ReplicateStatus) -> dict[str, Any]:
+        return self._replication_status()
+
+    def _replication_status(self) -> dict[str, Any]:
+        last_seq = self.store.last_seq if self.store is not None else 0
+        status: dict[str, Any] = {
+            "role": ("replica" if self.replicator is not None
+                     else "primary" if self.store is not None
+                     else "ephemeral"),
+            "last_seq": last_seq,
+        }
+        if self.replicator is not None:
+            status["replica"] = self.replicator.status()
+        if len(self._followers):
+            status["followers"] = self._followers.stats(last_seq)
+        return status
 
     # -- closure evaluation (the offload seam) -------------------------------
 
@@ -982,6 +1169,8 @@ class ReasoningServer:
             health["faults"] = self.faults.stats()
         if self.store is not None:
             health["store"] = self.store.stats()
+        if self.store is not None or self.replicator is not None:
+            health["replication"] = self._replication_status()
         return health
 
     # -- metrics -------------------------------------------------------------

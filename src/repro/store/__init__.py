@@ -29,7 +29,7 @@ matrix the chaos suite enforces.
 """
 
 from .manifest import Manifest, load_manifest, save_manifest
-from .recovery import RecoveryReport, inspect_store, recover
+from .recovery import RecoveryReport, apply_record, inspect_store, recover
 from .snapshot import load_snapshot, snapshot_name, write_snapshot
 from .store import SessionStore
 from .wal import (
@@ -52,6 +52,7 @@ __all__ = [
     "WalCorruptionError",
     "WalRecord",
     "WalWriter",
+    "apply_record",
     "decode_record",
     "encode_record",
     "inspect_store",

@@ -33,7 +33,7 @@ from .manifest import Manifest, load_manifest
 from .snapshot import load_snapshot
 from .wal import StoreError, WalCorruptionError, WalRecord, read_segment
 
-__all__ = ["RecoveryReport", "recover", "inspect_store"]
+__all__ = ["RecoveryReport", "recover", "apply_record", "inspect_store"]
 
 
 @dataclass
@@ -121,7 +121,7 @@ def recover(data_dir: str, manager: Any) -> RecoveryReport:
                 raise WalCorruptionError(
                     f"{data_dir}: {segment}: sequence {record.seq} is not "
                     f"monotonic (already at {highest})")
-            _replay(data_dir, manager, record)
+            apply_record(manager, record, origin=data_dir)
             highest = record.seq
             report.replayed += 1
 
@@ -130,13 +130,22 @@ def recover(data_dir: str, manager: Any) -> RecoveryReport:
     return report
 
 
-def _replay(data_dir: str, manager: Any, record: WalRecord) -> None:
-    """Re-apply one acknowledged mutation; failure means divergence."""
+def apply_record(manager: Any, record: WalRecord, *,
+                 origin: str = "wal") -> None:
+    """Re-apply one acknowledged mutation; failure means divergence.
+
+    The single replay semantics shared by crash recovery and streaming
+    replication (:mod:`repro.replicate`): ``open``/``close`` run against
+    the session manager, everything else re-executes through the
+    command registry with the same generation bump the live path took.
+    ``origin`` only labels the error (a data dir, or the primary's
+    address on a follower).
+    """
     try:
         command = commands.from_wire(record.op, record.params)
     except (KeyError, ValueError) as error:
         raise WalCorruptionError(
-            f"{data_dir}: WAL record seq={record.seq} is not a wire "
+            f"{origin}: WAL record seq={record.seq} is not a wire "
             f"command ({error})") from error
     try:
         if record.op == "open":
@@ -152,7 +161,7 @@ def _replay(data_dir: str, manager: Any, record: WalRecord) -> None:
                 managed.generation += 1
     except Exception as error:
         raise WalCorruptionError(
-            f"{data_dir}: WAL record seq={record.seq} op={record.op!r} "
+            f"{origin}: WAL record seq={record.seq} op={record.op!r} "
             f"does not re-execute ({error})") from error
 
 

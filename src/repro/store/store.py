@@ -30,7 +30,15 @@ from .manifest import (
 )
 from .recovery import RecoveryReport, recover
 from .snapshot import remove_stale, write_snapshot
-from .wal import FSYNC_POLICIES, WalWriter, apply_crash, crash_action
+from .wal import (
+    FSYNC_POLICIES,
+    StoreError,
+    WalRecord,
+    WalWriter,
+    apply_crash,
+    crash_action,
+    read_segment,
+)
 
 __all__ = ["SessionStore"]
 
@@ -135,6 +143,84 @@ class SessionStore:
         self._writer.append(seq, op, params)
         self._next_seq = seq + 1
         return seq
+
+    def append_record(self, seq: int, op: str,
+                      params: Mapping[str, Any]) -> int:
+        """Log one *already sequenced* record (a follower applying its
+        primary's stream keeps the primary's numbering).  The sequence
+        must be exactly the next one — a gap would acknowledge records
+        this store never saw."""
+        if self._writer is None:
+            raise RuntimeError("store is not started")
+        if seq != self._next_seq:
+            raise StoreError(f"replicated record seq={seq} does not follow "
+                             f"local last_seq={self.last_seq}")
+        self._writer.append(seq, op, params)
+        self._next_seq = seq + 1
+        return seq
+
+    # -- replication tailing -----------------------------------------------
+
+    def records_since(self, from_seq: int,
+                      limit: int | None = None) -> list[WalRecord] | None:
+        """Acknowledged records with ``seq > from_seq``, oldest first.
+
+        Reads the manifest's segments back off disk (every acknowledged
+        append is flushed to the OS before the mutation is answered, so
+        the files are current).  Returns ``None`` when the tail cannot
+        be served contiguously — ``from_seq`` predates the retained
+        history (compaction folded it into the snapshot) or lies beyond
+        this store's ``last_seq`` — in which case the subscriber needs a
+        snapshot reset instead of a tail.
+        """
+        if self._manifest is None:
+            raise RuntimeError("store is not started")
+        if from_seq > self.last_seq:
+            return None
+        if from_seq == self.last_seq:
+            return []
+        out: list[WalRecord] = []
+        final = self._manifest.segments[-1]
+        for segment in self._manifest.segments:
+            records, _, tail = read_segment(
+                os.path.join(self.data_dir, segment))
+            if tail and segment != final:
+                raise StoreError(f"{self.data_dir}: segment {segment!r} has "
+                                 f"a torn tail but is not the final segment")
+            for record in records:
+                if record.seq > from_seq:
+                    out.append(record)
+                    if limit is not None and len(out) >= limit:
+                        return self._contiguous(out, from_seq)
+        return self._contiguous(out, from_seq)
+
+    def _contiguous(self, records: list[WalRecord],
+                    from_seq: int) -> list[WalRecord] | None:
+        """A tail is only servable when it starts right after the fence.
+
+        An *empty* scan is just as unservable when ``from_seq`` lies
+        below ``last_seq``: the gap lives in the snapshot (compaction
+        folded those records away), so the subscriber needs a reset.
+        """
+        if not records:
+            return None if from_seq < self.last_seq else []
+        if records[0].seq != from_seq + 1:
+            return None
+        return records
+
+    def reset_to(self, sessions: Mapping[str, Mapping[str, Any]],
+                 last_seq: int) -> dict[str, Any]:
+        """Adopt a bootstrap snapshot at the primary's ``last_seq``.
+
+        A cold (or lagging-past-history) follower lands here: its local
+        log is superseded wholesale by the shipped session snapshot, so
+        the store re-bases — snapshot + fresh segment + manifest adopt,
+        exactly a compaction, just at an externally supplied sequence.
+        """
+        if last_seq < 0:
+            raise StoreError(f"cannot reset to negative seq {last_seq}")
+        self._next_seq = last_seq + 1
+        return self.compact(sessions)
 
     def should_compact(self) -> bool:
         """Whether the live segment crossed a compaction threshold."""

@@ -1,12 +1,16 @@
-"""Local/served parity: every read-only command, byte-identical JSON.
+"""Local/served/replicated parity: every read-only command,
+byte-identical JSON.
 
 For each corpus problem and each engine (worklist = compiled plan on,
-naive = plan off), every read-only wire command is executed twice —
-directly against a local :class:`Session` through
-``repro.core.commands.execute``, and over the wire through a live
-``ReasoningServer`` — and the raw JSON results must be byte-identical
+naive = plan off), every read-only wire command is executed against a
+local :class:`Session` through ``repro.core.commands.execute``, over
+the wire through a live ``ReasoningServer``, and — in the replication
+leg — against both a WAL-shipping primary and a caught-up read
+replica (with a ``min_seq`` fence at the primary's last acknowledged
+position).  All raw JSON results must be byte-identical
 (``json.dumps(..., sort_keys=True)``).  This is the guarantee that a
-served deployment answers exactly what the library answers.
+served deployment — scaled out or not — answers exactly what the
+library answers.
 """
 
 from __future__ import annotations
@@ -94,6 +98,75 @@ def test_read_only_commands_agree_local_vs_served(path, engine):
         assert local_json == served_json, (
             f"{path.stem}/{engine}: {op} diverged\n"
             f"  local:  {local_json}\n  served: {served_json}")
+
+
+def replicated_results(case: dict, engine: str,
+                       tmp_path) -> tuple[list[str], list[str]]:
+    """The same invocations against a primary and a caught-up replica.
+
+    Replica reads carry a ``min_seq`` fence at the primary's last
+    acknowledged WAL position, so a lagging replica would *fail typed*
+    rather than silently answer from stale state — byte-identity below
+    is therefore meaningful, not lucky timing.
+    """
+    async def drive() -> tuple[list[str], list[str]]:
+        primary_cfg = ServeConfig(workers=0, idle_ttl=None,
+                                  data_dir=str(tmp_path / "primary"))
+        async with ReasoningServer(primary_cfg) as primary:
+            host, port = primary.address
+            follower_cfg = ServeConfig(
+                workers=0, replicate_from=f"{host}:{port}",
+                replica_id="parity-follower", replicate_poll=0.2,
+                data_dir=str(tmp_path / "follower"))
+            async with ReasoningServer(follower_cfg) as follower:
+                f_host, f_port = follower.address
+                async with await AsyncClient.connect(host, port) as up:
+                    opened = await up.open("parity", case["schema"],
+                                           case.get("sigma", []),
+                                           engine=engine)
+                last_seq = opened["seq"]
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while follower.replicator.applied_seq < last_seq:
+                    assert asyncio.get_running_loop().time() < deadline, (
+                        f"follower stuck at "
+                        f"{follower.replicator.applied_seq}/{last_seq}")
+                    await asyncio.sleep(0.01)
+                primary_out, follower_out = [], []
+                async with await AsyncClient.connect(host, port) as up:
+                    async with await AsyncClient.connect(f_host,
+                                                         f_port) as down:
+                        for op, params in read_only_invocations(case):
+                            raw = await up.request(op, session="parity",
+                                                   **params)
+                            primary_out.append(
+                                json.dumps(raw, sort_keys=True))
+                            raw = await down.request(op, session="parity",
+                                                     min_seq=last_seq,
+                                                     **params)
+                            follower_out.append(
+                                json.dumps(raw, sort_keys=True))
+                return primary_out, follower_out
+
+    return asyncio.run(drive())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_read_only_commands_agree_across_the_replication_fleet(
+        path, engine, tmp_path):
+    case = load(path)
+    ops = [op for op, _ in read_only_invocations(case)]
+    local = local_results(case, engine)
+    primary, follower = replicated_results(case, engine, tmp_path)
+    assert len(local) == len(primary) == len(follower) == len(ops)
+    for op, local_json, primary_json, follower_json in zip(
+            ops, local, primary, follower):
+        assert local_json == primary_json, (
+            f"{path.stem}/{engine}: {op} diverged on the primary\n"
+            f"  local:   {local_json}\n  primary: {primary_json}")
+        assert local_json == follower_json, (
+            f"{path.stem}/{engine}: {op} diverged on the replica\n"
+            f"  local:   {local_json}\n  replica: {follower_json}")
 
 
 def test_parity_covers_every_read_only_session_command():

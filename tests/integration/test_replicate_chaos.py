@@ -1,0 +1,167 @@
+"""Replication chaos: SIGKILL the primary mid-workload, keep reading.
+
+The scenario the whole subsystem exists for: a primary armed with a
+seeded ``crash`` fault (the same SIGKILL-grade death the store
+recovery matrix uses) dies mid-mutation while a follower tails it.
+Throughout — before, during and after the death — the follower serves
+read-only commands.  The follower is then killed uncleanly itself and
+*promoted*: restarted on its own data directory without
+``--replicate-from``.  The promoted node must answer byte-identically
+to a fault-free replay of exactly the mutations the dead primary
+acknowledged, and must accept writes again.
+
+Set ``REPRO_REPLICATE_TEST_DIR`` to park both data directories where a
+CI job can upload them as failure artifacts.
+"""
+
+import contextlib
+import json
+import os
+import time
+
+import pytest
+
+from repro.serve import Client, ServerError
+from repro.store import inspect_store
+from repro.store.wal import CRASH_EXIT_STATUS
+
+from .test_store_recovery import (
+    ADDS,
+    SCHEMA,
+    baseline,
+    fingerprint,
+    spawned,
+)
+
+IMPLIED = "Pubcrawl(Person) -> Pubcrawl(Visit[λ])"
+
+
+@pytest.fixture()
+def data_dirs(tmp_path, request):
+    """(primary_dir, follower_dir), parked for CI artifact upload when
+    ``REPRO_REPLICATE_TEST_DIR`` is set."""
+    base = os.environ.get("REPRO_REPLICATE_TEST_DIR")
+    if base:
+        safe = request.node.name.replace("[", "-").replace("]", "")
+        root = os.path.join(base, safe)
+    else:
+        root = str(tmp_path)
+    primary = os.path.join(root, "primary")
+    follower = os.path.join(root, "follower")
+    os.makedirs(primary, exist_ok=True)
+    os.makedirs(follower, exist_ok=True)
+    return primary, follower
+
+
+def applied_seq(client):
+    status = client.replicate_status()
+    return status.get("replica", {}).get("applied_seq", 0)
+
+
+def await_catchup(host, port, seq, budget=15.0):
+    """Poll the follower's ``replicate.status`` until it reaches ``seq``."""
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        with Client.connect(host, port) as client:
+            position = applied_seq(client)
+            if position >= seq:
+                return position
+        time.sleep(0.05)
+    raise AssertionError(f"follower never reached seq {seq}")
+
+
+def test_follower_serves_reads_through_primary_death_and_promotes(
+        data_dirs):
+    primary_dir, follower_dir = data_dirs
+    # the same third-add append crash the store recovery matrix uses:
+    # open + two adds are acknowledged, the third dies pre-append
+    plan = json.dumps({"seed": 7, "rules": [
+        {"op": "store.append", "kind": "crash", "when": "pre",
+         "every": 1, "times": 1, "after": 3}]})
+
+    acked = []
+    with spawned("--data-dir", primary_dir, "--fsync", "always",
+                 "--fault-plan", plan) as (primary, host, port):
+        with spawned("--data-dir", follower_dir,
+                     "--replicate-from", f"{host}:{port}",
+                     "--replica-id", "chaos-f1") as (follower,
+                                                     f_host, f_port):
+            with contextlib.suppress(ConnectionError):
+                with Client.connect(host, port) as up:
+                    up.open("pub", SCHEMA)
+                    for dep in ADDS[:2]:
+                        up.add("pub", dep)
+                        acked.append(dep)
+                    # the follower must hold every acknowledged record
+                    # *before* the killing mutation: once the primary
+                    # is dead there is nowhere left to fetch them from
+                    await_catchup(f_host, f_port, seq=3)
+                    # reads are served by the follower while the
+                    # primary is still alive...
+                    with Client.connect(f_host, f_port) as down:
+                        assert down.implies("pub", IMPLIED) is True
+                    up.add("pub", ADDS[2])  # boom: dies mid-append
+                    acked.append(ADDS[2])   # (never reached)
+            assert primary.wait(timeout=15) == CRASH_EXIT_STATUS
+            assert tuple(acked) == ADDS[:2], "crash landed off-target"
+
+            # ...and all through the primary's death: the follower
+            # keeps answering read-only commands from local state
+            with Client.connect(f_host, f_port) as down:
+                surviving = fingerprint(down)
+                assert down.implies("pub", IMPLIED) is True
+                # it is still a replica: mutations stay refused
+                with pytest.raises(ServerError) as info:
+                    down.add("pub", IMPLIED)
+                assert info.value.code == "not_primary"
+                assert applied_seq(down) == 3
+
+            # kill the follower as uncleanly as the primary died
+            follower.kill()
+        assert inspect_store(follower_dir)["initialized"]
+
+    # promotion = restart the follower's directory as a plain primary
+    with spawned("--data-dir", follower_dir) as (promoted, host, port):
+        with Client.connect(host, port) as client:
+            promoted_print = fingerprint(client)
+            status = client.replicate_status()
+            assert status["role"] == "primary"
+            assert status["last_seq"] == 3
+            # a promoted node takes writes again, at the next seq
+            result = client.add("pub", IMPLIED)
+            assert result["seq"] == 4
+
+    # the promoted follower's answers are byte-identical to a
+    # fault-free replay of exactly the acknowledged mutations — and so
+    # were the reads it served while the primary was dead
+    expected = baseline(ADDS[:2])
+    assert promoted_print == expected
+    assert surviving == expected
+
+
+def test_replicated_pair_survives_a_follower_sigkill(data_dirs):
+    """The mirror image: the *follower* dies uncleanly and, restarted
+    as a follower again, resumes its tail from its own WAL position."""
+    primary_dir, follower_dir = data_dirs
+    with spawned("--data-dir", primary_dir) as (primary, host, port):
+        with spawned("--data-dir", follower_dir,
+                     "--replicate-from", f"{host}:{port}",
+                     "--replica-id", "chaos-f2") as (follower,
+                                                     f_host, f_port):
+            with Client.connect(host, port) as up:
+                up.open("pub", SCHEMA)
+                up.add("pub", ADDS[0])
+            await_catchup(f_host, f_port, seq=2)
+            follower.kill()
+
+        # mutations keep landing while the follower is down
+        with Client.connect(host, port) as up:
+            up.add("pub", ADDS[1])
+
+        with spawned("--data-dir", follower_dir,
+                     "--replicate-from", f"{host}:{port}",
+                     "--replica-id", "chaos-f2") as (follower,
+                                                     f_host, f_port):
+            await_catchup(f_host, f_port, seq=3)
+            with Client.connect(f_host, f_port) as down:
+                assert fingerprint(down) == baseline(ADDS[:2])

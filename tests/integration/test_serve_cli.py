@@ -231,3 +231,107 @@ class TestServeProcess:
                 return
             time.sleep(0.1)
         pytest.fail("stopped server kept answering")
+
+
+def repro_cli(*argv):
+    """``python -m repro ...`` as a subprocess (the shipped artifact)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.abspath(src), env.get("PYTHONPATH")) if p)
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          env=env, capture_output=True, text=True,
+                          timeout=60)
+
+
+class TestStoreInspectCLI:
+    """``repro store inspect`` diagnoses missing/uninitialized stores
+    (exit 1) instead of stack traces or misleading JSON; real
+    corruption stays a hard error (exit 2)."""
+
+    def test_missing_path_is_diagnosed(self, tmp_path):
+        proc = repro_cli("store", "inspect", str(tmp_path / "nope"))
+        assert proc.returncode == 1
+        assert "no manifest" in proc.stderr
+        assert "not a directory" in proc.stderr
+        assert proc.stdout == ""
+
+    def test_empty_directory_is_diagnosed(self, tmp_path):
+        proc = repro_cli("store", "inspect", str(tmp_path))
+        assert proc.returncode == 1
+        assert "no manifest" in proc.stderr
+        assert "uninitialized" in proc.stderr
+        assert proc.stdout == ""
+
+    def test_initialized_store_prints_json(self, tmp_path):
+        data_dir = str(tmp_path / "store")
+        with spawned("--data-dir", data_dir) as (proc, host, port):
+            with Client.connect(host, port) as client:
+                client.open("pub", SCHEMA, [MVD])
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        proc = repro_cli("store", "inspect", data_dir)
+        assert proc.returncode == 0, proc.stderr
+        info = json.loads(proc.stdout)
+        assert info["initialized"] and info["last_seq"] == 1
+
+    def test_corruption_is_still_a_hard_error(self, tmp_path):
+        data_dir = str(tmp_path / "store")
+        with spawned("--data-dir", data_dir) as (proc, host, port):
+            with Client.connect(host, port) as client:
+                client.open("pub", SCHEMA, [MVD])
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+        # a mangled manifest is corruption, not "no manifest"
+        with open(os.path.join(data_dir, "manifest.json"), "w") as handle:
+            handle.write("{not json")
+        proc = repro_cli("store", "inspect", data_dir)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+
+
+class TestReplicationCLI:
+    """The two-terminal story from docs/REPLICATION.md, end to end:
+    ``serve --replicate-from`` + ``query --replicas``."""
+
+    def test_replicated_pair_over_the_cli(self, tmp_path, capsys):
+        with spawned("--data-dir", str(tmp_path / "p")) as (pp, host, port):
+            with spawned("--data-dir", str(tmp_path / "f"),
+                         "--replicate-from", f"{host}:{port}",
+                         "--replica-id", "cli-f1") as (fp, f_host, f_port):
+                code, _, _ = query(capsys, host, port, "--session", "pub",
+                                   "--schema", SCHEMA, "-d", MVD, "open")
+                assert code == 0
+                deadline = time.monotonic() + 15
+                while time.monotonic() < deadline:
+                    with Client.connect(f_host, f_port) as down:
+                        replica = down.replicate_status().get("replica", {})
+                    if replica.get("applied_seq", 0) >= 1:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("follower never caught up")
+
+                # a routed read answers from the fleet
+                code, out, _ = query(capsys, host, port,
+                                     "--replicas", f"{f_host}:{f_port}",
+                                     "--session", "pub",
+                                     "implies", IMPLIED_FD)
+                assert (code, out.strip()) == (0, "implied")
+
+                # replicate.status renders as JSON on both roles
+                code, out, _ = query(capsys, host, port, "replicate.status")
+                assert code == 0
+                status = json.loads(out)
+                assert status["role"] == "primary"
+                assert "cli-f1" in status["followers"]
+                code, out, _ = query(capsys, f_host, f_port,
+                                     "replicate.status")
+                assert code == 0
+                assert json.loads(out)["role"] == "replica"
+
+    def test_bad_replicas_flag_is_a_clean_cli_error(self, capsys):
+        code = main(["query", "--connect", "127.0.0.1:1",
+                     "--replicas", "nonsense", "ping"])
+        assert code == 2
+        assert "--replicas" in capsys.readouterr().err

@@ -1,0 +1,219 @@
+"""Wire-protocol fuzzing against a *live* server.
+
+The property: whatever bytes a client writes, the server answers each
+frame with a typed protocol response or drops the connection cleanly —
+it never crashes, never emits a malformed line, and keeps serving
+well-formed requests afterwards.
+
+One server takes every Hypothesis example (it is started once for the
+module, in a background thread): surviving the whole hostile stream
+without a restart *is* the property, so the final test re-checks that
+the very same process still reasons correctly.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import ReasoningServer, ServeConfig
+from repro.serve.protocol import OPS, PROTOCOL_VERSION, ErrorCode
+
+#: Small on purpose: the oversized-line disconnect stays cheap to hit.
+MAX_LINE = 4096
+
+#: Every typed code the server may legitimately answer with.
+KNOWN_CODES = {value for name, value in vars(ErrorCode).items()
+               if name.isupper()}
+
+PROBE_ID = "fuzz-probe"
+
+
+@pytest.fixture(scope="module")
+def server_address():
+    """One live server for the whole module, on a background loop."""
+    box = {}
+    ready = threading.Event()
+
+    async def main():
+        config = ServeConfig(port=0, idle_ttl=None,
+                             max_line_bytes=MAX_LINE,
+                             request_timeout=10.0)
+        server = ReasoningServer(config)
+        await server.start()
+        box["server"] = server
+        box["loop"] = asyncio.get_running_loop()
+        box["address"] = server.address
+        ready.set()
+        await server.serve_forever(handle_signals=False)
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()),
+                              daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not come up"
+    yield box["address"]
+    future = asyncio.run_coroutine_threadsafe(box["server"].shutdown(),
+                                              box["loop"])
+    future.result(timeout=10)
+    thread.join(timeout=10)
+
+
+def frame(value) -> bytes:
+    return json.dumps(value).encode("utf-8") + b"\n"
+
+
+def probe_frame() -> bytes:
+    return frame({"v": PROTOCOL_VERSION, "id": PROBE_ID, "op": "ping",
+                  "params": {}})
+
+
+def exchange(address, payload: bytes) -> list[dict]:
+    """Send ``payload`` then a newline and a well-formed ping; collect
+    every response line until the ping answers or the server hangs up.
+
+    Every line the server emits must be valid JSON — a decode failure
+    here fails the test, which is exactly the point.
+    """
+    responses = []
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(payload + b"\n" + probe_frame())
+        reader = sock.makefile("rb")
+        while True:
+            line = reader.readline()
+            if not line:
+                break  # clean disconnect
+            assert line.endswith(b"\n")
+            data = json.loads(line)
+            responses.append(data)
+            if data.get("id") == PROBE_ID:
+                break
+    return responses
+
+
+def assert_typed(responses) -> None:
+    """Every response is structurally a protocol message with a known
+    typed code."""
+    for data in responses:
+        assert data.get("v") == PROTOCOL_VERSION
+        assert isinstance(data.get("ok"), bool)
+        if data["ok"]:
+            assert isinstance(data.get("result"), dict)
+        else:
+            error = data.get("error")
+            assert isinstance(error, dict)
+            assert error.get("code") in KNOWN_CODES
+            assert isinstance(error.get("message"), str)
+
+
+def assert_alive(address) -> None:
+    """A fresh connection's well-formed ping still answers ``ok``."""
+    responses = exchange(address, b"")
+    assert responses and responses[-1]["ok"] is True
+
+
+json_values = st.recursive(
+    st.none() | st.booleans()
+    | st.integers(min_value=-2 ** 40, max_value=2 ** 40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda children: (st.lists(children, max_size=4)
+                      | st.dictionaries(st.text(max_size=8), children,
+                                        max_size=4)),
+    max_leaves=10)
+
+#: Structurally hostile requests: each field independently absent,
+#: wrong-typed, or valid — covering the whole decode_request ladder.
+request_shapes = st.fixed_dictionaries({}, optional={
+    "v": (st.none() | st.booleans()
+          | st.integers(min_value=-3, max_value=3)
+          | st.just(PROTOCOL_VERSION)),
+    "id": (st.none() | st.booleans() | st.integers() | st.text(max_size=6)
+           | st.lists(st.integers(), max_size=2)),
+    "op": st.sampled_from(sorted(OPS)) | st.text(max_size=10),
+    "params": json_values,
+})
+
+#: Known param names with hostile values: exercises every command's
+#: from_params validation (and the executor behind it) over the wire.
+param_names = st.sampled_from([
+    "session", "dependency", "dependencies", "x", "name", "schema",
+    "engine", "replace", "from_seq", "max_records", "wait", "follower",
+    "seq", "min_seq",
+])
+hostile_params = st.dictionaries(param_names, json_values, max_size=4)
+
+
+class TestFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(payload=st.binary(max_size=256))
+    def test_binary_garbage_gets_typed_errors_or_a_clean_disconnect(
+            self, server_address, payload):
+        assert_typed(exchange(server_address, payload))
+        assert_alive(server_address)
+
+    @settings(max_examples=25, deadline=None)
+    @given(value=json_values)
+    def test_wrong_shape_json_is_rejected_typed(self, server_address,
+                                                value):
+        assert_typed(exchange(server_address, frame(value)))
+        assert_alive(server_address)
+
+    @settings(max_examples=25, deadline=None)
+    @given(shape=request_shapes)
+    def test_structurally_broken_requests_are_rejected_typed(
+            self, server_address, shape):
+        assert_typed(exchange(server_address, frame(shape)))
+        assert_alive(server_address)
+
+    @settings(max_examples=25, deadline=None)
+    @given(op=st.sampled_from(sorted(OPS)), params=hostile_params)
+    def test_valid_ops_with_hostile_params_answer_typed(
+            self, server_address, op, params):
+        payload = frame({"v": PROTOCOL_VERSION, "id": 1, "op": op,
+                         "params": params})
+        assert_typed(exchange(server_address, payload))
+        assert_alive(server_address)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_truncated_frames_are_ignored_at_eof(self, server_address,
+                                                 data):
+        whole = frame({"v": PROTOCOL_VERSION, "id": 2, "op": "implies",
+                       "params": {"session": "none", "dependency": "x"}})
+        cut = data.draw(st.integers(min_value=0, max_value=len(whole) - 1))
+        with socket.create_connection(server_address, timeout=10) as sock:
+            sock.sendall(whole[:cut])
+            sock.shutdown(socket.SHUT_WR)
+            reader = sock.makefile("rb")
+            for line in reader.read().splitlines():
+                data_out = json.loads(line)
+                assert isinstance(data_out.get("ok"), bool)
+        assert_alive(server_address)
+
+    def test_oversized_lines_disconnect_without_a_response(
+            self, server_address):
+        responses = exchange(server_address, b"x" * (MAX_LINE + 64))
+        assert responses == []  # cannot resync: the server hung up
+        assert_alive(server_address)
+
+
+def test_the_fuzzed_server_still_reasons(server_address):
+    """After the entire hostile stream above, the same process still
+    opens sessions and answers implication queries correctly."""
+    from repro.serve import Client
+
+    host, port = server_address
+    with Client.connect(host, port) as client:
+        client.open("survivor", "Pubcrawl(Person, Visit[Drink(Beer, Pub)])",
+                    ["Pubcrawl(Person) ->> Pubcrawl(Visit[Drink(Pub)])"],
+                    replace=True)
+        assert client.implies(
+            "survivor", "Pubcrawl(Person) -> Pubcrawl(Visit[λ])") is True
+        assert client.implies(
+            "survivor",
+            "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Pub)])") is False
+        client.close_session("survivor")

@@ -61,7 +61,9 @@ class TestCompleteness:
 
         for name, cls in REGISTRY.items():
             if cls.spec.wire and cls.spec.scope == "server":
-                assert hasattr(ReasoningServer, f"_op_{name}"), name
+                # dotted wire names map to underscored method names
+                method = f"_op_{name.replace('.', '_')}"
+                assert hasattr(ReasoningServer, method), name
 
     def test_server_binds_all_admin_handlers(self):
         from repro.serve.server import ReasoningServer
@@ -81,7 +83,7 @@ class TestCompleteness:
 
         wrapper_names = {"close": "close_session"}
         for name in commands.wire_ops():
-            method = wrapper_names.get(name, name)
+            method = wrapper_names.get(name, name.replace(".", "_"))
             assert callable(getattr(_OpsMixin, method, None)), name
 
     def test_every_command_has_docs_and_classification(self):

@@ -1,0 +1,86 @@
+"""Primary-side pure pieces: batch codec and the follower lag table."""
+
+import pytest
+
+from repro.replicate import decode_batch, encode_batch
+from repro.replicate.primary import FollowerTable
+from repro.store.wal import WalRecord
+
+
+class TestBatchCodec:
+    def test_round_trip(self):
+        records = [WalRecord(1, "open", {"name": "s", "schema": "R(A)"}),
+                   WalRecord(2, "add", {"session": "s",
+                                        "dependency": "R(A) -> R(A)"})]
+        assert decode_batch(encode_batch(records)) == records
+
+    def test_empty(self):
+        assert encode_batch([]) == []
+        assert decode_batch([]) == []
+
+    @pytest.mark.parametrize("payload", [
+        None,
+        "nope",
+        {"seq": 1},
+        [None],
+        [{"op": "add", "params": {}}],                     # missing seq
+        [{"seq": True, "op": "add", "params": {}}],        # bool is not int
+        [{"seq": "1", "op": "add", "params": {}}],
+        [{"seq": 1, "op": 7, "params": {}}],
+        [{"seq": 1, "op": "add", "params": []}],
+    ])
+    def test_malformed_batches_raise(self, payload):
+        with pytest.raises(ValueError):
+            decode_batch(payload)
+
+
+class TestFollowerTable:
+    def make(self):
+        clock = {"now": 100.0}
+        table = FollowerTable(clock=lambda: clock["now"])
+        return table, clock
+
+    def test_seen_and_ack(self):
+        table, clock = self.make()
+        table.seen("f1", 0)
+        assert len(table) == 1
+        assert table.ack("f1", 3) == 3
+        clock["now"] = 100.5
+        stats = table.stats(last_seq=5)
+        assert stats == {"f1": {"acked_seq": 3, "lag": 2, "age_s": 0.5}}
+
+    def test_ack_keeps_the_high_mark(self):
+        table, _ = self.make()
+        table.ack("f1", 5)
+        assert table.ack("f1", 3) == 5  # a late duplicate never regresses
+        assert table.stats(9)["f1"]["acked_seq"] == 5
+
+    def test_anonymous_followers_are_not_tracked(self):
+        table, _ = self.make()
+        table.seen(None, 0)
+        table.seen("", 4)
+        assert len(table) == 0
+
+    def test_polled_but_never_acked(self):
+        table, _ = self.make()
+        table.seen("quiet", 2)
+        stats = table.stats(last_seq=2)
+        assert stats["quiet"] == {"acked_seq": 0, "lag": 2, "age_s": None}
+
+    def test_min_acked_is_the_compaction_horizon(self):
+        table, _ = self.make()
+        assert table.min_acked(default=7) == 7
+        table.ack("fast", 9)
+        table.ack("slow", 2)
+        assert table.min_acked() == 2
+
+    def test_lag_never_negative(self):
+        table, _ = self.make()
+        table.ack("ahead", 9)  # e.g. status taken mid-compaction
+        assert table.stats(last_seq=3)["ahead"]["lag"] == 0
+
+    def test_stats_sorted_by_name(self):
+        table, _ = self.make()
+        table.ack("zeta", 1)
+        table.ack("alpha", 1)
+        assert list(table.stats(1)) == ["alpha", "zeta"]

@@ -1,0 +1,191 @@
+"""RoutedClient routing: registry-derived fan-out, fences, failover.
+
+Every test injects a fake per-node client factory, so routing decisions
+are observable as ``(address, op, params)`` tuples without sockets.
+"""
+
+import pytest
+
+from repro.replicate import RoutedClient, parse_address
+from repro.serve.client import ServerError
+from repro.serve.resilience import CircuitOpenError
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("example.com:7474") == ("example.com", 7474)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address(":7474") == ("127.0.0.1", 7474)
+
+    @pytest.mark.parametrize("text", ["", "7474", "host:", "host:port",
+                                      "host:74x4"])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError, match="expected HOST:PORT"):
+            parse_address(text)
+
+
+class FakeNode:
+    """One scripted node: pops canned outcomes, records every request."""
+
+    def __init__(self, address, script):
+        self.address = address
+        self.script = script          # list of dicts or exceptions
+        self.calls = []               # (op, params) in arrival order
+        self.closed = False
+
+    def request(self, op, **params):
+        self.calls.append((op, dict(params)))
+        outcome = self.script.pop(0) if self.script else {}
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def close(self):
+        self.closed = True
+
+
+def make(replica_scripts, primary_script=None, **kwargs):
+    """A routed client over fakes; returns (client, [primary, *replicas])."""
+    nodes = []
+
+    def connect(host, port, **_):
+        node = FakeNode((host, port), scripts.pop(0))
+        nodes.append(node)
+        return node
+
+    scripts = [list(primary_script or [])] + [list(s)
+                                              for s in replica_scripts]
+    replicas = [("127.0.0.1", 9100 + i) for i in range(len(replica_scripts))]
+    client = RoutedClient(("127.0.0.1", 9000), replicas,
+                          connect=connect, **kwargs)
+    return client, nodes
+
+
+def behind():
+    return ServerError("replica_behind", "tail is behind the fence")
+
+
+class TestRouting:
+    def test_mutations_and_admin_ops_go_to_the_primary(self):
+        client, nodes = make([[], []],
+                             primary_script=[{"added": True, "seq": 4}, {}, {}])
+        client.add("s", "R(A) -> R(B)")
+        client.ping()
+        client.replicate_status()
+        primary, r1, r2 = nodes
+        assert [op for op, _ in primary.calls] == ["add", "ping",
+                                                   "replicate.status"]
+        assert r1.calls == [] and r2.calls == []
+
+    def test_reads_fan_out_round_robin(self):
+        client, nodes = make([[{"implied": True}] * 4,
+                              [{"implied": True}] * 4])
+        for _ in range(4):
+            assert client.implies("s", "R(A) -> R(B)") is True
+        _, r1, r2 = nodes
+        assert len(r1.calls) == 2 and len(r2.calls) == 2
+        assert client.counters["routed.replica_reads"] == 4
+
+    def test_single_node_serves_everything(self):
+        client, nodes = make([], primary_script=[{"implied": False}])
+        assert client.implies("s", "x") is False
+        assert nodes[0].calls[0][0] == "implies"
+
+    def test_mutation_seq_becomes_the_read_fence(self):
+        client, nodes = make([[{"implied": True}]],
+                             primary_script=[{"added": True, "seq": 7}])
+        client.add("s", "R(A) -> R(B)")
+        assert client.min_seq == 7
+        client.implies("s", "R(A) -> R(B)")
+        _, r1 = nodes
+        assert r1.calls[0][1]["min_seq"] == 7
+
+    def test_fence_disabled_sends_no_min_seq(self):
+        client, nodes = make([[{"implied": True}]],
+                             primary_script=[{"added": True, "seq": 7}],
+                             fence=False)
+        client.add("s", "d")
+        assert client.min_seq == 0
+        client.implies("s", "d")
+        assert "min_seq" not in nodes[1].calls[0][1]
+
+    def test_ephemeral_primary_acks_carry_no_seq(self):
+        client, _ = make([[]], primary_script=[{"added": True}])
+        client.add("s", "d")
+        assert client.min_seq == 0
+
+
+class TestRedirects:
+    def test_replica_behind_falls_through_to_the_primary(self):
+        client, nodes = make([[behind()]],
+                             primary_script=[{"implied": True}])
+        client.min_seq = 9
+        assert client.implies("s", "d") is True
+        primary, r1 = nodes
+        assert r1.calls[0][1]["min_seq"] == 9
+        # the primary defines the fence — it must never receive one
+        assert "min_seq" not in primary.calls[0][1]
+        assert client.counters["routed.redirects"] == 1
+        assert client.counters["routed.primary_reads"] == 1
+
+    def test_unknown_session_on_a_lagging_replica_redirects(self):
+        client, _ = make([[ServerError("unknown_session", "no session 's'")]],
+                         primary_script=[{"implied": True}])
+        assert client.implies("s", "d") is True
+        assert client.counters["routed.redirects"] == 1
+
+    def test_non_redirect_errors_surface_immediately(self):
+        # the round-robin cursor starts at the second replica
+        client, nodes = make([[], [ServerError("bad_params", "nope")]],
+                             primary_script=[])
+        with pytest.raises(ServerError, match="nope"):
+            client.implies("s", "d")
+        assert nodes[0].calls == []  # never reached the primary
+
+    def test_redirect_from_the_primary_leg_is_terminal(self):
+        client, _ = make([], primary_script=[behind()])
+        with pytest.raises(ServerError, match="behind"):
+            client.implies("s", "d")
+
+
+class TestFailover:
+    def test_open_circuit_skips_the_replica(self):
+        # the first replica tried (round-robin starts at the second)
+        # has an open circuit; the read lands on the other one
+        client, nodes = make(
+            [[{"implied": True}],
+             [CircuitOpenError("open", retry_after=1.0)]])
+        assert client.implies("s", "d") is True
+        assert client.counters["routed.failover"] == 1
+        assert client.counters["routed.replica_reads"] == 1
+        assert nodes[0].calls == []  # primary untouched
+
+    def test_dead_replicas_fall_through_to_the_primary(self):
+        client, _ = make([[ConnectionError("down")], [TimeoutError()]],
+                         primary_script=[{"implied": True}])
+        assert client.implies("s", "d") is True
+        assert client.counters["routed.failover"] == 2
+        assert client.counters["routed.primary_reads"] == 1
+
+    def test_everything_down_raises_the_last_error(self):
+        client, _ = make([[ConnectionError("r down")],
+                          [ConnectionError("r down")]],
+                         primary_script=[ConnectionError("p down")])
+        with pytest.raises(ConnectionError, match="p down"):
+            client.implies("s", "d")
+
+
+class TestLifecycle:
+    def test_string_addresses_are_parsed(self):
+        client, _ = make([])
+        assert client.addresses == (("127.0.0.1", 9000),)
+        nodes = []
+        routed = RoutedClient("h1:1", ["h2:2", ":3"],
+                              connect=lambda h, p, **_: nodes.append((h, p)))
+        assert routed.addresses == (("h1", 1), ("h2", 2), ("127.0.0.1", 3))
+
+    def test_context_manager_closes_every_node(self):
+        with make([[], []])[0] as client:
+            pass
+        assert all(node.closed for node in [client.primary, *client.replicas])

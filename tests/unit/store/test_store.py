@@ -16,8 +16,8 @@ from repro.store import (
     read_segment,
     recover,
 )
-from repro.store.recovery import _replay
-from repro.store.wal import WalRecord
+from repro.store.recovery import apply_record
+from repro.store.wal import StoreError, WalRecord
 
 SCHEMA = "Pubcrawl(Person, Visit[Drink(Beer, Pub)])"
 DEP_A = "Pubcrawl(Person) -> Pubcrawl(Visit[Drink(Beer)])"
@@ -34,7 +34,8 @@ def fresh_store(tmp_path, manager=None, **kwargs):
 def log(store, manager, op, params):
     """Apply one mutation to ``manager`` (when given) and WAL it."""
     if manager is not None:
-        _replay(store.data_dir, manager, WalRecord(0, op, dict(params)))
+        apply_record(manager, WalRecord(0, op, dict(params)),
+                     origin=store.data_dir)
     store.append(op, params)
 
 
@@ -257,6 +258,80 @@ class TestSnapshotCompact:
         names = set(os.listdir(tmp_path))
         assert "wal-00000009.log" not in names
         assert "snapshot-00000000000000ff.json" not in names
+
+
+class TestReplicationTailing:
+    """The follower-facing surface: tailing, sequenced appends, resets."""
+
+    def test_records_since_serves_the_tail(self, tmp_path):
+        store = fresh_store(tmp_path)
+        log_session(store, deps=(DEP_A, DEP_B))
+        tail = store.records_since(1)
+        assert [r.seq for r in tail] == [2, 3]
+        assert tail[0].op == "add"
+        assert store.records_since(0, limit=2)[-1].seq == 2
+        assert store.records_since(3) == []
+        store.close()
+
+    def test_records_since_beyond_last_seq_needs_reset(self, tmp_path):
+        store = fresh_store(tmp_path)
+        log_session(store)
+        # a follower claiming a future seq cannot be tailed to
+        assert store.records_since(9) is None
+        store.close()
+
+    def test_records_since_before_history_needs_reset(self, tmp_path):
+        manager = SessionManager()
+        store = fresh_store(tmp_path, manager)
+        log_session(store, manager)
+        store.compact(manager.snapshot_state())
+        # seqs 1..2 were folded into the snapshot: a cold subscriber
+        # (from_seq=0) cannot be served a contiguous tail
+        assert store.records_since(0) is None
+        assert store.records_since(2) == []
+        store.close()
+
+    def test_records_since_spans_a_snapshot_boundary(self, tmp_path):
+        manager = SessionManager()
+        store = fresh_store(tmp_path, manager)
+        log_session(store, manager)
+        store.compact(manager.snapshot_state())
+        log(store, manager, "add", {"session": "pub", "dependency": DEP_B})
+        assert [r.seq for r in store.records_since(2)] == [3]
+        assert store.records_since(1) is None  # seq 2 is gone
+        store.close()
+
+    def test_append_record_keeps_the_primary_numbering(self, tmp_path):
+        store = fresh_store(tmp_path)
+        assert store.append_record(1, "open", {"name": "pub",
+                                               "schema": SCHEMA}) == 1
+        assert store.last_seq == 1
+        with pytest.raises(StoreError, match="does not follow"):
+            store.append_record(3, "add", {})
+        with pytest.raises(StoreError, match="does not follow"):
+            store.append_record(1, "add", {})  # duplicates refused too
+        store.close()
+
+    def test_reset_to_rebases_the_store(self, tmp_path):
+        manager = SessionManager()
+        store = fresh_store(tmp_path, manager)
+        log_session(store, manager)
+        result = store.reset_to(manager.snapshot_state(), 41)
+        assert store.last_seq == 41
+        assert result["last_seq"] == 41
+        # the next replicated record must be exactly 42
+        store.append_record(42, "add", {"session": "pub",
+                                        "dependency": DEP_B})
+        with pytest.raises(StoreError, match="negative"):
+            store.reset_to({}, -1)
+        store.close()
+
+        # a restart recovers the rebased numbering from disk
+        manager2 = SessionManager()
+        store2 = fresh_store(tmp_path, manager2)
+        assert store2.last_seq == 42
+        assert len(manager2.peek("pub").session) == 2
+        store2.close()
 
 
 class TestInspect:
